@@ -1,0 +1,356 @@
+//! A functional, cycle-counting in-order core for the mini ISA.
+//!
+//! One instruction per cycle plus stalls: multi-cycle multiplies, L1 miss
+//! penalties, taken-branch redirect bubbles — the CPI structure Eq 4.1's
+//! `CPI_base` summarizes. The core can also record the [`AluEvent`] stream
+//! it executes, closing the loop with the circuit-level characterization
+//! (an ISA program is just another workload).
+
+use circuits::{AluEvent, AluOp};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::isa::{Instr, Program, Reg};
+
+/// Cycle penalty of a multiply beyond the base cycle.
+const MUL_EXTRA_CYCLES: u64 = 2;
+/// Redirect bubbles after a taken branch (static not-taken fetch).
+const TAKEN_BRANCH_PENALTY: u64 = 2;
+
+/// Execution failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A memory access fell outside the core's data memory.
+    MemOutOfBounds {
+        /// The offending word address.
+        addr: u64,
+    },
+    /// A branch target fell outside the program.
+    PcOutOfRange {
+        /// The offending instruction index.
+        pc: usize,
+    },
+    /// The step budget ran out (runaway loop guard).
+    StepLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MemOutOfBounds { addr } => write!(f, "memory access out of bounds: {addr}"),
+            ExecError::PcOutOfRange { pc } => write!(f, "branch target out of range: {pc}"),
+            ExecError::StepLimit => write!(f, "step limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Run statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Total cycles including stalls.
+    pub cycles: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// L1 data misses.
+    pub cache_misses: u64,
+}
+
+impl CoreStats {
+    /// Cycles per instruction; 0 when nothing retired.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The in-order core: 32 registers, word-addressed data memory, an L1
+/// cache, and optional event recording.
+#[derive(Debug, Clone)]
+pub struct Core {
+    regs: [u64; 32],
+    mem: Vec<u64>,
+    cache: Cache,
+    stats: CoreStats,
+    record: bool,
+    events: Vec<AluEvent>,
+}
+
+impl Core {
+    /// A core with `mem_words` words of data memory and a default L1.
+    #[must_use]
+    pub fn new(mem_words: usize) -> Core {
+        Core {
+            regs: [0; 32],
+            mem: vec![0; mem_words.max(1)],
+            cache: Cache::new(CacheConfig::l1_default()),
+            stats: CoreStats::default(),
+            record: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Enables [`AluEvent`] recording (for circuit-level characterization).
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// The recorded events (empty unless recording was enabled).
+    #[must_use]
+    pub fn events(&self) -> &[AluEvent] {
+        &self.events
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Reads a register (r0 is always zero).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.index() == 0 {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Reads a data-memory word (for test assertions).
+    #[must_use]
+    pub fn mem_word(&self, addr: u64) -> Option<u64> {
+        self.mem.get(addr as usize).copied()
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64) -> u64 {
+        if self.record {
+            self.events.push(AluEvent::new(op, a, b));
+        }
+        self.stats.cycles += 1;
+        if op.is_complex() {
+            self.stats.cycles += MUL_EXTRA_CYCLES;
+        }
+        op.eval(a, b, 64)
+    }
+
+    fn mem_access(&mut self, addr: u64, is_store: bool) -> Result<(), ExecError> {
+        if (addr as usize) >= self.mem.len() {
+            return Err(ExecError::MemOutOfBounds { addr });
+        }
+        self.stats.cycles += 1;
+        if !self.cache.access(addr * 8, is_store) {
+            self.stats.cycles += self.cache.config().miss_penalty;
+            self.stats.cache_misses += 1;
+        }
+        Ok(())
+    }
+
+    /// Executes `program` until `Halt`, an error, or `max_steps` retired
+    /// instructions.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&mut self, program: &Program, max_steps: u64) -> Result<&CoreStats, ExecError> {
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        while pc < program.instrs.len() {
+            if steps >= max_steps {
+                return Err(ExecError::StepLimit);
+            }
+            steps += 1;
+            self.stats.instructions += 1;
+            match program.instrs[pc] {
+                Instr::Halt => break,
+                Instr::Barrier => {
+                    // Synchronization is orchestrated by MultiCore; a lone
+                    // core pays one cycle and proceeds.
+                    self.stats.cycles += 1;
+                    pc += 1;
+                }
+                Instr::Alu { op, rd, ra, rb } => {
+                    let v = self.alu(op, self.reg(ra), self.reg(rb));
+                    self.set_reg(rd, v);
+                    pc += 1;
+                }
+                Instr::AluImm { op, rd, ra, imm } => {
+                    let v = self.alu(op, self.reg(ra), u64::from(imm));
+                    self.set_reg(rd, v);
+                    pc += 1;
+                }
+                Instr::Load { rd, ra, offset } => {
+                    let addr = self.reg(ra).wrapping_add(u64::from(offset));
+                    self.mem_access(addr, false)?;
+                    let v = self.mem[addr as usize];
+                    self.set_reg(rd, v);
+                    pc += 1;
+                }
+                Instr::Store { rs, ra, offset } => {
+                    let addr = self.reg(ra).wrapping_add(u64::from(offset));
+                    self.mem_access(addr, true)?;
+                    self.mem[addr as usize] = self.reg(rs);
+                    pc += 1;
+                }
+                Instr::Beq { ra, rb, target } | Instr::Bne { ra, rb, target } => {
+                    let eq = self.reg(ra) == self.reg(rb);
+                    let take = match program.instrs[pc] {
+                        Instr::Beq { .. } => eq,
+                        _ => !eq,
+                    };
+                    self.stats.cycles += 1;
+                    if take {
+                        if target >= program.instrs.len() {
+                            return Err(ExecError::PcOutOfRange { pc: target });
+                        }
+                        self.stats.cycles += TAKEN_BRANCH_PENALTY;
+                        self.stats.taken_branches += 1;
+                        pc = target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::Jump { target } => {
+                    if target >= program.instrs.len() {
+                        return Err(ExecError::PcOutOfRange { pc: target });
+                    }
+                    self.stats.cycles += 1 + TAKEN_BRANCH_PENALTY;
+                    self.stats.taken_branches += 1;
+                    pc = target;
+                }
+            }
+        }
+        Ok(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_executes_correct_count() {
+        let mut core = Core::new(4096);
+        let p = Program::counted_loop(25, 2);
+        let stats = core.run(&p, 100_000).expect("runs").clone();
+        // 1 setup + 25 * (2*2 alu + load + store + cursor + decrement +
+        // branch) + the retiring Halt.
+        assert_eq!(stats.instructions, 1 + 25 * 9 + 1);
+        assert_eq!(stats.taken_branches, 24, "last branch falls through");
+        assert!(stats.cpi() > 1.0, "stalls must show up in CPI");
+    }
+
+    #[test]
+    fn alu_semantics_via_registers() {
+        use circuits::AluOp;
+        use Instr::*;
+        let mut p = Program::new();
+        p.push(AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            ra: Reg::ZERO,
+            imm: 700,
+        });
+        p.push(AluImm {
+            op: AluOp::Mul,
+            rd: Reg(2),
+            ra: Reg(1),
+            imm: 3,
+        });
+        p.push(Halt);
+        let mut core = Core::new(16);
+        core.run(&p, 100).expect("runs");
+        assert_eq!(core.reg(Reg(2)), 2100);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        use circuits::AluOp;
+        let mut p = Program::new();
+        p.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            ra: Reg::ZERO,
+            imm: 99,
+        });
+        p.push(Instr::Halt);
+        let mut core = Core::new(16);
+        core.run(&p, 10).expect("runs");
+        assert_eq!(core.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            rd: Reg(1),
+            ra: Reg::ZERO,
+            offset: 9999,
+        });
+        let mut core = Core::new(16);
+        assert!(matches!(
+            core.run(&p, 10).expect_err("oob"),
+            ExecError::MemOutOfBounds { addr: 9999 }
+        ));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut p = Program::new();
+        p.push(Instr::Jump { target: 0 });
+        let mut core = Core::new(16);
+        assert_eq!(core.run(&p, 100).expect_err("loop"), ExecError::StepLimit);
+    }
+
+    #[test]
+    fn recording_captures_alu_stream() {
+        let mut core = Core::new(4096);
+        core.set_recording(true);
+        let p = Program::counted_loop(5, 3);
+        core.run(&p, 10_000).expect("runs");
+        assert!(!core.events().is_empty());
+        // Events carry real register values, not placeholders.
+        assert!(core.events().iter().any(|e| e.a != 0 || e.b != 0));
+    }
+
+    #[test]
+    fn multiplies_cost_more_cycles() {
+        use circuits::AluOp;
+        let mut adds = Program::new();
+        let mut muls = Program::new();
+        for _ in 0..50 {
+            adds.push(Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                ra: Reg(1),
+                imm: 1,
+            });
+            muls.push(Instr::AluImm {
+                op: AluOp::Mul,
+                rd: Reg(1),
+                ra: Reg(1),
+                imm: 3,
+            });
+        }
+        adds.push(Instr::Halt);
+        muls.push(Instr::Halt);
+        let mut c1 = Core::new(16);
+        let mut c2 = Core::new(16);
+        let s1 = c1.run(&adds, 1000).expect("ok").clone();
+        let s2 = c2.run(&muls, 1000).expect("ok").clone();
+        assert!(s2.cpi() > s1.cpi());
+    }
+}

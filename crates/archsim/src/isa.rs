@@ -1,0 +1,194 @@
+//! A miniature Alpha-flavoured register ISA.
+//!
+//! Thirty-two 64-bit registers (`r0` hardwired to zero), word-addressed
+//! memory, ALU register/immediate forms, loads/stores, conditional
+//! branches. Small enough to assemble by hand in tests, real enough that
+//! the in-order core's CPI accounting exercises every stall source.
+
+use circuits::AluOp;
+
+/// A register name (`r0`..`r31`); `r0` always reads zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    pub(crate) fn index(self) -> usize {
+        (self.0 as usize) % 32
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Instr {
+    /// `rd = ra <op> rb`
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = ra <op> imm`
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+        /// Immediate operand.
+        imm: u16,
+    },
+    /// `rd = mem[ra + offset]` (word addressing).
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        ra: Reg,
+        /// Word offset.
+        offset: u16,
+    },
+    /// `mem[ra + offset] = rs`.
+    Store {
+        /// Source.
+        rs: Reg,
+        /// Base register.
+        ra: Reg,
+        /// Word offset.
+        offset: u16,
+    },
+    /// Branch to `target` if `ra == rb`.
+    Beq {
+        /// First comparand.
+        ra: Reg,
+        /// Second comparand.
+        rb: Reg,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Branch to `target` if `ra != rb`.
+    Bne {
+        /// First comparand.
+        ra: Reg,
+        /// Second comparand.
+        rb: Reg,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Synchronize with all other cores (see `MultiCore::run`); a single
+    /// core treats it as a no-op.
+    Barrier,
+    /// Stop execution.
+    Halt,
+}
+
+/// An executable instruction sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instructions, executed from index 0.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// An empty program (immediately halts).
+    #[must_use]
+    pub fn new() -> Program {
+        Program { instrs: Vec::new() }
+    }
+
+    /// Appends an instruction, builder style.
+    pub fn push(&mut self, instr: Instr) -> &mut Program {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// A countdown loop doing `iters` iterations of `body_per_iter`
+    /// add/xor pairs plus a load/store — a standard CPI test pattern.
+    #[must_use]
+    pub fn counted_loop(iters: u16, body_per_iter: usize) -> Program {
+        use Instr::*;
+        let mut p = Program::new();
+        // r1 = iters; r2 = scratch; r3 = memory cursor.
+        p.push(AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            ra: Reg::ZERO,
+            imm: iters,
+        });
+        let loop_top = p.instrs.len();
+        for k in 0..body_per_iter {
+            p.push(AluImm {
+                op: AluOp::Add,
+                rd: Reg(2),
+                ra: Reg(2),
+                imm: (k as u16).wrapping_mul(37) | 1,
+            });
+            p.push(Alu {
+                op: AluOp::Xor,
+                rd: Reg(4),
+                ra: Reg(2),
+                rb: Reg(1),
+            });
+        }
+        p.push(Load {
+            rd: Reg(5),
+            ra: Reg(3),
+            offset: 0,
+        });
+        p.push(Store {
+            rs: Reg(4),
+            ra: Reg(3),
+            offset: 1,
+        });
+        p.push(AluImm {
+            op: AluOp::Add,
+            rd: Reg(3),
+            ra: Reg(3),
+            imm: 16,
+        });
+        p.push(AluImm {
+            op: AluOp::Sub,
+            rd: Reg(1),
+            ra: Reg(1),
+            imm: 1,
+        });
+        p.push(Bne {
+            ra: Reg(1),
+            rb: Reg::ZERO,
+            target: loop_top,
+        });
+        p.push(Halt);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_indexing() {
+        assert_eq!(Reg(0).index(), 0);
+        assert_eq!(Reg(33).index(), 1, "register names wrap");
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let p = Program::counted_loop(10, 2);
+        assert!(matches!(p.instrs.last(), Some(Instr::Halt)));
+        assert!(p.instrs.iter().any(|i| matches!(i, Instr::Load { .. })));
+        assert!(p.instrs.iter().any(|i| matches!(i, Instr::Bne { .. })));
+    }
+}

@@ -1,0 +1,43 @@
+//! # archsim — cycle-level multi-core substrate for SynTS
+//!
+//! The paper's evaluation rests on Gem5 simulating a 4-core Alpha: it needs
+//! (a) per-thread CPI structure (pipeline + cache behaviour), (b) barrier
+//! semantics, and (c) an execution substrate that injects Razor timing
+//! errors and pays the 5-cycle replay. This crate provides all three,
+//! at the abstraction the SynTS models consume:
+//!
+//! * [`Program`] / [`Core`] — a tiny Alpha-flavoured register ISA with a
+//!   functional + cycle-counting in-order core, used to validate the CPI
+//!   model against real instruction streams;
+//! * [`Cache`] — a set-associative L1 data-cache model;
+//! * [`CpiModel`] / [`InstrStream`] — trace-driven CPI estimation for the
+//!   instrumented workload traces;
+//! * [`RazorCore`] / [`simulate_barrier`] — cycle-accounting execution of a
+//!   barrier interval under per-core voltage/frequency/TSR settings with
+//!   error injection from real sensitized-delay traces. Integration tests
+//!   verify it agrees with the paper's closed-form Eq 4.1–4.3.
+//!
+//! ```
+//! use archsim::{Cache, CacheConfig};
+//!
+//! let mut l1 = Cache::new(CacheConfig::l1_default());
+//! assert!(!l1.access(0x1000, false)); // cold miss
+//! assert!(l1.access(0x1000, false));  // hit
+//! ```
+
+mod cache;
+mod core;
+mod cpi;
+mod isa;
+mod multicore;
+mod razor;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use core::{Core, CoreStats, ExecError};
+pub use cpi::{CpiModel, InstrStream};
+pub use isa::{Instr, Program, Reg};
+pub use multicore::{MultiCore, MultiCoreRun};
+pub use razor::{
+    simulate_barrier, simulate_barrier_with_leakage, CoreSetting, IntervalSim, RazorCore,
+    SleepPolicy,
+};

@@ -1,0 +1,299 @@
+//! Program-level multi-core execution with barrier synchronization and
+//! per-core DVFS — the Gem5-shaped top of the substrate.
+//!
+//! Each core runs its own [`Program`] on the mini ISA; `Instr::Barrier`
+//! synchronizes all cores. Cores run at independent clock periods
+//! (voltage × TSR, as the SynTS controller would set them), so the same
+//! cycle counts translate into different wall-clock arrival times — the
+//! fast-threads-wait-at-the-barrier picture of the paper's Fig 1.4.
+
+use timing::Voltage;
+
+use crate::core::{Core, CoreStats, ExecError};
+use crate::isa::{Instr, Program};
+use crate::razor::CoreSetting;
+
+/// Result of one multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiCoreRun {
+    /// Per-core statistics.
+    pub stats: Vec<CoreStats>,
+    /// Per-core wall-clock time (cycles × clock period), excluding barrier
+    /// wait.
+    pub busy_times: Vec<f64>,
+    /// Wall-clock time of the whole run: barrier-synchronized makespan.
+    pub makespan: f64,
+    /// Per-core wall-clock time spent waiting at barriers.
+    pub barrier_waits: Vec<f64>,
+    /// Number of barrier episodes executed.
+    pub barriers: usize,
+}
+
+/// A barrier-synchronized group of cores with per-core clock settings.
+#[derive(Debug)]
+pub struct MultiCore {
+    cores: Vec<Core>,
+    settings: Vec<CoreSetting>,
+    tnom_v1: f64,
+}
+
+impl MultiCore {
+    /// Creates `n` cores with `mem_words` of private memory each, all at
+    /// the nominal operating point of a stage with period `tnom_v1`.
+    #[must_use]
+    pub fn new(n: usize, mem_words: usize, tnom_v1: f64) -> MultiCore {
+        MultiCore {
+            cores: (0..n).map(|_| Core::new(mem_words)).collect(),
+            settings: vec![
+                CoreSetting {
+                    voltage: Voltage::NOMINAL,
+                    tsr: 1.0,
+                };
+                n
+            ],
+            tnom_v1,
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Sets one core's operating point (what the SynTS controller does at
+    /// each barrier interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_operating_point(&mut self, core: usize, setting: CoreSetting) {
+        self.settings[core] = setting;
+    }
+
+    /// Clock period of a core at its current operating point.
+    #[must_use]
+    pub fn clock_period(&self, core: usize) -> f64 {
+        let s = self.settings[core];
+        s.tsr * self.tnom_v1 * s.voltage.delay_scale()
+    }
+
+    /// Runs one program per core to completion, synchronizing at every
+    /// `Instr::Barrier`. Every program must contain the same number of
+    /// barriers (checked).
+    ///
+    /// # Errors
+    ///
+    /// * [`ExecError`] from any core's execution;
+    /// * [`ExecError::StepLimit`] if a core exceeds `max_steps` within one
+    ///   barrier episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != self.cores()` or barrier counts differ
+    /// between programs.
+    pub fn run(
+        &mut self,
+        programs: &[Program],
+        max_steps: u64,
+    ) -> Result<MultiCoreRun, ExecError> {
+        assert_eq!(programs.len(), self.cores.len(), "one program per core");
+        // Split each program into barrier episodes.
+        let episodes: Vec<Vec<Program>> = programs.iter().map(split_on_barriers).collect();
+        let n_episodes = episodes[0].len();
+        for e in &episodes {
+            assert_eq!(
+                e.len(),
+                n_episodes,
+                "all programs must cross the same number of barriers"
+            );
+        }
+
+        let n = self.cores.len();
+        let periods: Vec<f64> = (0..n).map(|i| self.clock_period(i)).collect();
+        let mut busy = vec![0.0f64; n];
+        let mut waits = vec![0.0f64; n];
+        let mut makespan = 0.0f64;
+        for ep in 0..n_episodes {
+            let mut arrive = vec![0.0f64; n];
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                let before = core.stats().cycles;
+                core.run(&episodes[i][ep], max_steps)?;
+                let cycles = core.stats().cycles - before;
+                let t = cycles as f64 * periods[i];
+                busy[i] += t;
+                arrive[i] = makespan + t;
+            }
+            let episode_end = arrive.iter().copied().fold(0.0f64, f64::max);
+            for i in 0..n {
+                waits[i] += episode_end - arrive[i];
+            }
+            makespan = episode_end;
+        }
+        Ok(MultiCoreRun {
+            stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            busy_times: busy,
+            makespan,
+            barrier_waits: waits,
+            barriers: n_episodes.saturating_sub(1),
+        })
+    }
+}
+
+/// Splits a program at its `Barrier` instructions into standalone episode
+/// programs (each terminated by `Halt`); branch targets are episode-local,
+/// which the mini-ISA's structured loops guarantee.
+fn split_on_barriers(p: &Program) -> Vec<Program> {
+    let mut episodes: Vec<Program> = Vec::new();
+    let mut current = Program::new();
+    // Original-index offset of the current episode's first instruction:
+    // each finished episode covered (its length - appended Halt) body
+    // instructions plus the Barrier itself.
+    let mut base = 0usize;
+    for instr in &p.instrs {
+        match instr {
+            Instr::Barrier => {
+                base += current.instrs.len() + 1;
+                current.push(Instr::Halt);
+                episodes.push(std::mem::take(&mut current));
+            }
+            Instr::Beq { ra, rb, target } => {
+                current.push(Instr::Beq {
+                    ra: *ra,
+                    rb: *rb,
+                    target: target.saturating_sub(base),
+                });
+            }
+            Instr::Bne { ra, rb, target } => {
+                current.push(Instr::Bne {
+                    ra: *ra,
+                    rb: *rb,
+                    target: target.saturating_sub(base),
+                });
+            }
+            Instr::Jump { target } => {
+                current.push(Instr::Jump {
+                    target: target.saturating_sub(base),
+                });
+            }
+            other => {
+                current.push(*other);
+            }
+        }
+    }
+    if !current.instrs.is_empty() || episodes.is_empty() {
+        current.push(Instr::Halt);
+        episodes.push(current);
+    }
+    episodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use circuits::AluOp;
+
+    fn work_then_barrier(iters: u16) -> Program {
+        let mut p = Program::counted_loop(iters, 2);
+        // counted_loop ends with Halt; replace it with Barrier + tail work.
+        p.instrs.pop();
+        p.push(Instr::Barrier);
+        p.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(9),
+            ra: Reg::ZERO,
+            imm: 7,
+        });
+        p.push(Instr::Halt);
+        p
+    }
+
+    #[test]
+    fn barrier_makespan_is_gated_by_the_slowest_core() {
+        let mut mc = MultiCore::new(2, 4096, 10.0);
+        let fast = work_then_barrier(5);
+        let slow = work_then_barrier(50);
+        let run = mc.run(&[fast, slow], 1_000_000).expect("runs");
+        assert_eq!(run.barriers, 1);
+        assert!(run.busy_times[1] > run.busy_times[0]);
+        assert!(run.makespan >= run.busy_times[1]);
+        // The fast core waits, the slow one (critical) barely does.
+        assert!(run.barrier_waits[0] > run.barrier_waits[1]);
+    }
+
+    #[test]
+    fn speeding_up_the_critical_core_shrinks_the_makespan() {
+        let fast = work_then_barrier(5);
+        let slow = work_then_barrier(50);
+        let mut nominal = MultiCore::new(2, 4096, 10.0);
+        let base = nominal
+            .run(&[fast.clone(), slow.clone()], 1_000_000)
+            .expect("runs")
+            .makespan;
+        let mut tuned = MultiCore::new(2, 4096, 10.0);
+        tuned.set_operating_point(
+            1,
+            CoreSetting {
+                voltage: Voltage::NOMINAL,
+                tsr: 0.7, // overclock the critical core
+            },
+        );
+        let better = tuned.run(&[fast, slow], 1_000_000).expect("runs").makespan;
+        assert!(better < base, "speculation on the critical core: {better} vs {base}");
+    }
+
+    #[test]
+    fn slowing_a_non_critical_core_is_free() {
+        let fast = work_then_barrier(5);
+        let slow = work_then_barrier(50);
+        let mut mc = MultiCore::new(2, 4096, 10.0);
+        let base = mc
+            .run(&[fast.clone(), slow.clone()], 1_000_000)
+            .expect("runs")
+            .makespan;
+        let mut tuned = MultiCore::new(2, 4096, 10.0);
+        tuned.set_operating_point(
+            0,
+            CoreSetting {
+                voltage: Voltage::new(0.8).expect("in range"),
+                tsr: 1.0,
+            },
+        );
+        let run = tuned.run(&[fast, slow], 1_000_000).expect("runs");
+        assert!(
+            (run.makespan - base).abs() < base * 0.05,
+            "slack absorption must not stretch the barrier: {} vs {base}",
+            run.makespan
+        );
+    }
+
+    #[test]
+    fn mismatched_barrier_counts_panic() {
+        let a = work_then_barrier(5);
+        let mut b = Program::counted_loop(5, 1); // no barrier
+        b.instrs.pop();
+        b.push(Instr::Halt);
+        let mut mc = MultiCore::new(2, 4096, 10.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = mc.run(&[a, b], 1_000_000);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn programs_without_barriers_still_run() {
+        let mut p = Program::new();
+        p.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            ra: Reg::ZERO,
+            imm: 3,
+        });
+        p.push(Instr::Halt);
+        let mut mc = MultiCore::new(1, 64, 10.0);
+        let run = mc.run(&[p], 100).expect("runs");
+        assert_eq!(run.barriers, 0);
+        assert!(run.makespan > 0.0);
+    }
+}

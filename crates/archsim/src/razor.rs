@@ -1,0 +1,401 @@
+//! Razor-style execution of a barrier interval: instruction-by-instruction
+//! error injection from real sensitized-delay traces, 5-cycle replay per
+//! error, per-core voltage/frequency/TSR settings.
+//!
+//! This is the executable counterpart of the paper's closed-form model:
+//! integration tests check that `simulate_barrier` and Eq 4.1–4.3 agree,
+//! which is what justifies optimizing on the closed form.
+
+use timing::Voltage;
+
+/// The Razor recovery mechanism of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RazorCore {
+    /// Pipeline flush-and-replay penalty per detected error, in cycles.
+    pub c_penalty: u64,
+}
+
+impl Default for RazorCore {
+    fn default() -> Self {
+        RazorCore { c_penalty: 5 }
+    }
+}
+
+/// One core's operating point for an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreSetting {
+    /// Supply voltage.
+    pub voltage: Voltage,
+    /// Timing-speculation ratio `r ∈ (0, 1]`.
+    pub tsr: f64,
+}
+
+/// Per-thread and aggregate results of one simulated barrier interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSim {
+    /// Cycles consumed per thread (base + replay).
+    pub cycles: Vec<f64>,
+    /// Detected timing errors per thread.
+    pub errors: Vec<u64>,
+    /// Wall-clock time per thread (cycles × clock period).
+    pub times: Vec<f64>,
+    /// Energy per thread (α V² × cycles).
+    pub energies: Vec<f64>,
+    /// Barrier execution time: the slowest thread (Eq 4.2).
+    pub texec: f64,
+    /// Total energy (Σ Eq 4.3).
+    pub energy: f64,
+}
+
+impl IntervalSim {
+    /// Observed error probability of a thread.
+    #[must_use]
+    pub fn error_rate(&self, thread: usize, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.errors[thread] as f64 / instructions as f64
+        }
+    }
+}
+
+/// Executes one barrier interval instruction by instruction.
+///
+/// * `tnom_v1` — stage nominal period at 1.0 V;
+/// * `settings` — per-core operating points;
+/// * `traces` — per-thread normalized sensitized delays (one entry per
+///   instruction, each in `[0, 1]`);
+/// * `cpi_base` — per-thread error-free CPI;
+/// * `alpha` — switching-capacitance scalar of Eq 4.3;
+/// * `razor` — the recovery mechanism.
+///
+/// An instruction errs iff its normalized delay exceeds the core's TSR
+/// (voltage scaling cancels in the ratio — see [`timing::DelayTrace`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[must_use]
+pub fn simulate_barrier(
+    tnom_v1: f64,
+    settings: &[CoreSetting],
+    traces: &[&[f64]],
+    cpi_base: &[f64],
+    alpha: f64,
+    razor: RazorCore,
+) -> IntervalSim {
+    assert_eq!(settings.len(), traces.len(), "one setting per thread");
+    assert_eq!(settings.len(), cpi_base.len(), "one CPI per thread");
+    let m = settings.len();
+    let mut cycles = Vec::with_capacity(m);
+    let mut errors = Vec::with_capacity(m);
+    let mut times = Vec::with_capacity(m);
+    let mut energies = Vec::with_capacity(m);
+    for i in 0..m {
+        let s = settings[i];
+        let tclk = s.tsr * tnom_v1 * s.voltage.delay_scale();
+        let mut cyc = 0.0f64;
+        let mut errs = 0u64;
+        // Cycle-level walk: every instruction pays its CPI; a sensitized
+        // delay beyond the speculative period trips the Razor flip-flop
+        // and replays the pipeline.
+        for &d in traces[i] {
+            cyc += cpi_base[i];
+            if d > s.tsr {
+                errs += 1;
+                cyc += razor.c_penalty as f64;
+            }
+        }
+        let time = tclk * cyc;
+        let energy = alpha * s.voltage.energy_scale() * cyc;
+        cycles.push(cyc);
+        errors.push(errs);
+        times.push(time);
+        energies.push(energy);
+    }
+    let texec = times.iter().fold(0.0f64, |a, &b| a.max(b));
+    let energy = energies.iter().sum();
+    IntervalSim {
+        cycles,
+        errors,
+        times,
+        energies,
+        texec,
+        energy,
+    }
+}
+
+/// Sleep policy for cores idling at the barrier, the knob distinguishing
+/// plain leakage accounting from the thrifty barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepPolicy {
+    /// Fraction of leakage power retained while parked at the barrier
+    /// (1.0 = no power management, 0.1 ≈ drowsy sleep, 0.0 = perfect
+    /// power gating).
+    pub idle_retention: f64,
+    /// Wake-up latency in nominal-voltage cycles added to the barrier
+    /// release when at least one core slept (0 for plain idling).
+    pub wake_cycles: f64,
+}
+
+impl SleepPolicy {
+    /// Plain idling: cores burn full leakage while waiting, wake free.
+    #[must_use]
+    pub fn none() -> SleepPolicy {
+        SleepPolicy {
+            idle_retention: 1.0,
+            wake_cycles: 0.0,
+        }
+    }
+}
+
+/// [`simulate_barrier`] extended with static power: each core burns
+/// `p_leak_v1 · V^gamma` per time unit while busy, scaled by the sleep
+/// policy's retention while parked at the barrier — the cycle-accounting
+/// counterpart of `synts_core::leakage` / `synts_core::thrifty`, used by
+/// the integration tests to certify those closed forms.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or `p_leak_v1` is negative.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors simulate_barrier + the leakage triple
+pub fn simulate_barrier_with_leakage(
+    tnom_v1: f64,
+    settings: &[CoreSetting],
+    traces: &[&[f64]],
+    cpi_base: &[f64],
+    alpha: f64,
+    razor: RazorCore,
+    p_leak_v1: f64,
+    gamma: f64,
+    sleep: SleepPolicy,
+) -> IntervalSim {
+    assert!(p_leak_v1 >= 0.0, "leakage power must be non-negative");
+    let mut sim = simulate_barrier(tnom_v1, settings, traces, cpi_base, alpha, razor);
+    // Dynamic-only barrier time; sleeping stretches it by the wake latency.
+    let slept = sim
+        .times
+        .iter()
+        .any(|&t| t < sim.texec * (1.0 - 1e-15));
+    let wake = if slept && sleep.wake_cycles > 0.0 {
+        sleep.wake_cycles * tnom_v1
+    } else {
+        0.0
+    };
+    let mut energy = 0.0;
+    for (i, s) in settings.iter().enumerate() {
+        let p_leak = p_leak_v1 * s.voltage.volts().powf(gamma);
+        let idle = (sim.texec - sim.times[i]).max(0.0);
+        // Busy leakage + (possibly gated) idle leakage + wake transition.
+        sim.energies[i] +=
+            p_leak * sim.times[i] + sleep.idle_retention * p_leak * idle + p_leak * wake;
+        energy += sim.energies[i];
+    }
+    sim.texec += wake;
+    sim.energy = energy;
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> CoreSetting {
+        CoreSetting {
+            voltage: Voltage::NOMINAL,
+            tsr: 1.0,
+        }
+    }
+
+    #[test]
+    fn no_errors_at_nominal_clock() {
+        let trace = [0.3, 0.9, 1.0, 0.5];
+        let sim = simulate_barrier(
+            100.0,
+            &[nominal()],
+            &[&trace],
+            &[1.0],
+            1.0,
+            RazorCore::default(),
+        );
+        assert_eq!(sim.errors[0], 0);
+        assert!((sim.texec - 100.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overclocking_injects_errors_and_replay() {
+        let trace = [0.3, 0.9, 0.95, 0.5];
+        let fast = CoreSetting {
+            voltage: Voltage::NOMINAL,
+            tsr: 0.8,
+        };
+        let sim = simulate_barrier(
+            100.0,
+            &[fast],
+            &[&trace],
+            &[1.0],
+            1.0,
+            RazorCore::default(),
+        );
+        assert_eq!(sim.errors[0], 2, "0.9 and 0.95 exceed r = 0.8");
+        // cycles = 4 * 1.0 + 2 * 5.
+        assert!((sim.cycles[0] - 14.0).abs() < 1e-12);
+        assert!((sim.times[0] - 0.8 * 100.0 * 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_scales_time_and_energy() {
+        let trace = [0.1, 0.1];
+        let low_v = CoreSetting {
+            voltage: Voltage::new(0.8).expect("ok"),
+            tsr: 1.0,
+        };
+        let sim = simulate_barrier(
+            100.0,
+            &[nominal(), low_v],
+            &[&trace, &trace],
+            &[1.0, 1.0],
+            1.0,
+            RazorCore::default(),
+        );
+        // Table 5.1: 0.8 V is 1.39x slower, 0.64x the energy.
+        assert!((sim.times[1] / sim.times[0] - 1.39).abs() < 1e-9);
+        assert!((sim.energies[1] / sim.energies[0] - 0.64).abs() < 1e-9);
+        assert!((sim.texec - sim.times[1]).abs() < 1e-12, "slow core gates");
+    }
+
+    #[test]
+    fn barrier_takes_max_energy_takes_sum() {
+        let t0 = [0.2; 10];
+        let t1 = [0.2; 30];
+        let sim = simulate_barrier(
+            50.0,
+            &[nominal(), nominal()],
+            &[&t0, &t1],
+            &[1.0, 1.0],
+            1.0,
+            RazorCore::default(),
+        );
+        assert!((sim.texec - sim.times[1]).abs() < 1e-12);
+        assert!((sim.energy - (sim.energies[0] + sim.energies[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_simulation_reduces_to_dynamic_when_zero() {
+        let t0 = [0.2; 10];
+        let t1 = [0.2; 30];
+        let base = simulate_barrier(
+            50.0,
+            &[nominal(), nominal()],
+            &[&t0, &t1],
+            &[1.0, 1.0],
+            1.0,
+            RazorCore::default(),
+        );
+        let with = simulate_barrier_with_leakage(
+            50.0,
+            &[nominal(), nominal()],
+            &[&t0, &t1],
+            &[1.0, 1.0],
+            1.0,
+            RazorCore::default(),
+            0.0,
+            3.0,
+            SleepPolicy::none(),
+        );
+        assert_eq!(base, with);
+    }
+
+    #[test]
+    fn idle_core_burns_leakage_until_the_barrier() {
+        let t0 = [0.2; 10];
+        let t1 = [0.2; 30];
+        let p_leak = 0.01;
+        let sim = simulate_barrier_with_leakage(
+            50.0,
+            &[nominal(), nominal()],
+            &[&t0, &t1],
+            &[1.0, 1.0],
+            1.0,
+            RazorCore::default(),
+            p_leak,
+            3.0,
+            SleepPolicy::none(),
+        );
+        // Core 0 leaks over the whole barrier (busy + idle at retention 1).
+        let dynamic0 = 1.0 * 10.0; // alpha V² cycles
+        let expect0 = dynamic0 + p_leak * sim.texec;
+        assert!((sim.energies[0] - expect0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drowsy_sleep_saves_idle_leakage_but_pays_wake() {
+        let t0 = [0.2; 10];
+        let t1 = [0.2; 30];
+        let run = |sleep: SleepPolicy| {
+            simulate_barrier_with_leakage(
+                50.0,
+                &[nominal(), nominal()],
+                &[&t0, &t1],
+                &[1.0, 1.0],
+                1.0,
+                RazorCore::default(),
+                0.01,
+                3.0,
+                sleep,
+            )
+        };
+        let idle = run(SleepPolicy::none());
+        let drowsy = run(SleepPolicy {
+            idle_retention: 0.1,
+            wake_cycles: 0.0,
+        });
+        let thrifty = run(SleepPolicy {
+            idle_retention: 0.1,
+            wake_cycles: 100.0,
+        });
+        assert!(drowsy.energy < idle.energy, "sleep saves energy");
+        assert_eq!(drowsy.texec, idle.texec, "free wake keeps the barrier");
+        assert!(thrifty.texec > idle.texec, "wake latency stretches it");
+    }
+
+    #[test]
+    fn balanced_threads_never_pay_wake_latency() {
+        let t = [0.2; 10];
+        let sim = simulate_barrier_with_leakage(
+            50.0,
+            &[nominal(), nominal()],
+            &[&t, &t],
+            &[1.0, 1.0],
+            1.0,
+            RazorCore::default(),
+            0.01,
+            3.0,
+            SleepPolicy {
+                idle_retention: 0.0,
+                wake_cycles: 500.0,
+            },
+        );
+        assert!((sim.texec - 50.0 * 10.0).abs() < 1e-9, "nobody slept");
+    }
+
+    #[test]
+    fn error_rate_helper() {
+        let trace = [0.99, 0.1, 0.99, 0.1];
+        let fast = CoreSetting {
+            voltage: Voltage::NOMINAL,
+            tsr: 0.5,
+        };
+        let sim = simulate_barrier(
+            10.0,
+            &[fast],
+            &[&trace],
+            &[1.0],
+            1.0,
+            RazorCore::default(),
+        );
+        assert!((sim.error_rate(0, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(sim.error_rate(0, 0), 0.0);
+    }
+}

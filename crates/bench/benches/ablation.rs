@@ -1,0 +1,27 @@
+//! Adder-topology ablation: characterization cost per SimpleALU variant
+//! (the result-side comparison lives in `repro ablation-adders`).
+
+use circuits::{AdderKind, SimpleAlu};
+use criterion::{criterion_group, criterion_main, Criterion};
+use timing::StageCharacterizer;
+use workloads::{Benchmark, WorkloadConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let cfg = WorkloadConfig::small(4);
+    let trace = Benchmark::Radix.run(&cfg);
+    let events = &trace.intervals[0].thread(0).events;
+    for kind in AdderKind::ALL {
+        let name = kind.name();
+        let alu = SimpleAlu::with_adder(16, kind).expect("builds");
+        let charac = StageCharacterizer::from_stage(Box::new(alu)).expect("sta");
+        group.bench_function(name, |b| {
+            b.iter(|| charac.error_curve_sampled(events, 200).expect("curve"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Cost of the trace → error-curve characterization pipeline.
+
+use circuits::StageKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timing::StageCharacterizer;
+use workloads::{Benchmark, WorkloadConfig};
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    let cfg = WorkloadConfig::small(4);
+    let trace = Benchmark::Radix.run(&cfg);
+    let events = &trace.intervals[0].thread(0).events;
+    for kind in [StageKind::Decode, StageKind::SimpleAlu] {
+        let charac = StageCharacterizer::new(kind, cfg.width).expect("builds");
+        for samples in [100usize, 400] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), samples),
+                &samples,
+                |b, &n| b.iter(|| charac.error_curve_sampled(events, n).expect("curve")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

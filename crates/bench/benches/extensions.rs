@@ -1,0 +1,88 @@
+//! Extension-solver cost: the leakage-aware and power-capped variants
+//! keep Algorithm 1's polynomial shape — these benches pin their overhead
+//! against the baseline solver at paper scale (M = 4, Q = 7, S = 6) and at
+//! a many-core scale (M = 64), plus the per-interval cost of the online
+//! controller with `N_i` prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synts_core::criticality::{run_sequence, NiPredictor, PredictorKind};
+use synts_core::leakage::{synts_poly_leakage, LeakageModel};
+use synts_core::power_cap::synts_poly_power_capped;
+use synts_core::{
+    evaluate, nominal, synts_poly, SamplingPlan, SystemConfig, ThreadProfile, ThreadTrace,
+};
+use timing::{ErrorCurve, Voltage};
+
+fn instance(m: usize) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+    let cfg = SystemConfig::paper_default(10.0);
+    let profiles = (0..m)
+        .map(|i| {
+            let lo = 0.3 + 0.4 * (i as f64 / m as f64);
+            let delays: Vec<f64> = (0..256)
+                .map(|n| lo + (0.99 - lo) * n as f64 / 256.0)
+                .collect();
+            ThreadProfile::new(
+                5_000.0 + 1_000.0 * i as f64,
+                1.0 + 0.02 * i as f64,
+                ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
+            )
+        })
+        .collect();
+    (cfg, profiles)
+}
+
+fn bench_extension_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    for m in [4usize, 64] {
+        let (cfg, profiles) = instance(m);
+        let leak = LeakageModel::fraction_of_dynamic(&cfg, 0.3).expect("valid");
+        let nom = nominal(&cfg, &profiles).expect("nominal");
+        let ed = evaluate(&cfg, &profiles, &nom);
+        let cap = ed.energy / ed.time;
+        group.bench_function(format!("poly-baseline/m{m}"), |b| {
+            b.iter(|| synts_poly(&cfg, &profiles, 1.0).expect("solves"))
+        });
+        group.bench_function(format!("poly-leakage/m{m}"), |b| {
+            b.iter(|| synts_poly_leakage(&cfg, &profiles, 1.0, &leak).expect("solves"))
+        });
+        group.bench_function(format!("poly-power-cap/m{m}"), |b| {
+            b.iter(|| synts_poly_power_capped(&cfg, &profiles, cap).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predicted_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicted-controller");
+    group.sample_size(20);
+    // Four threads, three stationary intervals of 3 000 instructions.
+    let make_trace = |seed: u64| -> ThreadTrace {
+        let mut state = seed;
+        let delays: Vec<f64> = (0..3_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                0.4 + 0.55 * ((state >> 33) as f64 / (1u64 << 31) as f64)
+            })
+            .collect();
+        ThreadTrace::new(delays, 1.0)
+    };
+    let intervals: Vec<Vec<ThreadTrace>> = (0..3u64)
+        .map(|k| (0..4u64).map(|t| make_trace(k * 8 + t + 1)).collect())
+        .collect();
+    let cfg = SystemConfig::paper_default(10.0);
+    let plan = SamplingPlan {
+        n_samp: 300,
+        v_samp: Voltage::NOMINAL,
+        transition_cycles: 0.0,
+    };
+    group.bench_function("sequence/ewma/4x3", |b| {
+        b.iter(|| {
+            let mut p = NiPredictor::new(4, PredictorKind::Ewma(0.5)).expect("valid");
+            run_sequence(&cfg, &intervals, 1.0, plan, &mut p).expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extension_solvers, bench_predicted_controller);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Dynamic timing-simulation throughput per pipe stage.
+
+use circuits::{build_stage, AluEvent, AluOp, StageKind};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gatelib::{TimingSim, Voltage};
+
+fn bench_gatesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gatesim");
+    for kind in StageKind::ALL {
+        let stage = build_stage(kind, 16).expect("builds");
+        let mut state = 0xABCDu64;
+        let events: Vec<Vec<bool>> = (0..512)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let op = AluOp::ALL[(state >> 60) as usize % AluOp::ALL.len()];
+                stage.encode(&AluEvent::new(op, state & 0xFFFF, (state >> 16) & 0xFFFF))
+            })
+            .collect();
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_function(format!("{kind}"), |b| {
+            let mut sim = TimingSim::new(stage.netlist(), Voltage::NOMINAL).expect("sim");
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for ev in &events {
+                    acc += sim.apply(ev).expect("applies").delay;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gatesim);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Per-interval cost of the online controller (estimate + optimize +
+//! account) — the computation SynTS adds to every barrier interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synts_core::{run_interval, SamplingPlan, SystemConfig, ThreadTrace};
+
+fn traces(n: usize) -> Vec<ThreadTrace> {
+    (0..4)
+        .map(|t| {
+            let mut state = 0x1234u64 + t;
+            let delays: Vec<f64> = (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    0.3 + 0.65 * ((state >> 33) as f64 / (1u64 << 31) as f64)
+                })
+                .collect();
+            ThreadTrace::new(delays, 1.2)
+        })
+        .collect()
+}
+
+fn bench_online(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default(50.0);
+    let mut group = c.benchmark_group("online");
+    for n in [2_000usize, 12_000] {
+        let tr = traces(n);
+        let plan = SamplingPlan::paper_default(n, cfg.s());
+        group.bench_function(format!("interval/{n}"), |b| {
+            b.iter(|| run_interval(&cfg, &tr, 1.0, plan).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Solver scaling: SynTS-Poly vs SynTS-MILP vs exhaustive search.
+//!
+//! The paper's argument for Algorithm 1 is that MILP runtimes scale poorly
+//! for online use; this bench quantifies the gap on identical instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synts_core::{synts_exhaustive, synts_milp, synts_poly, SystemConfig, ThreadProfile};
+use timing::{ErrorCurve, VoltageTable};
+
+fn instance(
+    m: usize,
+    q: usize,
+    s: usize,
+) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+    let mut cfg = SystemConfig::paper_default(10.0);
+    let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.05 * j as f64).collect();
+    cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
+    cfg.tsr_levels = (0..s).map(|k| 0.64 + 0.36 * k as f64 / (s - 1) as f64).collect();
+    let profiles = (0..m)
+        .map(|i| {
+            let lo = 0.3 + 0.05 * i as f64;
+            let delays: Vec<f64> = (0..256)
+                .map(|n| lo + (0.99 - lo) * n as f64 / 256.0)
+                .collect();
+            ThreadProfile::new(
+                5_000.0 + 1_000.0 * i as f64,
+                1.0 + 0.1 * i as f64,
+                ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
+            )
+        })
+        .collect();
+    (cfg, profiles)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    // Small instance where all three solvers are feasible.
+    let (cfg, profiles) = instance(4, 3, 3);
+    group.bench_function("poly/m4q3s3", |b| {
+        b.iter(|| synts_poly(&cfg, &profiles, 1.0).expect("solves"))
+    });
+    group.bench_function("milp/m4q3s3", |b| {
+        b.iter(|| synts_milp(&cfg, &profiles, 1.0).expect("solves"))
+    });
+    group.bench_function("exhaustive/m4q3s3", |b| {
+        b.iter(|| synts_exhaustive(&cfg, &profiles, 1.0).expect("solves"))
+    });
+    // Paper-sized instance: poly only (the point of Algorithm 1).
+    let (cfg, profiles) = instance(4, 7, 6);
+    group.bench_function("poly/m4q7s6", |b| {
+        b.iter(|| synts_poly(&cfg, &profiles, 1.0).expect("solves"))
+    });
+    // Scaling in thread count.
+    for m in [2usize, 8, 16, 32] {
+        let (cfg, profiles) = instance(m, 7, 6);
+        group.bench_with_input(BenchmarkId::new("poly/threads", m), &m, |b, _| {
+            b.iter(|| synts_poly(&cfg, &profiles, 1.0).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

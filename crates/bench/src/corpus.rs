@@ -1,0 +1,105 @@
+//! The characterized benchmark × stage corpus, built once per process.
+
+use std::collections::BTreeMap;
+
+use circuits::StageKind;
+use synts_core::experiments::{characterize_workload, BenchmarkData, HarnessConfig};
+use synts_core::OptError;
+use workloads::Benchmark;
+
+/// How much work the reproduction run does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Test-sized workloads, few hundred timed instructions per thread.
+    Quick,
+    /// Paper-shaped workloads (Sec 6.2 scale).
+    Paper,
+}
+
+impl Effort {
+    /// The harness configuration for this effort level.
+    #[must_use]
+    pub fn harness(self) -> HarnessConfig {
+        match self {
+            Effort::Quick => HarnessConfig::quick(),
+            Effort::Paper => HarnessConfig::paper_default(),
+        }
+    }
+}
+
+/// Characterization results for every (benchmark, stage) pair needed by the
+/// result figures.
+pub struct Corpus {
+    effort: Effort,
+    data: BTreeMap<(Benchmark, StageKind), BenchmarkData>,
+}
+
+impl Corpus {
+    /// Characterizes the seven reported benchmarks on all three stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptError`] from the harness.
+    pub fn build(effort: Effort) -> Result<Corpus, OptError> {
+        Corpus::build_subset(effort, &Benchmark::REPORTED, &StageKind::ALL)
+    }
+
+    /// Characterizes an arbitrary subset (each workload runs once and is
+    /// re-characterized per stage).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptError`] from the harness.
+    pub fn build_subset(
+        effort: Effort,
+        benchmarks: &[Benchmark],
+        stages: &[StageKind],
+    ) -> Result<Corpus, OptError> {
+        let cfg = effort.harness();
+        let mut data = BTreeMap::new();
+        for &bench in benchmarks {
+            let trace = bench.run(&cfg.workload);
+            for &stage in stages {
+                let d = characterize_workload(&trace, stage, &cfg)?;
+                data.insert((bench, stage), d);
+            }
+        }
+        Ok(Corpus { effort, data })
+    }
+
+    /// The effort level this corpus was built at.
+    #[must_use]
+    pub fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    /// Characterization for one (benchmark, stage) pair, if present.
+    #[must_use]
+    pub fn get(&self, bench: Benchmark, stage: StageKind) -> Option<&BenchmarkData> {
+        self.data.get(&(bench, stage))
+    }
+
+    /// All pairs in the corpus.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Benchmark, StageKind), &BenchmarkData)> {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_build_and_lookup() {
+        let corpus = Corpus::build_subset(
+            Effort::Quick,
+            &[Benchmark::Radix],
+            &[StageKind::SimpleAlu],
+        )
+        .expect("builds");
+        assert!(corpus.get(Benchmark::Radix, StageKind::SimpleAlu).is_some());
+        assert!(corpus.get(Benchmark::Fmm, StageKind::SimpleAlu).is_none());
+        assert_eq!(corpus.iter().count(), 1);
+        assert_eq!(corpus.effort(), Effort::Quick);
+    }
+}

@@ -1,0 +1,21 @@
+//! # synts-bench — reproduction harness for every table and figure
+//!
+//! One module per concern:
+//!
+//! * [`corpus`] — characterizes the full benchmark × stage matrix once and
+//!   caches it for all downstream experiments;
+//! * [`figures`] — one generator per paper artifact (Table 5.1, Figs 1.2,
+//!   3.5, 3.6, 5.10, 6.11–6.16, 6.17, 6.18, Sec 6.3, the headline claims,
+//!   plus the adder-topology ablation);
+//! * [`ext_figures`] — the extension ablations (variation/aging, leakage,
+//!   power cap, thrifty barrier, `N_i` prediction);
+//! * [`render`] — plain-text tables and CSV emission.
+//!
+//! The `repro` binary dispatches to these; Criterion benches (solver
+//! scaling, gate-sim throughput, characterization cost, online-controller
+//! cost, adder ablation) live under `benches/`.
+
+pub mod corpus;
+pub mod ext_figures;
+pub mod figures;
+pub mod render;

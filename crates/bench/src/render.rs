@@ -1,0 +1,90 @@
+//! Plain-text table rendering and CSV emission for the repro targets.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders a simple aligned text table.
+#[must_use]
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV under `results/` (created on demand).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn save_csv(
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Formats an f64 with fixed precision (helper for table cells).
+#[must_use]
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("long-name"));
+        // Right alignment: the short name is padded.
+        assert!(lines[2].starts_with("        a"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,424 @@
+//! Adder topologies: ripple-carry, 4-bit-group carry-lookahead, Kogge-Stone.
+//!
+//! The SimpleALU defaults to ripple-carry, whose data-dependent carry-chain
+//! length produces the broad sensitized-delay distributions that make timing
+//! speculation profitable (the same reason the paper's Alpha ALU shows a
+//! smooth error-probability curve, Fig 3.5). The faster topologies exist for
+//! the `ablation` bench, which quantifies how adder choice reshapes `err(r)`.
+
+use gatelib::{CellKind, NetId, NetlistBuilder, NetlistError};
+
+use crate::prims::full_adder;
+
+/// Which adder topology to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdderKind {
+    /// Serial carry chain; delay proportional to sensitized carry length.
+    #[default]
+    Ripple,
+    /// 4-bit lookahead groups with ripple between groups.
+    CarryLookahead,
+    /// Logarithmic parallel-prefix adder.
+    KoggeStone,
+    /// 4-bit groups computed for both carry-in values, selected by mux.
+    CarrySelect,
+    /// Ripple groups with a propagate-controlled skip path around each.
+    CarrySkip,
+}
+
+impl AdderKind {
+    /// All topologies, for ablation sweeps.
+    pub const ALL: [AdderKind; 5] = [
+        AdderKind::Ripple,
+        AdderKind::CarryLookahead,
+        AdderKind::KoggeStone,
+        AdderKind::CarrySelect,
+        AdderKind::CarrySkip,
+    ];
+
+    /// Canonical lowercase name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            AdderKind::Ripple => "ripple",
+            AdderKind::CarryLookahead => "cla",
+            AdderKind::KoggeStone => "kogge-stone",
+            AdderKind::CarrySelect => "carry-select",
+            AdderKind::CarrySkip => "carry-skip",
+        }
+    }
+
+    /// Instantiates this adder; returns `(sum_bits, carry_out)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`]; width mismatch between `a` and `b` is
+    /// rejected.
+    pub fn build(
+        self,
+        b: &mut NetlistBuilder,
+        a: &[NetId],
+        x: &[NetId],
+        cin: NetId,
+    ) -> Result<(Vec<NetId>, NetId), NetlistError> {
+        match self {
+            AdderKind::Ripple => ripple_carry_adder(b, a, x, cin),
+            AdderKind::CarryLookahead => carry_lookahead_adder(b, a, x, cin),
+            AdderKind::KoggeStone => kogge_stone_adder(b, a, x, cin),
+            AdderKind::CarrySelect => carry_select_adder(b, a, x, cin),
+            AdderKind::CarrySkip => carry_skip_adder(b, a, x, cin),
+        }
+    }
+}
+
+fn check_widths(a: &[NetId], x: &[NetId]) -> Result<(), NetlistError> {
+    if a.len() != x.len() || a.is_empty() {
+        return Err(NetlistError::InputWidthMismatch {
+            expected: a.len(),
+            got: x.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Ripple-carry adder; returns `(sum_bits, carry_out)`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; operand width mismatch is rejected.
+pub fn ripple_carry_adder(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+    cin: NetId,
+) -> Result<(Vec<NetId>, NetId), NetlistError> {
+    check_widths(a, x)?;
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(a.len());
+    for (&ai, &xi) in a.iter().zip(x) {
+        let (s, c) = full_adder(b, ai, xi, carry)?;
+        sums.push(s);
+        carry = c;
+    }
+    Ok((sums, carry))
+}
+
+/// Carry-lookahead adder with 4-bit groups (ripple between groups);
+/// returns `(sum_bits, carry_out)`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; operand width mismatch is rejected.
+pub fn carry_lookahead_adder(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+    cin: NetId,
+) -> Result<(Vec<NetId>, NetId), NetlistError> {
+    check_widths(a, x)?;
+    let w = a.len();
+    // Per-bit propagate/generate.
+    let mut p = Vec::with_capacity(w);
+    let mut g = Vec::with_capacity(w);
+    for (&ai, &xi) in a.iter().zip(x) {
+        p.push(b.cell(CellKind::Xor2, &[ai, xi])?);
+        g.push(b.cell(CellKind::And2, &[ai, xi])?);
+    }
+    let mut sums = Vec::with_capacity(w);
+    let mut carry = cin; // carry into the current group
+    for group in (0..w).step_by(4) {
+        let hi = (group + 4).min(w);
+        // Carries within the group, computed from group-entry carry.
+        let mut c = carry;
+        for i in group..hi {
+            sums.push(b.cell(CellKind::Xor2, &[p[i], c])?);
+            if i + 1 < hi {
+                // c_{i+1} = g_i | (p_i & c_i)  — one AOI-style level.
+                let t = b.cell(CellKind::And2, &[p[i], c])?;
+                c = b.cell(CellKind::Or2, &[g[i], t])?;
+            }
+        }
+        // Group carry-out, folded from the group-entry carry:
+        // cout = g_{hi-1} | p_{hi-1}(g_{hi-2} | p_{hi-2}(... | p_group·carry))
+        let mut cout = carry;
+        for i in group..hi {
+            let t = b.cell(CellKind::And2, &[p[i], cout])?;
+            cout = b.cell(CellKind::Or2, &[g[i], t])?;
+        }
+        carry = cout;
+    }
+    Ok((sums, carry))
+}
+
+/// Kogge-Stone parallel-prefix adder; returns `(sum_bits, carry_out)`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; operand width mismatch is rejected.
+pub fn kogge_stone_adder(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+    cin: NetId,
+) -> Result<(Vec<NetId>, NetId), NetlistError> {
+    check_widths(a, x)?;
+    let w = a.len();
+    let mut p0 = Vec::with_capacity(w);
+    let mut g0 = Vec::with_capacity(w);
+    for (&ai, &xi) in a.iter().zip(x) {
+        p0.push(b.cell(CellKind::Xor2, &[ai, xi])?);
+        g0.push(b.cell(CellKind::And2, &[ai, xi])?);
+    }
+    // Parallel prefix over (g, p): after the sweep, (gg[i], pp[i]) describe
+    // the whole range 0..=i.
+    let mut gg = g0.clone();
+    let mut pp = p0.clone();
+    let mut dist = 1;
+    while dist < w {
+        let mut gg_next = gg.clone();
+        let mut pp_next = pp.clone();
+        for i in dist..w {
+            let t = b.cell(CellKind::And2, &[pp[i], gg[i - dist]])?;
+            gg_next[i] = b.cell(CellKind::Or2, &[gg[i], t])?;
+            pp_next[i] = b.cell(CellKind::And2, &[pp[i], pp[i - dist]])?;
+        }
+        gg = gg_next;
+        pp = pp_next;
+        dist *= 2;
+    }
+    // Carry into bit i: c_0 = cin; c_{i} = G[i-1] | P[i-1]&cin.
+    let mut sums = Vec::with_capacity(w);
+    let mut carries = Vec::with_capacity(w + 1);
+    carries.push(cin);
+    for i in 0..w {
+        let t = b.cell(CellKind::And2, &[pp[i], cin])?;
+        carries.push(b.cell(CellKind::Or2, &[gg[i], t])?);
+    }
+    for i in 0..w {
+        sums.push(b.cell(CellKind::Xor2, &[p0[i], carries[i]])?);
+    }
+    Ok((sums, carries[w]))
+}
+
+/// Carry-select adder with 4-bit groups; returns `(sum_bits, carry_out)`.
+///
+/// Each group beyond the first is computed twice — once assuming carry-in
+/// 0, once assuming 1 — and a mux chain picks the real results as group
+/// carries resolve. Delay concentrates in the mux chain, giving a delay
+/// distribution distinct from both the ripple and prefix families.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; operand width mismatch is rejected.
+pub fn carry_select_adder(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+    cin: NetId,
+) -> Result<(Vec<NetId>, NetId), NetlistError> {
+    check_widths(a, x)?;
+    let w = a.len();
+    let zero = b.const0()?;
+    let one = b.const1()?;
+    let mut sums = Vec::with_capacity(w);
+    let mut carry = cin;
+    for group in (0..w).step_by(4) {
+        let hi = (group + 4).min(w);
+        if group == 0 {
+            // First group sees the real carry-in directly.
+            let (s, c) = ripple_carry_adder(b, &a[group..hi], &x[group..hi], carry)?;
+            sums.extend(s);
+            carry = c;
+            continue;
+        }
+        // Speculative pair: carry-in 0 and carry-in 1.
+        let (s0, c0) = ripple_carry_adder(b, &a[group..hi], &x[group..hi], zero)?;
+        let (s1, c1) = ripple_carry_adder(b, &a[group..hi], &x[group..hi], one)?;
+        for (lo_bit, hi_bit) in s0.iter().zip(&s1) {
+            // Mux2 pin order: [sel, a, b] -> sel ? b : a.
+            sums.push(b.cell(CellKind::Mux2, &[carry, *lo_bit, *hi_bit])?);
+        }
+        carry = b.cell(CellKind::Mux2, &[carry, c0, c1])?;
+    }
+    Ok((sums, carry))
+}
+
+/// Carry-skip adder with 4-bit groups; returns `(sum_bits, carry_out)`.
+///
+/// Groups ripple internally; a group whose bits all propagate lets the
+/// incoming carry *skip* the group through a mux. Worst-case paths shorten
+/// only when long propagate runs exist — a data-dependence profile unlike
+/// the other topologies.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; operand width mismatch is rejected.
+pub fn carry_skip_adder(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    x: &[NetId],
+    cin: NetId,
+) -> Result<(Vec<NetId>, NetId), NetlistError> {
+    check_widths(a, x)?;
+    let w = a.len();
+    let mut sums = Vec::with_capacity(w);
+    let mut carry = cin;
+    for group in (0..w).step_by(4) {
+        let hi = (group + 4).min(w);
+        // Group propagate: AND of per-bit propagates.
+        let props: Vec<NetId> = a[group..hi]
+            .iter()
+            .zip(&x[group..hi])
+            .map(|(&ai, &xi)| b.cell(CellKind::Xor2, &[ai, xi]))
+            .collect::<Result<_, _>>()?;
+        let group_p = crate::prims::and_tree(b, &props)?;
+        let (s, ripple_c) = ripple_carry_adder(b, &a[group..hi], &x[group..hi], carry)?;
+        sums.extend(s);
+        // Skip mux: if every bit propagates, the carry-out IS the carry-in.
+        carry = b.cell(CellKind::Mux2, &[group_p, ripple_c, carry])?;
+    }
+    Ok((sums, carry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatelib::Netlist;
+
+    fn build(kind: AdderKind, w: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("adder");
+        let a = b.input_bus("a", w);
+        let x = b.input_bus("b", w);
+        let cin = b.input("cin");
+        let (s, cout) = kind.build(&mut b, &a, &x, cin).expect("ok");
+        b.output_bus(&s, "s");
+        b.output(cout, "cout");
+        b.finish().expect("valid")
+    }
+
+    fn check_exhaustive(kind: AdderKind, w: usize) {
+        let n = build(kind, w);
+        let max = 1u64 << w;
+        for a in 0..max {
+            for x in 0..max {
+                for cin in 0..2u64 {
+                    let mut inputs = Vec::new();
+                    for i in 0..w {
+                        inputs.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..w {
+                        inputs.push((x >> i) & 1 == 1);
+                    }
+                    inputs.push(cin == 1);
+                    let out = n.evaluate(&inputs).expect("ok");
+                    let expect = a + x + cin;
+                    for (i, &bit) in out.iter().enumerate() {
+                        assert_eq!(
+                            bit,
+                            (expect >> i) & 1 == 1,
+                            "{kind:?} {a}+{x}+{cin} bit {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_exhaustive_4bit() {
+        check_exhaustive(AdderKind::Ripple, 4);
+    }
+
+    #[test]
+    fn cla_exhaustive_4bit() {
+        check_exhaustive(AdderKind::CarryLookahead, 4);
+    }
+
+    #[test]
+    fn kogge_stone_exhaustive_4bit() {
+        check_exhaustive(AdderKind::KoggeStone, 4);
+    }
+
+    #[test]
+    fn cla_exhaustive_5bit_uneven_group() {
+        // Width not divisible by the group size exercises the tail group.
+        check_exhaustive(AdderKind::CarryLookahead, 5);
+    }
+
+    #[test]
+    fn carry_select_exhaustive_4bit() {
+        check_exhaustive(AdderKind::CarrySelect, 4);
+    }
+
+    #[test]
+    fn carry_select_exhaustive_6bit_multi_group() {
+        // Two groups (4 + 2): exercises the speculative pair + mux chain.
+        check_exhaustive(AdderKind::CarrySelect, 6);
+    }
+
+    #[test]
+    fn carry_skip_exhaustive_4bit() {
+        check_exhaustive(AdderKind::CarrySkip, 4);
+    }
+
+    #[test]
+    fn carry_skip_exhaustive_6bit_multi_group() {
+        // The skip path only matters across group boundaries.
+        check_exhaustive(AdderKind::CarrySkip, 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = AdderKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AdderKind::ALL.len());
+    }
+
+    #[test]
+    fn wide_adders_agree_on_random_vectors() {
+        let w = 16;
+        let nets: Vec<Netlist> = AdderKind::ALL.iter().map(|&k| build(k, w)).collect();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state & 0xFFFF;
+            let x = (state >> 16) & 0xFFFF;
+            let cin = (state >> 32) & 1;
+            let mut inputs = Vec::new();
+            for i in 0..w {
+                inputs.push((a >> i) & 1 == 1);
+            }
+            for i in 0..w {
+                inputs.push((x >> i) & 1 == 1);
+            }
+            inputs.push(cin == 1);
+            let reference = nets[0].evaluate(&inputs).expect("ok");
+            for n in &nets[1..] {
+                assert_eq!(n.evaluate(&inputs).expect("ok"), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_than_ripple() {
+        use gatelib::{StaticTiming, Voltage};
+        let w = 16;
+        let ripple = StaticTiming::analyze(&build(AdderKind::Ripple, w), Voltage::NOMINAL)
+            .expect("sta")
+            .nominal_period();
+        let ks = StaticTiming::analyze(&build(AdderKind::KoggeStone, w), Voltage::NOMINAL)
+            .expect("sta")
+            .nominal_period();
+        assert!(ks < ripple, "Kogge-Stone {ks} should beat ripple {ripple}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input_bus("a", 4);
+        let x = b.input_bus("b", 3);
+        let cin = b.input("cin");
+        assert!(ripple_carry_adder(&mut b, &a, &x, cin).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Low-level netlist fragments: full adders, word gates, trees, comparators,
+//! one-hot decoders and priority chains.
+//!
+//! All fragments operate on a shared [`NetlistBuilder`], take input nets and
+//! return output nets, so stage generators compose them freely.
+
+use gatelib::{CellKind, NetId, NetlistBuilder, NetlistError};
+
+/// A full adder; returns `(sum, carry_out)`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from cell creation (arity is fixed here, so
+/// this only fails on malformed net ids).
+pub fn full_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+    cin: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let sum = b.cell(CellKind::Xor3, &[a, x, cin])?;
+    let carry = b.cell(CellKind::Maj3, &[a, x, cin])?;
+    Ok((sum, carry))
+}
+
+/// Per-bit 2:1 mux over two equal-width words; `sel ? hi : lo`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; also returns
+/// [`NetlistError::InputWidthMismatch`] if the words differ in width.
+pub fn mux_word(
+    b: &mut NetlistBuilder,
+    sel: NetId,
+    lo: &[NetId],
+    hi: &[NetId],
+) -> Result<Vec<NetId>, NetlistError> {
+    if lo.len() != hi.len() {
+        return Err(NetlistError::InputWidthMismatch {
+            expected: lo.len(),
+            got: hi.len(),
+        });
+    }
+    lo.iter()
+        .zip(hi)
+        .map(|(&l, &h)| b.cell(CellKind::Mux2, &[sel, l, h]))
+        .collect()
+}
+
+/// Balanced OR tree over any number of nets; returns the root.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]. An empty input yields a constant-0 net.
+pub fn or_tree(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_tree(b, nets, CellKind::Or2)
+}
+
+/// Balanced AND tree over any number of nets; returns the root.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]. An empty input yields a constant-1 net.
+pub fn and_tree(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_tree(b, nets, CellKind::And2)
+}
+
+fn reduce_tree(
+    b: &mut NetlistBuilder,
+    nets: &[NetId],
+    kind: CellKind,
+) -> Result<NetId, NetlistError> {
+    match nets.len() {
+        0 => {
+            if kind == CellKind::And2 {
+                b.const1()
+            } else {
+                b.const0()
+            }
+        }
+        1 => Ok(nets[0]),
+        _ => {
+            let mut level: Vec<NetId> = nets.to_vec();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(b.cell(kind, &[pair[0], pair[1]])?);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                level = next;
+            }
+            Ok(level[0])
+        }
+    }
+}
+
+/// Equality comparator over two equal-width words; output is 1 iff equal.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; width mismatch is rejected.
+pub fn eq_comparator(
+    b: &mut NetlistBuilder,
+    x: &[NetId],
+    y: &[NetId],
+) -> Result<NetId, NetlistError> {
+    if x.len() != y.len() {
+        return Err(NetlistError::InputWidthMismatch {
+            expected: x.len(),
+            got: y.len(),
+        });
+    }
+    let eq_bits: Vec<NetId> = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &c)| b.cell(CellKind::Xnor2, &[a, c]))
+        .collect::<Result<_, _>>()?;
+    and_tree(b, &eq_bits)
+}
+
+/// Unsigned magnitude comparator; output is 1 iff `x < y`. Built as a
+/// borrow-ripple chain (`borrow_{i+1}` = borrow out of bit i of `x - y`),
+/// so like the ripple adder its sensitized delay tracks how far the
+/// deciding bit position is from the LSB.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`]; width mismatch is rejected.
+pub fn ltu_comparator(
+    b: &mut NetlistBuilder,
+    x: &[NetId],
+    y: &[NetId],
+) -> Result<NetId, NetlistError> {
+    if x.len() != y.len() || x.is_empty() {
+        return Err(NetlistError::InputWidthMismatch {
+            expected: x.len(),
+            got: y.len(),
+        });
+    }
+    // borrow' = (!x & y) | ((!x | y) & borrow) = maj(!x, y, borrow).
+    let mut borrow = b.const0()?;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let nx = b.cell(CellKind::Inv, &[xi])?;
+        borrow = b.cell(CellKind::Maj3, &[nx, yi, borrow])?;
+    }
+    Ok(borrow)
+}
+
+/// Binary-to-one-hot decoder: `sel` (LSB first) selects one of `2^sel.len()`
+/// outputs.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from cell creation.
+pub fn onehot_decoder(b: &mut NetlistBuilder, sel: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+    let n = 1usize << sel.len();
+    // Pre-invert each select bit once.
+    let inv: Vec<NetId> = sel
+        .iter()
+        .map(|&s| b.cell(CellKind::Inv, &[s]))
+        .collect::<Result<_, _>>()?;
+    let mut outs = Vec::with_capacity(n);
+    for code in 0..n {
+        let terms: Vec<NetId> = sel
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if (code >> i) & 1 == 1 { s } else { inv[i] })
+            .collect();
+        outs.push(and_tree(b, &terms)?);
+    }
+    Ok(outs)
+}
+
+/// Ripple priority chain: output k is 1 iff request k is the first asserted
+/// request (scanning from index 0). The serial structure gives the decode
+/// stage its data-dependent long paths.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from cell creation.
+pub fn priority_chain(b: &mut NetlistBuilder, req: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+    let mut grants = Vec::with_capacity(req.len());
+    // none_before ripples down the chain: and of inverted requests.
+    let mut none_before: Option<NetId> = None;
+    for &r in req {
+        let g = match none_before {
+            None => r,
+            Some(nb) => b.cell(CellKind::And2, &[nb, r])?,
+        };
+        grants.push(g);
+        let not_r = b.cell(CellKind::Inv, &[r])?;
+        none_before = Some(match none_before {
+            None => not_r,
+            Some(nb) => b.cell(CellKind::And2, &[nb, not_r])?,
+        });
+    }
+    Ok(grants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatelib::Netlist;
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        n.evaluate(inputs).expect("width matches")
+    }
+
+    #[test]
+    fn ltu_comparator_exhaustive_4bit() {
+        let mut b = NetlistBuilder::new("ltu");
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let lt = ltu_comparator(&mut b, &x, &y).expect("ok");
+        b.output(lt, "lt");
+        let n = b.finish().expect("valid");
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..4 {
+                    inputs.push((xv >> i) & 1 == 1);
+                }
+                for i in 0..4 {
+                    inputs.push((yv >> i) & 1 == 1);
+                }
+                let out = eval(&n, &inputs);
+                assert_eq!(out[0], xv < yv, "{xv} < {yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn ltu_comparator_rejects_mismatch() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 3);
+        assert!(ltu_comparator(&mut b, &x, &y).is_err());
+        let empty: Vec<gatelib::NetId> = Vec::new();
+        assert!(ltu_comparator(&mut b, &empty, &empty).is_err());
+    }
+
+    #[test]
+    fn or_and_trees() {
+        let mut b = NetlistBuilder::new("trees");
+        let xs = b.input_bus("x", 5);
+        let o = or_tree(&mut b, &xs).expect("ok");
+        let a = and_tree(&mut b, &xs).expect("ok");
+        b.output(o, "or");
+        b.output(a, "and");
+        let n = b.finish().expect("valid");
+        assert_eq!(eval(&n, &[false; 5]), vec![false, false]);
+        assert_eq!(eval(&n, &[true; 5]), vec![true, true]);
+        assert_eq!(
+            eval(&n, &[true, false, false, false, false]),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn empty_trees_are_constants() {
+        let mut b = NetlistBuilder::new("empty");
+        let o = or_tree(&mut b, &[]).expect("ok");
+        let a = and_tree(&mut b, &[]).expect("ok");
+        b.output(o, "or");
+        b.output(a, "and");
+        let n = b.finish().expect("valid");
+        assert_eq!(eval(&n, &[]), vec![false, true]);
+    }
+
+    #[test]
+    fn comparator_matches_equality() {
+        let mut b = NetlistBuilder::new("eq");
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let e = eq_comparator(&mut b, &x, &y).expect("ok");
+        b.output(e, "eq");
+        let n = b.finish().expect("valid");
+        for (xa, ya) in [(3u8, 3u8), (3, 5), (0, 0), (15, 14)] {
+            let mut inputs = Vec::new();
+            for i in 0..4 {
+                inputs.push((xa >> i) & 1 == 1);
+            }
+            for i in 0..4 {
+                inputs.push((ya >> i) & 1 == 1);
+            }
+            assert_eq!(eval(&n, &inputs), vec![xa == ya], "{xa} vs {ya}");
+        }
+    }
+
+    #[test]
+    fn onehot_decoder_is_onehot() {
+        let mut b = NetlistBuilder::new("dec");
+        let sel = b.input_bus("s", 3);
+        let outs = onehot_decoder(&mut b, &sel).expect("ok");
+        b.output_bus(&outs, "o");
+        let n = b.finish().expect("valid");
+        for code in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| (code >> i) & 1 == 1).collect();
+            let out = eval(&n, &inputs);
+            for (k, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, k == code, "code {code}, line {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_chain_grants_first_request() {
+        let mut b = NetlistBuilder::new("prio");
+        let req = b.input_bus("r", 4);
+        let grants = priority_chain(&mut b, &req).expect("ok");
+        b.output_bus(&grants, "g");
+        let n = b.finish().expect("valid");
+        // Requests 1 and 3 asserted: only 1 wins.
+        let out = eval(&n, &[false, true, false, true]);
+        assert_eq!(out, vec![false, true, false, false]);
+        // Nothing asserted: nothing granted.
+        assert_eq!(eval(&n, &[false; 4]), vec![false; 4]);
+        // All asserted: index 0 wins.
+        assert_eq!(eval(&n, &[true; 4]), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut b = NetlistBuilder::new("mux");
+        let s = b.input("s");
+        let lo = b.input_bus("lo", 3);
+        let hi = b.input_bus("hi", 3);
+        let out = mux_word(&mut b, s, &lo, &hi).expect("ok");
+        b.output_bus(&out, "o");
+        let n = b.finish().expect("valid");
+        // sel=0 -> lo (101), sel=1 -> hi (010)
+        let v = eval(&n, &[false, true, false, true, false, true, false]);
+        assert_eq!(v, vec![true, false, true]);
+        let v = eval(&n, &[true, true, false, true, false, true, false]);
+        assert_eq!(v, vec![false, true, false]);
+    }
+
+    #[test]
+    fn mux_word_rejects_mismatch() {
+        let mut b = NetlistBuilder::new("bad");
+        let s = b.input("s");
+        let lo = b.input_bus("lo", 3);
+        let hi = b.input_bus("hi", 2);
+        assert!(mux_word(&mut b, s, &lo, &hi).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Logarithmic barrel shifter for the SimpleALU's shift operations.
+
+use gatelib::{NetId, NetlistBuilder, NetlistError};
+
+use crate::prims::mux_word;
+
+/// Shift direction for [`barrel_shifter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftDirection {
+    /// Towards the MSB, zero-filling from the LSB.
+    Left,
+    /// Towards the LSB, zero-filling from the MSB.
+    Right,
+}
+
+/// Logical barrel shifter: shifts `data` by the binary amount `amount`
+/// (LSB first, `log2(width)` bits), zero filling.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`].
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two or `amount.len()` is not
+/// exactly `log2(data.len())` — stage generators guarantee both.
+pub fn barrel_shifter(
+    b: &mut NetlistBuilder,
+    data: &[NetId],
+    amount: &[NetId],
+    direction: ShiftDirection,
+) -> Result<Vec<NetId>, NetlistError> {
+    let w = data.len();
+    assert!(w.is_power_of_two(), "barrel shifter requires power-of-two width");
+    assert_eq!(
+        amount.len(),
+        w.trailing_zeros() as usize,
+        "amount must have log2(width) bits"
+    );
+    let zero = b.const0()?;
+    let mut current: Vec<NetId> = data.to_vec();
+    for (k, &sel) in amount.iter().enumerate() {
+        let dist = 1usize << k;
+        let shifted: Vec<NetId> = (0..w)
+            .map(|i| match direction {
+                ShiftDirection::Left => {
+                    if i >= dist {
+                        current[i - dist]
+                    } else {
+                        zero
+                    }
+                }
+                ShiftDirection::Right => {
+                    if i + dist < w {
+                        current[i + dist]
+                    } else {
+                        zero
+                    }
+                }
+            })
+            .collect();
+        current = mux_word(b, sel, &current, &shifted)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatelib::Netlist;
+
+    fn build(w: usize, dir: ShiftDirection) -> Netlist {
+        let mut b = NetlistBuilder::new("shift");
+        let d = b.input_bus("d", w);
+        let amt = b.input_bus("amt", w.trailing_zeros() as usize);
+        let out = barrel_shifter(&mut b, &d, &amt, dir).expect("ok");
+        b.output_bus(&out, "o");
+        b.finish().expect("valid")
+    }
+
+    fn run(n: &Netlist, w: usize, data: u64, amt: u64) -> u64 {
+        let mut inputs = Vec::new();
+        for i in 0..w {
+            inputs.push((data >> i) & 1 == 1);
+        }
+        for i in 0..w.trailing_zeros() as usize {
+            inputs.push((amt >> i) & 1 == 1);
+        }
+        n.evaluate(&inputs)
+            .expect("ok")
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << i)
+    }
+
+    #[test]
+    fn left_shift_exhaustive_8bit() {
+        let n = build(8, ShiftDirection::Left);
+        for data in [0u64, 1, 0x80, 0xA5, 0xFF] {
+            for amt in 0..8 {
+                assert_eq!(run(&n, 8, data, amt), (data << amt) & 0xFF, "{data} << {amt}");
+            }
+        }
+    }
+
+    #[test]
+    fn right_shift_exhaustive_8bit() {
+        let n = build(8, ShiftDirection::Right);
+        for data in [0u64, 1, 0x80, 0xA5, 0xFF] {
+            for amt in 0..8 {
+                assert_eq!(run(&n, 8, data, amt), data >> amt, "{data} >> {amt}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_width_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let d = b.input_bus("d", 6);
+        let amt = b.input_bus("amt", 3);
+        let _ = barrel_shifter(&mut b, &d, &amt, ShiftDirection::Left);
+    }
+}

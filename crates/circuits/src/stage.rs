@@ -1,0 +1,125 @@
+//! The [`PipeStage`] abstraction: a stage circuit plus its event encoding.
+
+use gatelib::{Netlist, NetlistError};
+
+use crate::complex_alu::ComplexAlu;
+use crate::decode::DecodeStage;
+use crate::ops::{AluEvent, AluOp};
+use crate::simple_alu::SimpleAlu;
+
+/// The three pipeline stages the paper characterizes (Sec 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageKind {
+    /// Instruction decode.
+    Decode,
+    /// Simple integer ALU (add/sub/logic/shift/compare).
+    SimpleAlu,
+    /// Complex integer ALU (multiplier).
+    ComplexAlu,
+}
+
+impl StageKind {
+    /// All stages, in the paper's reporting order.
+    pub const ALL: [StageKind; 3] = [StageKind::Decode, StageKind::SimpleAlu, StageKind::ComplexAlu];
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StageKind::Decode => "Decode",
+            StageKind::SimpleAlu => "SimpleALU",
+            StageKind::ComplexAlu => "ComplexALU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pipeline stage circuit: netlist plus the mapping from dynamic
+/// instructions ([`AluEvent`]s) to input vectors.
+///
+/// Implementors are [`SimpleAlu`], [`ComplexAlu`] and [`DecodeStage`];
+/// [`build_stage`] constructs them uniformly.
+pub trait PipeStage: Send + Sync {
+    /// Which stage this is.
+    fn kind(&self) -> StageKind;
+
+    /// The gate-level netlist.
+    fn netlist(&self) -> &Netlist;
+
+    /// Datapath width in bits (instruction width for decode).
+    fn width(&self) -> usize;
+
+    /// Whether instructions with this operation exercise the stage's
+    /// timing-critical logic (e.g. only multiplies stress the ComplexALU).
+    fn accepts(&self, op: AluOp) -> bool;
+
+    /// Encodes an event into the stage's primary-input vector.
+    fn encode(&self, ev: &AluEvent) -> Vec<bool>;
+
+    /// Convenience: the stage's display name.
+    fn name(&self) -> String {
+        self.kind().to_string()
+    }
+}
+
+/// Builds the given stage at the given datapath width.
+///
+/// The decode stage ignores `width` (its input is the 32-bit instruction
+/// word).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from netlist construction.
+///
+/// # Panics
+///
+/// Panics on invalid widths; see [`SimpleAlu::new`] and [`ComplexAlu::new`].
+pub fn build_stage(kind: StageKind, width: usize) -> Result<Box<dyn PipeStage>, NetlistError> {
+    Ok(match kind {
+        StageKind::Decode => Box::new(DecodeStage::new()?),
+        StageKind::SimpleAlu => Box::new(SimpleAlu::new(width)?),
+        StageKind::ComplexAlu => Box::new(ComplexAlu::new(width)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_stages() {
+        for kind in StageKind::ALL {
+            let stage = build_stage(kind, 8).expect("build");
+            assert_eq!(stage.kind(), kind);
+            assert!(stage.netlist().cell_count() > 10);
+            // Encoding must match the netlist input width.
+            let ev = AluEvent::new(AluOp::Add, 1, 2);
+            assert_eq!(
+                stage.encode(&ev).len(),
+                stage.netlist().primary_inputs().len(),
+                "{kind}: encode width"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_names() {
+        assert_eq!(StageKind::Decode.to_string(), "Decode");
+        assert_eq!(StageKind::SimpleAlu.to_string(), "SimpleALU");
+        assert_eq!(StageKind::ComplexAlu.to_string(), "ComplexALU");
+    }
+
+    #[test]
+    fn acceptance_model() {
+        let simple = build_stage(StageKind::SimpleAlu, 8).expect("build");
+        let complex = build_stage(StageKind::ComplexAlu, 8).expect("build");
+        let decode = build_stage(StageKind::Decode, 8).expect("build");
+        for op in AluOp::ALL {
+            // Decode and the SimpleALU operand bus see everything; the
+            // multiplier is operand-isolated and sees only multiplies.
+            assert!(decode.accepts(op));
+            assert!(simple.accepts(op));
+            assert_eq!(complex.accepts(op), op.is_complex(), "{op}");
+        }
+    }
+}

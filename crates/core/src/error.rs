@@ -1,0 +1,89 @@
+//! Error type for the optimization layer.
+
+use std::error::Error;
+use std::fmt;
+
+use milp::SolveError;
+use timing::TimingError;
+
+/// Errors raised by the SynTS optimizers and controllers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// Inconsistent [`crate::SystemConfig`] (message names the violation).
+    BadConfig(&'static str),
+    /// No thread profiles were supplied.
+    NoThreads,
+    /// No feasible assignment exists (cannot happen with a well-formed
+    /// config, kept for defense in depth).
+    Infeasible,
+    /// The MILP back-end failed.
+    Milp(SolveError),
+    /// A timing-layer failure while preparing inputs.
+    Timing(TimingError),
+    /// Problem too large for the exhaustive reference solver.
+    TooLarge {
+        /// Number of candidate assignments requested.
+        candidates: u128,
+        /// The solver's hard cap.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::BadConfig(msg) => write!(f, "bad system config: {msg}"),
+            OptError::NoThreads => write!(f, "no thread profiles supplied"),
+            OptError::Infeasible => write!(f, "no feasible assignment"),
+            OptError::Milp(e) => write!(f, "milp solver: {e}"),
+            OptError::Timing(e) => write!(f, "timing layer: {e}"),
+            OptError::TooLarge { candidates, limit } => write!(
+                f,
+                "exhaustive search over {candidates} assignments exceeds limit {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptError::Milp(e) => Some(e),
+            OptError::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for OptError {
+    fn from(e: SolveError) -> OptError {
+        OptError::Milp(e)
+    }
+}
+
+impl From<TimingError> for OptError {
+    fn from(e: TimingError) -> OptError {
+        OptError::Timing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: OptError = SolveError::Infeasible.into();
+        assert!(Error::source(&e).is_some());
+        let e: OptError = TimingError::EmptyTrace.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&OptError::NoThreads).is_none());
+    }
+
+    #[test]
+    fn display() {
+        let e = OptError::BadConfig("no TSR levels");
+        assert_eq!(e.to_string(), "bad system config: no TSR levels");
+    }
+}

@@ -1,0 +1,126 @@
+//! Exhaustive reference solver: enumerates every `(Q·S)^M` assignment.
+//!
+//! Exists purely to certify the optimality of [`crate::synts_poly`] and
+//! [`crate::synts_milp`] on small instances (Lemma 4.2.1's empirical
+//! counterpart). Refuses instances beyond a hard candidate cap.
+
+use timing::ErrorModel;
+
+use crate::error::OptError;
+use crate::model::{Assignment, OperatingPoint, SystemConfig, ThreadProfile};
+use crate::poly::Tables;
+
+/// Hard cap on the number of enumerated assignments.
+pub const EXHAUSTIVE_LIMIT: u128 = 5_000_000;
+
+/// Finds the optimal assignment by brute force.
+///
+/// # Errors
+///
+/// * [`OptError::TooLarge`] if `(Q·S)^M` exceeds [`EXHAUSTIVE_LIMIT`].
+/// * [`OptError::BadConfig`] / [`OptError::NoThreads`] as for the other
+///   solvers.
+pub fn synts_exhaustive<M: ErrorModel>(
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    theta: f64,
+) -> Result<Assignment, OptError> {
+    cfg.validate()?;
+    if profiles.is_empty() {
+        return Err(OptError::NoThreads);
+    }
+    let per_thread = (cfg.q() * cfg.s()) as u128;
+    let m = profiles.len();
+    let candidates = per_thread.checked_pow(m as u32).unwrap_or(u128::MAX);
+    if candidates > EXHAUSTIVE_LIMIT {
+        return Err(OptError::TooLarge {
+            candidates,
+            limit: EXHAUSTIVE_LIMIT,
+        });
+    }
+    let t = Tables::build(cfg, profiles);
+    let s = cfg.s();
+    let n_points = cfg.q() * s;
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_combo = vec![0usize; m];
+    let mut combo = vec![0usize; m];
+    loop {
+        // Evaluate this combination.
+        let mut energy = 0.0;
+        let mut texec = 0.0f64;
+        for (i, &idx) in combo.iter().enumerate() {
+            energy += t.energy[i][idx];
+            texec = texec.max(t.time[i][idx]);
+        }
+        let cost = energy + theta * texec;
+        if cost < best_cost {
+            best_cost = cost;
+            best_combo.copy_from_slice(&combo);
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == m {
+                let points = best_combo
+                    .iter()
+                    .map(|&idx| OperatingPoint {
+                        voltage_idx: idx / s,
+                        tsr_idx: idx % s,
+                    })
+                    .collect();
+                return Ok(Assignment { points });
+            }
+            combo[pos] += 1;
+            if combo[pos] < n_points {
+                break;
+            }
+            combo[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timing::ErrorCurve;
+
+    fn curve(delays: Vec<f64>) -> ErrorCurve {
+        ErrorCurve::from_normalized_delays(delays).expect("non-empty")
+    }
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::paper_default(10.0);
+        cfg.voltages = timing::VoltageTable::from_volts([1.0, 0.8]).expect("ok");
+        cfg.tsr_levels = vec![0.7, 1.0];
+        cfg
+    }
+
+    #[test]
+    fn finds_obvious_optimum() {
+        // One thread, error-free at every r: fastest point is (V=1, r=0.7)
+        // and with huge theta that must win.
+        let cfg = small_cfg();
+        let profiles = vec![ThreadProfile::new(100.0, 1.0, curve(vec![0.1; 10]))];
+        let a = synts_exhaustive(&cfg, &profiles, 1e9).expect("small");
+        assert_eq!(a.points[0].voltage_idx, 0);
+        assert_eq!(a.points[0].tsr_idx, 0);
+        // With theta = 0 only energy matters: lowest voltage wins.
+        let a = synts_exhaustive(&cfg, &profiles, 0.0).expect("small");
+        assert_eq!(a.points[0].voltage_idx, 1);
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let cfg = SystemConfig::paper_default(10.0); // 42 points per thread
+        let profiles: Vec<ThreadProfile<ErrorCurve>> = (0..5)
+            .map(|_| ThreadProfile::new(10.0, 1.0, curve(vec![0.5; 4])))
+            .collect();
+        // 42^5 = 130 million > cap.
+        assert!(matches!(
+            synts_exhaustive(&cfg, &profiles, 1.0).expect_err("too large"),
+            OptError::TooLarge { .. }
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! The end-to-end experiment harness: workload kernels → gate-level
+//! characterization → thread profiles → optimizers.
+//!
+//! This is the executable form of the paper's cross-layer methodology
+//! (Fig 5.8): run an instrumented benchmark, replay each thread's operand
+//! trace through a pipe-stage netlist, build the per-thread error curves
+//! and CPI, and hand the result to SynTS and its baselines. The `repro`
+//! binary and the integration tests are thin wrappers over this module.
+
+use archsim::{CpiModel, InstrStream};
+use circuits::StageKind;
+use timing::{ErrorCurve, StageCharacterizer};
+use workloads::{Benchmark, ThreadWork, WorkloadConfig, WorkloadTrace};
+
+use crate::error::OptError;
+use crate::model::{SystemConfig, ThreadProfile};
+use crate::online::ThreadTrace;
+
+/// Knobs for the characterization harness.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Workload size and shape.
+    pub workload: WorkloadConfig,
+    /// Cap on gate-level simulations per (thread, interval): delays are
+    /// subsampled beyond this (the expensive part of the flow).
+    pub max_samples: usize,
+    /// The CPI stall model.
+    pub cpi_model: CpiModel,
+}
+
+impl HarnessConfig {
+    /// Paper-shaped configuration: 4 threads, 3 barrier intervals,
+    /// 12 000 timed instructions per thread-interval (enough that the
+    /// online sampling phase gets ~200 instructions per TSR level).
+    #[must_use]
+    pub fn paper_default() -> HarnessConfig {
+        HarnessConfig {
+            workload: WorkloadConfig::paper_default(),
+            max_samples: 12_000,
+            cpi_model: CpiModel::paper_default(),
+        }
+    }
+
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn quick() -> HarnessConfig {
+        HarnessConfig {
+            workload: WorkloadConfig::small(4),
+            max_samples: 400,
+            cpi_model: CpiModel::paper_default(),
+        }
+    }
+}
+
+/// One thread's characterization for one barrier interval.
+#[derive(Debug, Clone)]
+pub struct ThreadData {
+    /// The exact error-probability curve (offline oracle).
+    pub curve: ErrorCurve,
+    /// Normalized sensitized delays in instruction order (subsampled).
+    pub normalized_delays: Vec<f64>,
+    /// Full dynamic instruction count of the interval (`N_i`).
+    pub instructions: f64,
+    /// Error-free CPI from the cache/pipeline model (`CPI_base_i`).
+    pub cpi_base: f64,
+}
+
+/// One barrier interval across all threads.
+#[derive(Debug, Clone)]
+pub struct IntervalData {
+    /// Per-thread characterizations.
+    pub threads: Vec<ThreadData>,
+}
+
+impl IntervalData {
+    /// Thread profiles for the offline optimizers.
+    #[must_use]
+    pub fn profiles(&self) -> Vec<ThreadProfile<ErrorCurve>> {
+        self.threads
+            .iter()
+            .map(|t| ThreadProfile::new(t.instructions, t.cpi_base, t.curve.clone()))
+            .collect()
+    }
+
+    /// Thread traces for the online controller.
+    #[must_use]
+    pub fn thread_traces(&self) -> Vec<ThreadTrace> {
+        self.threads
+            .iter()
+            .map(|t| ThreadTrace::new(t.normalized_delays.clone(), t.cpi_base))
+            .collect()
+    }
+}
+
+/// A fully characterized benchmark on one pipe stage.
+#[derive(Debug, Clone)]
+pub struct BenchmarkData {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Which pipe stage.
+    pub stage: StageKind,
+    /// Stage nominal period at 1.0 V.
+    pub tnom_v1: f64,
+    /// Characterized barrier intervals.
+    pub intervals: Vec<IntervalData>,
+}
+
+impl BenchmarkData {
+    /// The paper-default [`SystemConfig`] for this stage.
+    #[must_use]
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig::paper_default(self.tnom_v1)
+    }
+}
+
+fn thread_data(
+    charac: &StageCharacterizer,
+    work: &ThreadWork,
+    cfg: &HarnessConfig,
+) -> Result<ThreadData, OptError> {
+    // A thread whose instructions never reach this stage (e.g. a
+    // multiply-free benchmark on the operand-isolated ComplexALU) cannot
+    // err there at any clock: model it as a zero-delay activity profile.
+    let (normalized, curve) = match charac.delay_trace_sampled(&work.events, cfg.max_samples) {
+        Ok(trace) => {
+            let normalized = trace.normalized();
+            (normalized, ErrorCurve::from_trace(&trace))
+        }
+        Err(timing::TimingError::EmptyTrace) => (
+            Vec::new(),
+            ErrorCurve::from_normalized_delays(vec![0.0])?,
+        ),
+        Err(e) => return Err(e.into()),
+    };
+    let mul_ops = work
+        .events
+        .iter()
+        .filter(|e| e.op.is_complex())
+        .count() as u64;
+    let mem: Vec<(u64, bool)> = work.mem_refs.iter().map(|m| (m.addr, m.is_store)).collect();
+    let stream = InstrStream {
+        alu_ops: work.events.len() as u64 - mul_ops,
+        mul_ops,
+        mem_refs: &mem,
+        branches: work.branches,
+    };
+    Ok(ThreadData {
+        curve,
+        normalized_delays: normalized,
+        instructions: work.instructions() as f64,
+        cpi_base: cfg.cpi_model.cpi(&stream),
+    })
+}
+
+/// Characterizes an already-generated workload trace on one stage.
+///
+/// # Errors
+///
+/// Propagates characterization failures ([`OptError::Timing`]).
+pub fn characterize_workload(
+    trace: &WorkloadTrace,
+    stage: StageKind,
+    cfg: &HarnessConfig,
+) -> Result<BenchmarkData, OptError> {
+    let charac = StageCharacterizer::new(stage, cfg.workload.width)?;
+    let mut intervals = Vec::with_capacity(trace.intervals.len());
+    for interval in &trace.intervals {
+        let threads = interval
+            .iter()
+            .map(|work| thread_data(&charac, work, cfg))
+            .collect::<Result<Vec<_>, _>>()?;
+        intervals.push(IntervalData { threads });
+    }
+    Ok(BenchmarkData {
+        benchmark: trace.benchmark,
+        stage,
+        tnom_v1: charac.tnom_v1(),
+        intervals,
+    })
+}
+
+/// Runs and characterizes a benchmark on one stage.
+///
+/// # Errors
+///
+/// Propagates characterization failures ([`OptError::Timing`]).
+pub fn characterize(
+    benchmark: Benchmark,
+    stage: StageKind,
+    cfg: &HarnessConfig,
+) -> Result<BenchmarkData, OptError> {
+    let trace = benchmark.run(&cfg.workload);
+    characterize_workload(&trace, stage, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timing::{heterogeneity, ErrorModel};
+
+    fn max_heterogeneity(curves: &[ErrorCurve]) -> f64 {
+        let mut max_het: f64 = 1.0;
+        for r in [0.64, 0.7, 0.78, 0.86] {
+            let h = heterogeneity(curves, r);
+            if h.is_finite() {
+                max_het = max_het.max(h);
+            } else if curves.iter().any(|c| c.err(r) > 0.05) {
+                return f64::INFINITY;
+            }
+        }
+        max_het
+    }
+
+    fn interval_curves(data: &BenchmarkData, interval: usize) -> Vec<ErrorCurve> {
+        data.intervals[interval]
+            .threads
+            .iter()
+            .map(|t| t.curve.clone())
+            .collect()
+    }
+
+    /// The interval with the widest per-thread error spread.
+    fn most_heterogeneous(data: &BenchmarkData) -> usize {
+        let grid = [0.64, 0.7, 0.78, 0.86];
+        let mut best = (0usize, 0.0f64);
+        for (i, iv) in data.intervals.iter().enumerate() {
+            let mut spread = 0.0f64;
+            for &r in &grid {
+                let errs: Vec<f64> = iv.threads.iter().map(|t| t.curve.err(r)).collect();
+                let max = errs.iter().copied().fold(0.0f64, f64::max);
+                let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
+                spread = spread.max(max - min);
+            }
+            if spread > best.1 {
+                best = (i, spread);
+            }
+        }
+        best.0
+    }
+
+    #[test]
+    fn radix_decode_shows_strong_thread_heterogeneity() {
+        // The paper's motivating observation (Fig 3.5): Radix's worst
+        // thread (thread 0, the rank-reduction root) has several times the
+        // error probability of the best thread.
+        let cfg = HarnessConfig::quick();
+        let data = characterize(Benchmark::Radix, StageKind::Decode, &cfg).expect("ok");
+        let curves = interval_curves(&data, most_heterogeneous(&data));
+        let h = max_heterogeneity(&curves);
+        assert!(h > 2.0, "Radix decode heterogeneity, got {h}");
+        // And thread 0 is the critical one, as in the paper.
+        let r = 0.64;
+        let worst = curves
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.err(r).partial_cmp(&b.1.err(r)).expect("finite"))
+            .expect("non-empty")
+            .0;
+        assert_eq!(worst, 0, "thread 0 must be speculation-critical");
+    }
+
+    #[test]
+    fn radix_simple_alu_is_heterogeneous() {
+        let cfg = HarnessConfig::quick();
+        let data = characterize(Benchmark::Radix, StageKind::SimpleAlu, &cfg).expect("ok");
+        let curves = interval_curves(&data, most_heterogeneous(&data));
+        let h = max_heterogeneity(&curves);
+        assert!(h > 1.2, "Radix SimpleALU heterogeneity, got {h}");
+    }
+
+    #[test]
+    fn interval_profiles_are_well_formed() {
+        let cfg = HarnessConfig::quick();
+        let data = characterize(Benchmark::Fmm, StageKind::SimpleAlu, &cfg).expect("ok");
+        assert_eq!(data.intervals.len(), cfg.workload.intervals);
+        for iv in &data.intervals {
+            let profiles = iv.profiles();
+            assert_eq!(profiles.len(), cfg.workload.threads);
+            for p in &profiles {
+                assert!(p.instructions > 0.0);
+                assert!(p.cpi_base >= 1.0);
+                assert_eq!(p.err.err(1.0), 0.0, "no errors at nominal clock");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_traces_align_with_profiles() {
+        let cfg = HarnessConfig::quick();
+        let data = characterize(Benchmark::Ocean, StageKind::Decode, &cfg).expect("ok");
+        let iv = &data.intervals[0];
+        let traces = iv.thread_traces();
+        assert_eq!(traces.len(), iv.threads.len());
+        for (tr, td) in traces.iter().zip(&iv.threads) {
+            assert_eq!(tr.normalized_delays.len(), td.normalized_delays.len());
+            assert!((tr.cpi_base - td.cpi_base).abs() < 1e-12);
+        }
+    }
+}

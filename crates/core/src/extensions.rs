@@ -1,0 +1,271 @@
+//! Beyond barriers — the paper's future-work direction (Conclusion:
+//! "this approach can be extended to multi-threaded applications that use
+//! other synchronization mechanisms").
+//!
+//! This module covers the most common non-barrier structure: a shared
+//! **task queue** (work stealing / dynamic scheduling), where threads pull
+//! work items until the queue drains. There is no per-thread `N_i`: every
+//! thread stays busy to the end, so the interval time is governed by the
+//! *aggregate throughput* rather than a max over threads:
+//!
+//! ```text
+//! T = W / Σ_i λ_i,    λ_i = 1 / SPI_i = 1 / (t_clk_i (p_i C + CPI_i))
+//! ```
+//!
+//! and thread `i` executes `N_i = T·λ_i` of the `W` items. Energy keeps its
+//! Eq 4.3 shape over those `N_i`. The trade-off differs qualitatively from
+//! barriers: slowing any thread now always costs time (there is no slack
+//! from waiting at a barrier), so the optimum couples the cores through the
+//! throughput *sum* instead of the *max*.
+
+use timing::{EnergyDelay, ErrorModel};
+
+use crate::error::OptError;
+use crate::model::{Assignment, OperatingPoint, SystemConfig};
+
+/// A thread's static characteristics under dynamic scheduling (no fixed
+/// `N_i` — work is pulled from the queue).
+#[derive(Debug, Clone)]
+pub struct QueueThread<M> {
+    /// Error-free CPI of the thread on this stage.
+    pub cpi_base: f64,
+    /// The thread's error-probability model.
+    pub err: M,
+}
+
+/// Evaluates a task-queue interval: total energy and drain time for `work`
+/// items under the given assignment.
+///
+/// # Panics
+///
+/// Panics if `assignment` and `threads` disagree on the thread count.
+#[must_use]
+pub fn evaluate_task_queue<M: ErrorModel>(
+    cfg: &SystemConfig,
+    threads: &[QueueThread<M>],
+    work: f64,
+    assignment: &Assignment,
+) -> EnergyDelay {
+    assert_eq!(threads.len(), assignment.len(), "one point per thread");
+    let mut rate_sum = 0.0;
+    let mut spi = Vec::with_capacity(threads.len());
+    for (th, &pt) in threads.iter().zip(&assignment.points) {
+        let r = cfg.tsr_levels[pt.tsr_idx];
+        let p = th.err.err(r);
+        let s = cfg.tclk(pt.voltage_idx, pt.tsr_idx) * (p * cfg.c_penalty + th.cpi_base);
+        spi.push((s, p));
+        rate_sum += 1.0 / s;
+    }
+    let time = work / rate_sum;
+    let mut energy = 0.0;
+    for ((s, p), (th, &pt)) in spi.iter().zip(threads.iter().zip(&assignment.points)) {
+        let n_i = time / s;
+        let v = cfg.voltages.levels()[pt.voltage_idx];
+        energy += cfg.alpha * v.energy_scale() * n_i * (p * cfg.c_penalty + th.cpi_base);
+    }
+    EnergyDelay::new(energy, time)
+}
+
+/// Optimal per-thread operating points for a task-queue interval,
+/// minimizing `energy + θ·T` by exhaustive search over `(Q·S)^M`
+/// (the coupling through the throughput sum breaks the per-thread
+/// decomposition Algorithm 1 exploits, so for the paper-scale `M = 4`
+/// exhaustive search is the exact reference; the candidate cap guards
+/// larger instances).
+///
+/// # Errors
+///
+/// * [`OptError::BadConfig`] / [`OptError::NoThreads`] for malformed input;
+/// * [`OptError::TooLarge`] if the search space exceeds the exhaustive cap.
+pub fn optimize_task_queue<M: ErrorModel>(
+    cfg: &SystemConfig,
+    threads: &[QueueThread<M>],
+    work: f64,
+    theta: f64,
+) -> Result<Assignment, OptError> {
+    cfg.validate()?;
+    if threads.is_empty() {
+        return Err(OptError::NoThreads);
+    }
+    let per = (cfg.q() * cfg.s()) as u128;
+    let candidates = per.checked_pow(threads.len() as u32).unwrap_or(u128::MAX);
+    if candidates > crate::exhaustive::EXHAUSTIVE_LIMIT {
+        return Err(OptError::TooLarge {
+            candidates,
+            limit: crate::exhaustive::EXHAUSTIVE_LIMIT,
+        });
+    }
+    let s = cfg.s();
+    let n_points = cfg.q() * s;
+    let m = threads.len();
+    let mut combo = vec![0usize; m];
+    let mut best = (f64::INFINITY, combo.clone());
+    loop {
+        let assignment = Assignment {
+            points: combo
+                .iter()
+                .map(|&idx| OperatingPoint {
+                    voltage_idx: idx / s,
+                    tsr_idx: idx % s,
+                })
+                .collect(),
+        };
+        let ed = evaluate_task_queue(cfg, threads, work, &assignment);
+        let cost = ed.energy + theta * ed.time;
+        if cost < best.0 {
+            best = (cost, combo.clone());
+        }
+        let mut pos = 0;
+        loop {
+            if pos == m {
+                return Ok(Assignment {
+                    points: best
+                        .1
+                        .iter()
+                        .map(|&idx| OperatingPoint {
+                            voltage_idx: idx / s,
+                            tsr_idx: idx % s,
+                        })
+                        .collect(),
+                });
+            }
+            combo[pos] += 1;
+            if combo[pos] < n_points {
+                break;
+            }
+            combo[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timing::ErrorCurve;
+
+    fn curve(lo: f64, hi: f64) -> ErrorCurve {
+        let delays: Vec<f64> = (0..128).map(|i| lo + (hi - lo) * i as f64 / 128.0).collect();
+        ErrorCurve::from_normalized_delays(delays).expect("non-empty")
+    }
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::paper_default(10.0);
+        cfg.voltages = timing::VoltageTable::from_volts([1.0, 0.86, 0.72]).expect("ok");
+        cfg.tsr_levels = vec![0.64, 0.8, 1.0];
+        cfg
+    }
+
+    fn threads() -> Vec<QueueThread<ErrorCurve>> {
+        vec![
+            QueueThread {
+                cpi_base: 1.2,
+                err: curve(0.7, 1.0),
+            },
+            QueueThread {
+                cpi_base: 1.0,
+                err: curve(0.4, 0.85),
+            },
+        ]
+    }
+
+    #[test]
+    fn queue_time_follows_aggregate_throughput() {
+        let cfg = small_cfg();
+        let ths = threads();
+        let nominal = Assignment::uniform(
+            2,
+            OperatingPoint {
+                voltage_idx: 0,
+                tsr_idx: 2,
+            },
+        );
+        let ed = evaluate_task_queue(&cfg, &ths, 10_000.0, &nominal);
+        // By hand: T = W / (1/SPI0 + 1/SPI1) with p = 0 at r = 1.
+        let spi0 = 10.0 * 1.2;
+        let spi1 = 10.0 * 1.0;
+        let expect = 10_000.0 / (1.0 / spi0 + 1.0 / spi1);
+        assert!((ed.time - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn theta_extremes_behave() {
+        let cfg = small_cfg();
+        let ths = threads();
+        let fast = optimize_task_queue(&cfg, &ths, 10_000.0, 1e12).expect("solves");
+        let frugal = optimize_task_queue(&cfg, &ths, 10_000.0, 1e-12).expect("solves");
+        let ed_fast = evaluate_task_queue(&cfg, &ths, 10_000.0, &fast);
+        let ed_frugal = evaluate_task_queue(&cfg, &ths, 10_000.0, &frugal);
+        assert!(ed_fast.time <= ed_frugal.time + 1e-9);
+        assert!(ed_frugal.energy <= ed_fast.energy + 1e-9);
+    }
+
+    #[test]
+    fn no_barrier_slack_to_harvest() {
+        // Unlike barriers, lowering any thread's voltage at fixed r always
+        // stretches the drain time (there is no "free" slack).
+        let cfg = small_cfg();
+        let ths = threads();
+        let all_nominal = Assignment::uniform(
+            2,
+            OperatingPoint {
+                voltage_idx: 0,
+                tsr_idx: 2,
+            },
+        );
+        let one_slow = Assignment {
+            points: vec![
+                OperatingPoint {
+                    voltage_idx: 0,
+                    tsr_idx: 2,
+                },
+                OperatingPoint {
+                    voltage_idx: 2,
+                    tsr_idx: 2,
+                },
+            ],
+        };
+        let a = evaluate_task_queue(&cfg, &ths, 10_000.0, &all_nominal);
+        let b = evaluate_task_queue(&cfg, &ths, 10_000.0, &one_slow);
+        assert!(b.time > a.time, "queue drain must slow down: {} vs {}", b.time, a.time);
+    }
+
+    #[test]
+    fn optimum_beats_random_points() {
+        let cfg = small_cfg();
+        let ths = threads();
+        let theta = 1.0;
+        let opt = optimize_task_queue(&cfg, &ths, 10_000.0, theta).expect("solves");
+        let ed_opt = evaluate_task_queue(&cfg, &ths, 10_000.0, &opt);
+        let c_opt = ed_opt.energy + theta * ed_opt.time;
+        let mut state = 7u64;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = Assignment {
+                points: (0..2)
+                    .map(|k| OperatingPoint {
+                        voltage_idx: ((state >> (8 * k)) as usize) % cfg.q(),
+                        tsr_idx: ((state >> (8 * k + 4)) as usize) % cfg.s(),
+                    })
+                    .collect(),
+            };
+            let ed = evaluate_task_queue(&cfg, &ths, 10_000.0, &a);
+            assert!(ed.energy + theta * ed.time >= c_opt - 1e-9 * c_opt);
+        }
+    }
+
+    #[test]
+    fn oversized_search_rejected() {
+        let cfg = SystemConfig::paper_default(10.0); // 42 points
+        let ths: Vec<QueueThread<ErrorCurve>> = (0..5)
+            .map(|_| QueueThread {
+                cpi_base: 1.0,
+                err: curve(0.3, 0.9),
+            })
+            .collect();
+        assert!(matches!(
+            optimize_task_queue(&cfg, &ths, 1.0, 1.0).expect_err("too big"),
+            OptError::TooLarge { .. }
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! # synts-core — Synergistic Timing Speculation
+//!
+//! Reproduction of the optimization layer of *"Synergistic Timing
+//! Speculation for Multi-Threaded Programs"* (DAC 2016 / Yasin 2016):
+//! jointly choosing per-thread voltage, frequency and timing-speculation
+//! ratio for a barrier-synchronized multi-threaded program on a multi-core
+//! processor with Razor-style error recovery.
+//!
+//! The pieces, in paper order:
+//!
+//! * [`SystemConfig`] / [`ThreadProfile`] and Eq 4.1–4.3 — the system model
+//!   (Sec 4.1);
+//! * [`synts_milp`] — the SynTS-MILP formulation (Sec 4.2.1), solved by the
+//!   in-workspace [`milp`] crate;
+//! * [`synts_poly`] — Algorithm 1, the exact polynomial-time solver;
+//! * [`nominal`], [`no_ts`], [`per_core_ts`] — the evaluation baselines;
+//! * [`online`] — the sampling-based online controller (Sec 4.3);
+//! * [`overhead`] — the Sec 6.3 hardware-overhead accounting;
+//! * [`leakage`] — the Sec 4.1-suggested leakage-power extension;
+//! * [`power_cap`] — the Sec 4.1-suggested power-constrained variant;
+//! * [`criticality`] — online `N_i` prediction (the Sec 6.2 assumption);
+//! * [`thrifty`] — the thrifty-barrier baseline (related work, ref \[4\]);
+//! * [`pareto`] — θ sweeps behind Figs 6.11–6.16;
+//! * [`experiments`] — the end-to-end harness tying workloads, circuits and
+//!   the optimizer together to regenerate the paper's figures.
+//!
+//! ```
+//! use synts_core::{synts_poly, SystemConfig, ThreadProfile};
+//! use timing::ErrorCurve;
+//!
+//! # fn main() -> Result<(), synts_core::OptError> {
+//! let cfg = SystemConfig::paper_default(100.0);
+//! // Two threads: one speculation-critical, one with headroom.
+//! let hot = ErrorCurve::from_normalized_delays(vec![0.95; 64])?;
+//! let cool = ErrorCurve::from_normalized_delays(vec![0.55; 64])?;
+//! let profiles = vec![
+//!     ThreadProfile::new(10_000.0, 1.2, hot),
+//!     ThreadProfile::new(10_000.0, 1.0, cool),
+//! ];
+//! let assignment = synts_poly(&cfg, &profiles, 1.0)?;
+//! // The cool thread can be pushed to a cheaper operating point.
+//! assert_ne!(assignment.points[0], assignment.points[1]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod baselines;
+pub mod criticality;
+mod error;
+mod exhaustive;
+pub mod extensions;
+pub mod experiments;
+pub mod leakage;
+mod milp_formulation;
+pub mod power_cap;
+mod model;
+pub mod online;
+pub mod overhead;
+pub mod pareto;
+mod poly;
+pub mod thrifty;
+
+pub use baselines::{no_ts, nominal, per_core_ts};
+pub use error::OptError;
+pub use exhaustive::{synts_exhaustive, EXHAUSTIVE_LIMIT};
+pub use milp_formulation::synts_milp;
+pub use model::{
+    evaluate, thread_energy, thread_time, weighted_cost, Assignment, OperatingPoint, SystemConfig,
+    ThreadProfile, RAZOR_PENALTY_CYCLES,
+};
+pub use online::{run_interval, run_interval_offline, IntervalOutcome, SamplingPlan, ThreadTrace};
+pub use overhead::{estimate_overhead, estimate_overhead_defaults, OverheadReport};
+pub use pareto::{
+    assignment_for, default_theta_sweep, pareto_sweep, theta_equal_weight, Scheme, SweepPoint,
+};
+pub use poly::synts_poly;

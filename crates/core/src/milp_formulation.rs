@@ -1,0 +1,172 @@
+//! SynTS-MILP — the paper's mixed-integer formulation (Sec 4.2.1,
+//! Eq 4.5–4.10), lowered onto the [`milp`] solver.
+//!
+//! Variables: binaries `x_{ijk}` (thread `i` at voltage `j`, TSR `k`) and a
+//! continuous `t_exec`. Because energy `en_{ijk}` and time `t_{ijk}` are
+//! precomputable constants for each `(i, j, k)` (Eq 4.7–4.9 fold into the
+//! tables), the objective and constraints are linear:
+//!
+//! * minimize `Σ en_{ijk} x_{ijk} + θ·t_exec`            (Eq 4.5)
+//! * `t_exec ≥ Σ_jk t_{ijk} x_{ijk}`  for every thread    (Eq 4.6)
+//! * `Σ_jk x_{ijk} = 1`               for every thread    (Eq 4.10)
+
+use milp::{Problem, Relation};
+use timing::ErrorModel;
+
+use crate::error::OptError;
+use crate::model::{Assignment, OperatingPoint, SystemConfig, ThreadProfile};
+use crate::poly::Tables;
+
+/// Solves SynTS-OPT through the MILP formulation.
+///
+/// Produces the same optima as [`crate::synts_poly`] (verified by tests);
+/// exists to reproduce the paper's formulation and as an independent
+/// correctness oracle. Use the polynomial algorithm in anything online —
+/// that asymmetry is the paper's point.
+///
+/// # Errors
+///
+/// * [`OptError::BadConfig`] / [`OptError::NoThreads`] for malformed input.
+/// * [`OptError::Milp`] if the backing solver fails (should not happen for
+///   well-formed instances: the all-nominal assignment is always feasible).
+pub fn synts_milp<M: ErrorModel>(
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    theta: f64,
+) -> Result<Assignment, OptError> {
+    cfg.validate()?;
+    if profiles.is_empty() {
+        return Err(OptError::NoThreads);
+    }
+    let t = Tables::build(cfg, profiles);
+    let (m, q, s) = (t.m, t.q, t.s);
+    let n_points = q * s;
+    let n_vars = m * n_points + 1; // + t_exec
+    let texec_var = m * n_points;
+
+    // Normalize magnitudes so the simplex works near 1.0.
+    let e_scale = t
+        .energy
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-30);
+    let t_scale = t
+        .time
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-30);
+
+    let mut p = Problem::minimize(n_vars);
+    for i in 0..m {
+        for idx in 0..n_points {
+            let var = i * n_points + idx;
+            p.set_objective(var, t.energy[i][idx] / e_scale);
+            p.set_binary(var);
+        }
+    }
+    // θ·t_exec with t_exec expressed in t_scale units: θ' = θ·t_scale/e_scale.
+    p.set_objective(texec_var, theta * t_scale / e_scale);
+
+    for i in 0..m {
+        // Eq 4.10: one point per thread.
+        let ones: Vec<(usize, f64)> = (0..n_points).map(|idx| (i * n_points + idx, 1.0)).collect();
+        p.constraint(&ones, Relation::Eq, 1.0);
+        // Eq 4.6: Σ t_ijk x_ijk − t_exec ≤ 0 (in t_scale units).
+        let mut coeffs: Vec<(usize, f64)> = (0..n_points)
+            .map(|idx| (i * n_points + idx, t.time[i][idx] / t_scale))
+            .collect();
+        coeffs.push((texec_var, -1.0));
+        p.constraint(&coeffs, Relation::Le, 0.0);
+    }
+
+    let sol = p.solve_milp()?;
+    let mut points = Vec::with_capacity(m);
+    for i in 0..m {
+        let chosen = (0..n_points)
+            .find(|idx| sol.x[i * n_points + idx] > 0.5)
+            .expect("Eq 4.10 forces exactly one point per thread");
+        points.push(OperatingPoint {
+            voltage_idx: chosen / s,
+            tsr_idx: chosen % s,
+        });
+    }
+    Ok(Assignment { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::weighted_cost;
+    use crate::poly::synts_poly;
+    use timing::ErrorCurve;
+
+    fn curve(delays: Vec<f64>) -> ErrorCurve {
+        ErrorCurve::from_normalized_delays(delays).expect("non-empty")
+    }
+
+    fn small_instance(seed: u64) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+        let mut cfg = SystemConfig::paper_default(10.0);
+        cfg.voltages = timing::VoltageTable::from_volts([1.0, 0.86, 0.72]).expect("ok");
+        cfg.tsr_levels = vec![0.64, 0.8, 1.0];
+        let mut state = seed;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let profiles = (0..3)
+            .map(|_| {
+                let base = 0.3 + 0.5 * rand01();
+                let spread = 0.1 + 0.3 * rand01();
+                let delays: Vec<f64> = (0..100)
+                    .map(|i| (base + spread * (i as f64 / 100.0)).min(1.0))
+                    .collect();
+                ThreadProfile::new(
+                    1_000.0 + 9_000.0 * rand01(),
+                    1.0 + rand01(),
+                    curve(delays),
+                )
+            })
+            .collect();
+        (cfg, profiles)
+    }
+
+    #[test]
+    fn milp_matches_poly_across_thetas_and_instances() {
+        for seed in [1u64, 7, 42, 1234] {
+            let (cfg, profiles) = small_instance(seed);
+            for theta in [0.0, 0.05, 1.0, 50.0] {
+                let a_milp = synts_milp(&cfg, &profiles, theta).expect("milp");
+                let a_poly = synts_poly(&cfg, &profiles, theta).expect("poly");
+                let cm = weighted_cost(&cfg, &profiles, &a_milp, theta);
+                let cp = weighted_cost(&cfg, &profiles, &a_poly, theta);
+                assert!(
+                    (cm - cp).abs() <= 1e-6 * cp.abs().max(1.0),
+                    "seed {seed} theta {theta}: milp {cm} vs poly {cp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn milp_matches_exhaustive() {
+        let (cfg, profiles) = small_instance(99);
+        let theta = 1.0;
+        let a_milp = synts_milp(&cfg, &profiles, theta).expect("milp");
+        let a_ex = crate::exhaustive::synts_exhaustive(&cfg, &profiles, theta).expect("ex");
+        let cm = weighted_cost(&cfg, &profiles, &a_milp, theta);
+        let ce = weighted_cost(&cfg, &profiles, &a_ex, theta);
+        assert!((cm - ce).abs() <= 1e-6 * ce.abs().max(1.0));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let (cfg, _) = small_instance(5);
+        let empty: Vec<ThreadProfile<ErrorCurve>> = Vec::new();
+        assert_eq!(
+            synts_milp(&cfg, &empty, 1.0).expect_err("no threads"),
+            OptError::NoThreads
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! θ sweeps and Pareto-curve generation (Figs 6.11–6.16).
+
+use timing::{EnergyDelay, ErrorModel};
+
+use crate::baselines::{no_ts, nominal, per_core_ts};
+use crate::error::OptError;
+use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
+use crate::poly::synts_poly;
+
+/// The four schemes compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Highest voltage, no scaling, no speculation.
+    Nominal,
+    /// Joint DVFS without speculation (`r = 1`).
+    NoTs,
+    /// Independent per-core timing speculation.
+    PerCoreTs,
+    /// The paper's synergistic scheme.
+    SynTs,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's reporting order.
+    pub const ALL: [Scheme; 4] = [Scheme::Nominal, Scheme::NoTs, Scheme::PerCoreTs, Scheme::SynTs];
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scheme::Nominal => "Nominal",
+            Scheme::NoTs => "No-TS",
+            Scheme::PerCoreTs => "Per-core TS",
+            Scheme::SynTs => "SynTS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Computes the assignment a scheme picks at weight `theta`.
+///
+/// # Errors
+///
+/// Propagates [`OptError`] from the underlying solver.
+pub fn assignment_for<M: ErrorModel>(
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    theta: f64,
+) -> Result<Assignment, OptError> {
+    match scheme {
+        Scheme::Nominal => nominal(cfg, profiles),
+        Scheme::NoTs => no_ts(cfg, profiles, theta),
+        Scheme::PerCoreTs => per_core_ts(cfg, profiles, theta),
+        Scheme::SynTs => synts_poly(cfg, profiles, theta),
+    }
+}
+
+/// One point of a θ sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The weight used.
+    pub theta: f64,
+    /// The chosen assignment.
+    pub assignment: Assignment,
+    /// Its energy/time (absolute units).
+    pub ed: EnergyDelay,
+}
+
+/// Sweeps `theta` over a scheme, producing the raw points behind the Pareto
+/// plots of Figs 6.11–6.16.
+///
+/// # Errors
+///
+/// Propagates [`OptError`] from the underlying solver.
+pub fn pareto_sweep<M: ErrorModel>(
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    thetas: &[f64],
+) -> Result<Vec<SweepPoint>, OptError> {
+    thetas
+        .iter()
+        .map(|&theta| {
+            let assignment = assignment_for(scheme, cfg, profiles, theta)?;
+            let ed = evaluate(cfg, profiles, &assignment);
+            Ok(SweepPoint {
+                theta,
+                assignment,
+                ed,
+            })
+        })
+        .collect()
+}
+
+/// The θ at which energy and execution time contribute equally to Eq 4.4 at
+/// the nominal operating point — the paper's "weights energy and execution
+/// time equally" setting (Fig 6.18).
+///
+/// # Errors
+///
+/// Propagates [`OptError`] from the nominal baseline.
+pub fn theta_equal_weight<M: ErrorModel>(
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+) -> Result<f64, OptError> {
+    let a = nominal(cfg, profiles)?;
+    let ed = evaluate(cfg, profiles, &a);
+    Ok(ed.energy / ed.time)
+}
+
+/// A log-spaced θ grid centered on [`theta_equal_weight`], spanning
+/// `10^-decades .. 10^decades` around it with `n` points.
+///
+/// # Errors
+///
+/// Propagates [`OptError`] from the nominal baseline.
+pub fn default_theta_sweep<M: ErrorModel>(
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    n: usize,
+    decades: f64,
+) -> Result<Vec<f64>, OptError> {
+    let center = theta_equal_weight(cfg, profiles)?;
+    if n <= 1 {
+        return Ok(vec![center]);
+    }
+    Ok((0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64; // 0..1
+            center * 10f64.powf(decades * (2.0 * t - 1.0))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timing::{pareto_front, ErrorCurve};
+
+    fn curve(delays: Vec<f64>) -> ErrorCurve {
+        ErrorCurve::from_normalized_delays(delays).expect("non-empty")
+    }
+
+    fn workload() -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+        let cfg = SystemConfig::paper_default(10.0);
+        let mk = |lo: f64, hi: f64| {
+            curve((0..200).map(|i| lo + (hi - lo) * (i as f64 / 200.0)).collect())
+        };
+        let profiles = vec![
+            ThreadProfile::new(8_000.0, 1.3, mk(0.7, 1.0)),
+            ThreadProfile::new(9_000.0, 1.1, mk(0.5, 0.9)),
+            ThreadProfile::new(10_000.0, 1.0, mk(0.35, 0.8)),
+            ThreadProfile::new(7_000.0, 1.2, mk(0.45, 0.85)),
+        ];
+        (cfg, profiles)
+    }
+
+    #[test]
+    fn sweep_produces_monotone_tradeoff_for_synts() {
+        let (cfg, profiles) = workload();
+        let thetas = default_theta_sweep(&cfg, &profiles, 9, 2.0).expect("ok");
+        let pts = pareto_sweep(Scheme::SynTs, &cfg, &profiles, &thetas).expect("ok");
+        // Higher theta -> no slower, and the sweep spans a real range.
+        for w in pts.windows(2) {
+            assert!(w[1].ed.time <= w[0].ed.time + 1e-9, "time must not rise with theta");
+        }
+        assert!(pts[0].ed.time > pts[pts.len() - 1].ed.time, "sweep must spread");
+    }
+
+    #[test]
+    fn synts_weakly_dominates_baselines_on_the_front() {
+        let (cfg, profiles) = workload();
+        let thetas = default_theta_sweep(&cfg, &profiles, 7, 2.0).expect("ok");
+        let synts = pareto_sweep(Scheme::SynTs, &cfg, &profiles, &thetas).expect("ok");
+        let percore = pareto_sweep(Scheme::PerCoreTs, &cfg, &profiles, &thetas).expect("ok");
+        // For every per-core point, some SynTS point is at least as good on
+        // both axes (SynTS solves the joint problem optimally).
+        for p in &percore {
+            let dominated = synts.iter().any(|s| {
+                s.ed.energy <= p.ed.energy * (1.0 + 1e-9)
+                    && s.ed.time <= p.ed.time * (1.0 + 1e-9)
+            });
+            assert!(dominated, "per-core point not covered by SynTS front");
+        }
+    }
+
+    #[test]
+    fn equal_weight_theta_balances_terms() {
+        let (cfg, profiles) = workload();
+        let theta = theta_equal_weight(&cfg, &profiles).expect("ok");
+        let a = nominal(&cfg, &profiles).expect("ok");
+        let ed = evaluate(&cfg, &profiles, &a);
+        assert!(((theta * ed.time) / ed.energy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_front_of_sweep_is_nontrivial() {
+        let (cfg, profiles) = workload();
+        let thetas = default_theta_sweep(&cfg, &profiles, 11, 2.0).expect("ok");
+        let pts = pareto_sweep(Scheme::SynTs, &cfg, &profiles, &thetas).expect("ok");
+        let eds: Vec<EnergyDelay> = pts.iter().map(|p| p.ed).collect();
+        let front = pareto_front(&eds);
+        assert!(front.len() >= 2, "expected a real trade-off curve");
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        assert_eq!(Scheme::SynTs.to_string(), "SynTS");
+        assert_eq!(Scheme::PerCoreTs.to_string(), "Per-core TS");
+        assert_eq!(Scheme::NoTs.to_string(), "No-TS");
+        assert_eq!(Scheme::Nominal.to_string(), "Nominal");
+    }
+}

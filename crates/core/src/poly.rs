@@ -1,0 +1,285 @@
+//! SynTS-Poly — the paper's Algorithm 1, an exact polynomial-time solver
+//! for SynTS-OPT (Eq 4.4).
+//!
+//! The algorithm iteratively designates each thread as the *critical* thread
+//! (the one that reaches the barrier last), tries every voltage/TSR
+//! combination for it — which pins the barrier time `t_exec` — and gives
+//! every other thread its cheapest operating point that still finishes by
+//! `t_exec` (`minEnergy`). Of all `M·Q·S` candidate configurations, the one
+//! with the lowest weighted cost is optimal (Lemma 4.2.1): the true optimum
+//! has *some* critical thread at *some* operating point, and that case is
+//! enumerated; non-critical threads affect only the energy term, for which
+//! the greedy per-thread minimum subject to the deadline is exact.
+//!
+//! Runtime: `O(M²Q²S²)` — quadratic in threads, voltage and TSR levels.
+
+use timing::ErrorModel;
+
+use crate::error::OptError;
+use crate::model::{Assignment, OperatingPoint, SystemConfig, ThreadProfile};
+
+/// Per-(thread, voltage, TSR) tables of time and energy, precomputed once.
+pub(crate) struct Tables {
+    pub(crate) m: usize,
+    pub(crate) q: usize,
+    pub(crate) s: usize,
+    /// `time[i][j*s + k]`
+    pub(crate) time: Vec<Vec<f64>>,
+    /// `energy[i][j*s + k]`
+    pub(crate) energy: Vec<Vec<f64>>,
+}
+
+impl Tables {
+    pub(crate) fn build<M: ErrorModel>(
+        cfg: &SystemConfig,
+        profiles: &[ThreadProfile<M>],
+    ) -> Tables {
+        let (q, s) = (cfg.q(), cfg.s());
+        let mut time = Vec::with_capacity(profiles.len());
+        let mut energy = Vec::with_capacity(profiles.len());
+        for prof in profiles {
+            // err depends only on r: evaluate once per TSR level.
+            let p: Vec<f64> = cfg.tsr_levels.iter().map(|&r| prof.err.err(r)).collect();
+            let mut t_row = Vec::with_capacity(q * s);
+            let mut e_row = Vec::with_capacity(q * s);
+            for j in 0..q {
+                let v = cfg.voltages.levels()[j];
+                let tnom = cfg.tnom(v);
+                for k in 0..s {
+                    let cycles = prof.cycles(p[k], cfg.c_penalty);
+                    t_row.push(cfg.tsr_levels[k] * tnom * cycles);
+                    e_row.push(cfg.alpha * v.energy_scale() * cycles);
+                }
+            }
+            time.push(t_row);
+            energy.push(e_row);
+        }
+        Tables {
+            m: profiles.len(),
+            q,
+            s,
+            time,
+            energy,
+        }
+    }
+
+    /// `minEnergy(l, texec)` from Algorithm 1: the cheapest point of thread
+    /// `l` finishing by `texec`, or `None` if no point meets the deadline.
+    pub(crate) fn min_energy(&self, l: usize, texec: f64) -> Option<(f64, OperatingPoint)> {
+        let mut best: Option<(f64, OperatingPoint)> = None;
+        for j in 0..self.q {
+            for k in 0..self.s {
+                let idx = j * self.s + k;
+                if self.time[l][idx] <= texec * (1.0 + 1e-12) + 1e-12 {
+                    let en = self.energy[l][idx];
+                    if best.is_none_or(|(b, _)| en < b) {
+                        best = Some((
+                            en,
+                            OperatingPoint {
+                                voltage_idx: j,
+                                tsr_idx: k,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Solves SynTS-OPT exactly in polynomial time (Algorithm 1).
+///
+/// Returns the optimal per-thread assignment for weight `theta`.
+///
+/// # Errors
+///
+/// * [`OptError::BadConfig`] if `cfg` is malformed.
+/// * [`OptError::NoThreads`] if `profiles` is empty.
+/// * [`OptError::Infeasible`] cannot occur for a valid config (the all-
+///   nominal assignment is always feasible) but is kept for robustness.
+pub fn synts_poly<M: ErrorModel>(
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    theta: f64,
+) -> Result<Assignment, OptError> {
+    cfg.validate()?;
+    if profiles.is_empty() {
+        return Err(OptError::NoThreads);
+    }
+    let t = Tables::build(cfg, profiles);
+    let mut best_cost = f64::INFINITY;
+    let mut best: Option<Assignment> = None;
+    let mut points = vec![
+        OperatingPoint {
+            voltage_idx: 0,
+            tsr_idx: 0
+        };
+        t.m
+    ];
+    for i in 0..t.m {
+        for j in 0..t.q {
+            for k in 0..t.s {
+                let idx = j * t.s + k;
+                let texec = t.time[i][idx];
+                let mut en = t.energy[i][idx];
+                points[i] = OperatingPoint {
+                    voltage_idx: j,
+                    tsr_idx: k,
+                };
+                let mut feasible = true;
+                for l in 0..t.m {
+                    if l == i {
+                        continue;
+                    }
+                    match t.min_energy(l, texec) {
+                        Some((e, p)) => {
+                            en += e;
+                            points[l] = p;
+                        }
+                        None => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if !feasible {
+                    continue;
+                }
+                let cost = en + theta * texec;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = Some(Assignment {
+                        points: points.clone(),
+                    });
+                }
+            }
+        }
+    }
+    best.ok_or(OptError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{evaluate, weighted_cost};
+    use timing::ErrorCurve;
+
+    fn curve(delays: Vec<f64>) -> ErrorCurve {
+        ErrorCurve::from_normalized_delays(delays).expect("non-empty")
+    }
+
+    /// A small heterogeneous 3-thread instance used across solver tests.
+    fn instance() -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+        let cfg = SystemConfig::paper_default(10.0);
+        // Thread 0: long delays (speculation-critical, like Radix T0).
+        let hot: Vec<f64> = (0..200).map(|i| 0.70 + 0.30 * (i as f64 / 200.0)).collect();
+        // Thread 1: moderate.
+        let mid: Vec<f64> = (0..200).map(|i| 0.50 + 0.35 * (i as f64 / 200.0)).collect();
+        // Thread 2: short delays (lots of speculation headroom).
+        let cool: Vec<f64> = (0..200).map(|i| 0.30 + 0.35 * (i as f64 / 200.0)).collect();
+        let profiles = vec![
+            ThreadProfile::new(10_000.0, 1.2, curve(hot)),
+            ThreadProfile::new(9_000.0, 1.1, curve(mid)),
+            ThreadProfile::new(11_000.0, 1.0, curve(cool)),
+        ];
+        (cfg, profiles)
+    }
+
+    #[test]
+    fn returns_feasible_assignment() {
+        let (cfg, profiles) = instance();
+        let a = synts_poly(&cfg, &profiles, 1.0).expect("solvable");
+        assert_eq!(a.len(), 3);
+        for p in &a.points {
+            assert!(p.voltage_idx < cfg.q());
+            assert!(p.tsr_idx < cfg.s());
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_small_instances() {
+        let (mut cfg, profiles) = instance();
+        // Shrink the level sets so exhaustive search is cheap.
+        cfg.voltages = timing::VoltageTable::from_volts([1.0, 0.86, 0.72]).expect("ok");
+        cfg.tsr_levels = vec![0.64, 0.82, 1.0];
+        for theta in [0.0, 0.01, 1.0, 100.0] {
+            let poly = synts_poly(&cfg, &profiles, theta).expect("poly");
+            let ex = crate::exhaustive::synts_exhaustive(&cfg, &profiles, theta).expect("ex");
+            let cp = weighted_cost(&cfg, &profiles, &poly, theta);
+            let ce = weighted_cost(&cfg, &profiles, &ex, theta);
+            assert!(
+                (cp - ce).abs() <= 1e-9 * ce.abs().max(1.0),
+                "theta {theta}: poly {cp} vs exhaustive {ce}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_theta_prefers_speed_low_theta_prefers_energy() {
+        let (cfg, profiles) = instance();
+        let fast = synts_poly(&cfg, &profiles, 1e9).expect("poly");
+        let frugal = synts_poly(&cfg, &profiles, 1e-9).expect("poly");
+        let ed_fast = evaluate(&cfg, &profiles, &fast);
+        let ed_frugal = evaluate(&cfg, &profiles, &frugal);
+        assert!(ed_fast.time <= ed_frugal.time + 1e-9);
+        assert!(ed_frugal.energy <= ed_fast.energy + 1e-9);
+    }
+
+    #[test]
+    fn single_thread_reduces_to_per_core_optimum() {
+        let (cfg, profiles) = instance();
+        let single = &profiles[..1];
+        let a = synts_poly(&cfg, single, 1.0).expect("poly");
+        // Brute-force the single thread.
+        let mut best = f64::INFINITY;
+        for j in 0..cfg.q() {
+            for k in 0..cfg.s() {
+                let p = OperatingPoint {
+                    voltage_idx: j,
+                    tsr_idx: k,
+                };
+                let cost = crate::model::thread_energy(&cfg, &single[0], p)
+                    + 1.0 * crate::model::thread_time(&cfg, &single[0], p);
+                best = best.min(cost);
+            }
+        }
+        let got = weighted_cost(&cfg, single, &a, 1.0);
+        assert!((got - best).abs() < 1e-9 * best);
+    }
+
+    #[test]
+    fn empty_profiles_rejected() {
+        let (cfg, _) = instance();
+        let empty: Vec<ThreadProfile<ErrorCurve>> = Vec::new();
+        assert_eq!(
+            synts_poly(&cfg, &empty, 1.0).expect_err("no threads"),
+            OptError::NoThreads
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (mut cfg, profiles) = instance();
+        cfg.tsr_levels = vec![0.8, 0.6, 1.0];
+        assert!(matches!(
+            synts_poly(&cfg, &profiles, 1.0).expect_err("bad cfg"),
+            OptError::BadConfig(_)
+        ));
+    }
+
+    #[test]
+    fn min_energy_respects_deadline() {
+        let (cfg, profiles) = instance();
+        let t = Tables::build(&cfg, &profiles);
+        // A deadline shorter than the thread's fastest point -> None.
+        assert!(t.min_energy(0, 0.0).is_none());
+        // A generous deadline -> the global energy minimum for that thread.
+        let (en, p) = t.min_energy(0, f64::INFINITY).expect("feasible");
+        let min_possible = (0..cfg.q() * cfg.s())
+            .map(|idx| t.energy[0][idx])
+            .fold(f64::INFINITY, f64::min);
+        assert!((en - min_possible).abs() < 1e-12);
+        assert!(t.time[0][p.voltage_idx * t.s + p.tsr_idx].is_finite());
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for netlist construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, analyzing, or simulating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell was created with the wrong number of input pins.
+    ArityMismatch {
+        /// The cell kind being instantiated.
+        kind: &'static str,
+        /// Number of pins the cell requires.
+        expected: usize,
+        /// Number of pins supplied.
+        got: usize,
+    },
+    /// A net id did not refer to a net in this netlist.
+    UnknownNet(u32),
+    /// A net has no driver (floating input to a cell).
+    UndrivenNet(u32),
+    /// The cell graph contains a combinational cycle.
+    CombinationalLoop,
+    /// An input vector of the wrong width was supplied to the simulator.
+    InputWidthMismatch {
+        /// Number of primary inputs of the netlist.
+        expected: usize,
+        /// Width of the vector supplied.
+        got: usize,
+    },
+    /// The netlist has no primary outputs, so timing queries are meaningless.
+    NoOutputs,
+    /// A voltage outside the characterized range of the delay model.
+    VoltageOutOfRange {
+        /// The offending voltage in volts.
+        volts: f64,
+        /// Characterized minimum.
+        min: f64,
+        /// Characterized maximum.
+        max: f64,
+    },
+    /// A per-cell delay factor (or aging duty) was not finite/positive or
+    /// was outside its valid range.
+    BadDelayFactor {
+        /// Cell index of the offending value.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Delay-factor sets cover a different number of cells than expected.
+    FactorCountMismatch {
+        /// Number of cells expected (the netlist's cell count).
+        expected: usize,
+        /// Number of factors supplied.
+        got: usize,
+    },
+    /// A process-variation sigma outside `[0, 0.5)`.
+    BadSigma(f64),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(f, "cell {kind} requires {expected} inputs, got {got}"),
+            NetlistError::UnknownNet(id) => write!(f, "unknown net id {id}"),
+            NetlistError::UndrivenNet(id) => write!(f, "net {id} has no driver"),
+            NetlistError::CombinationalLoop => {
+                write!(f, "netlist contains a combinational loop")
+            }
+            NetlistError::InputWidthMismatch { expected, got } => {
+                write!(f, "expected {expected} primary input values, got {got}")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::VoltageOutOfRange { volts, min, max } => write!(
+                f,
+                "voltage {volts} V outside characterized range [{min}, {max}] V"
+            ),
+            NetlistError::BadDelayFactor { index, value } => {
+                write!(f, "delay factor {value} at cell {index} is invalid")
+            }
+            NetlistError::FactorCountMismatch { expected, got } => {
+                write!(f, "expected {expected} delay factors, got {got}")
+            }
+            NetlistError::BadSigma(s) => {
+                write!(f, "variation sigma {s} outside [0, 0.5)")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetlistError::CombinationalLoop;
+        let msg = e.to_string();
+        assert!(msg.starts_with("netlist contains"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+
+    #[test]
+    fn arity_message_mentions_kind() {
+        let e = NetlistError::ArityMismatch {
+            kind: "NAND2",
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("NAND2"));
+    }
+}

@@ -1,0 +1,498 @@
+//! Event-driven dynamic timing simulation.
+//!
+//! [`TimingSim`] replays cycle-by-cycle input vectors against a netlist and
+//! reports, for every vector, the **sensitized path delay**: the time at
+//! which the last primary output settles, under the single-transition
+//! (glitch-free) delay model the paper's cross-layer flow uses. A timing
+//! error occurs at clock period `t_clk` exactly when this delay exceeds
+//! `t_clk` — the event a Razor flip-flop would catch.
+//!
+//! The simulator is incremental: only cells downstream of changed nets are
+//! re-evaluated. Because [`crate::NetlistBuilder`] guarantees that cell ids
+//! are a topological order, processing dirty cells in ascending id order
+//! evaluates every cell at most once per cycle with all inputs settled.
+
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use crate::voltage::Voltage;
+
+/// Outcome of applying one input vector to a [`TimingSim`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Sensitized path delay: when the last primary output settled, in
+    /// normalized delay units at the simulation voltage. `0.0` if no output
+    /// toggled (the vector cannot cause a timing error).
+    pub delay: f64,
+    /// Number of nets that toggled during this transition.
+    pub toggles: u32,
+    /// Primary output values after the transition, in declaration order.
+    pub outputs: Vec<bool>,
+}
+
+impl Transition {
+    /// Packs up to 64 primary outputs into a word, output 0 in bit 0.
+    ///
+    /// Outputs beyond the 64th are ignored; callers with wider buses should
+    /// read [`Transition::outputs`] directly.
+    #[must_use]
+    pub fn output_bits(&self) -> u64 {
+        self.outputs
+            .iter()
+            .take(64)
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << i)
+    }
+}
+
+/// Event-driven timing simulator bound to one netlist and voltage.
+///
+/// The first [`TimingSim::apply`] establishes the electrical state and
+/// reports zero delay; every subsequent call reports the sensitized delay of
+/// the transition from the previous vector — matching how the paper derives
+/// per-instruction delays from consecutive pipeline input vectors.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone)]
+pub struct TimingSim {
+    netlist: Netlist,
+    voltage: Voltage,
+    /// Per-cell propagation delay at the current voltage.
+    delay: Vec<f64>,
+    /// Per-net logic value.
+    values: Vec<bool>,
+    /// Per-net arrival time, meaningful when `net_stamp[net] == cycle`.
+    arrival: Vec<f64>,
+    /// Cycle at which the net last toggled.
+    net_stamp: Vec<u64>,
+    /// Cycle at which the cell was marked dirty.
+    cell_stamp: Vec<u64>,
+    /// First and last dirty cell id of the current cycle (scan window).
+    dirty_lo: usize,
+    dirty_hi: usize,
+    cycle: u64,
+    initialized: bool,
+    total_toggles: u64,
+    total_switch_energy: f64,
+    applies: u64,
+}
+
+impl TimingSim {
+    /// Creates a simulator for `netlist` at supply voltage `voltage`.
+    ///
+    /// The netlist is cloned so the simulator is self-contained and `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`NetlistError`] from
+    /// [`Netlist::check_invariants`] — in particular
+    /// [`NetlistError::NoOutputs`] when there is nothing to time.
+    pub fn new(netlist: &Netlist, voltage: Voltage) -> Result<TimingSim, NetlistError> {
+        let scale = voltage.delay_scale();
+        let delay = netlist.cell_delays_v1().iter().map(|d| d * scale).collect();
+        TimingSim::with_delays(netlist, voltage, delay)
+    }
+
+    /// Creates a simulator whose per-cell delays carry the multiplicative
+    /// factors of a specific die instance (process variation and/or aging
+    /// from [`crate::variation`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingSim::new`], plus [`NetlistError::FactorCountMismatch`]
+    /// if `factors` does not cover exactly the netlist's cells.
+    pub fn with_factors(
+        netlist: &Netlist,
+        voltage: Voltage,
+        factors: &crate::variation::DelayFactors,
+    ) -> Result<TimingSim, NetlistError> {
+        if factors.len() != netlist.cell_count() {
+            return Err(NetlistError::FactorCountMismatch {
+                expected: netlist.cell_count(),
+                got: factors.len(),
+            });
+        }
+        let scale = voltage.delay_scale();
+        let delay = netlist
+            .cell_delays_v1()
+            .iter()
+            .zip(factors.as_slice())
+            .map(|(d, f)| d * scale * f)
+            .collect();
+        TimingSim::with_delays(netlist, voltage, delay)
+    }
+
+    fn with_delays(
+        netlist: &Netlist,
+        voltage: Voltage,
+        delay: Vec<f64>,
+    ) -> Result<TimingSim, NetlistError> {
+        netlist.check_invariants()?;
+        Ok(TimingSim {
+            voltage,
+            delay,
+            values: vec![false; netlist.net_count()],
+            arrival: vec![0.0; netlist.net_count()],
+            net_stamp: vec![0; netlist.net_count()],
+            cell_stamp: vec![0; netlist.cell_count()],
+            dirty_lo: 0,
+            dirty_hi: 0,
+            cycle: 0,
+            initialized: false,
+            total_toggles: 0,
+            total_switch_energy: 0.0,
+            applies: 0,
+            netlist: netlist.clone(),
+        })
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Current supply voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Voltage {
+        self.voltage
+    }
+
+    /// Changes the supply voltage without disturbing logic state.
+    ///
+    /// Used by the online sampling phase, which sweeps operating points
+    /// mid-trace (paper Sec 4.3).
+    pub fn set_voltage(&mut self, voltage: Voltage) {
+        let scale = voltage.delay_scale();
+        for (d, base) in self.delay.iter_mut().zip(self.netlist.cell_delays_v1()) {
+            *d = base * scale;
+        }
+        self.voltage = voltage;
+    }
+
+    /// Cumulative net toggles since construction (switching activity).
+    #[must_use]
+    pub fn total_toggles(&self) -> u64 {
+        self.total_toggles
+    }
+
+    /// Cumulative normalized switching energy since construction
+    /// (cell switch energies × V², summed over toggles).
+    #[must_use]
+    pub fn total_switch_energy(&self) -> f64 {
+        self.total_switch_energy
+    }
+
+    /// Number of vectors applied so far.
+    #[must_use]
+    pub fn applied_vectors(&self) -> u64 {
+        self.applies
+    }
+
+    /// Current primary output values.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<bool> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    /// Applies one input vector; returns the transition's sensitized delay,
+    /// toggle count and resulting outputs.
+    ///
+    /// The first call initializes state and reports `delay == 0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
+    /// supply one value per primary input.
+    pub fn apply(&mut self, inputs: &[bool]) -> Result<Transition, NetlistError> {
+        let n_pi = self.netlist.primary_inputs().len();
+        if inputs.len() != n_pi {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: n_pi,
+                got: inputs.len(),
+            });
+        }
+        self.applies += 1;
+        if !self.initialized {
+            self.initialize(inputs);
+            return Ok(Transition {
+                delay: 0.0,
+                toggles: 0,
+                outputs: self.outputs(),
+            });
+        }
+
+        self.cycle += 1;
+        let cycle = self.cycle;
+        let energy_scale = self.voltage.energy_scale();
+        let mut toggles: u32 = 0;
+        self.dirty_lo = usize::MAX;
+        self.dirty_hi = 0;
+
+        // Stage 1: primary input transitions.
+        for i in 0..n_pi {
+            let pi = self.netlist.primary_inputs()[i];
+            if self.values[pi.index()] != inputs[i] {
+                self.values[pi.index()] = inputs[i];
+                self.arrival[pi.index()] = 0.0;
+                self.net_stamp[pi.index()] = cycle;
+                toggles += 1;
+                self.mark_fanout(pi.index(), cycle);
+            }
+        }
+
+        // Stage 2: sweep dirty cells in id order — cell ids are a
+        // topological order, so by the time a cell is visited all its
+        // drivers have settled, and newly dirtied cells always lie ahead.
+        if self.dirty_lo != usize::MAX {
+            let mut pins: [bool; 3] = [false; 3];
+            let mut idx = self.dirty_lo;
+            while idx <= self.dirty_hi {
+                if self.cell_stamp[idx] == cycle {
+                    let cell = &self.netlist.cells()[idx];
+                    let n_in = cell.inputs().len();
+                    for (slot, n) in pins.iter_mut().zip(cell.inputs()) {
+                        *slot = self.values[n.index()];
+                    }
+                    let new_val = cell.kind().eval(&pins[..n_in]);
+                    let out = cell.output().index();
+                    if new_val != self.values[out] {
+                        // Arrival = gate delay + latest *changed* input.
+                        let worst_in = cell
+                            .inputs()
+                            .iter()
+                            .filter(|n| self.net_stamp[n.index()] == cycle)
+                            .map(|n| self.arrival[n.index()])
+                            .fold(0.0f64, f64::max);
+                        self.values[out] = new_val;
+                        self.arrival[out] = worst_in + self.delay[idx];
+                        self.net_stamp[out] = cycle;
+                        toggles += 1;
+                        self.total_switch_energy +=
+                            cell.kind().params().switch_energy * energy_scale;
+                        self.mark_fanout(out, cycle);
+                    }
+                }
+                idx += 1;
+            }
+        }
+        self.total_toggles += u64::from(toggles);
+
+        // Stage 3: delay = latest-settling changed primary output.
+        let delay = self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .filter(|n| self.net_stamp[n.index()] == cycle)
+            .map(|n| self.arrival[n.index()])
+            .fold(0.0f64, f64::max);
+
+        Ok(Transition {
+            delay,
+            toggles,
+            outputs: self.outputs(),
+        })
+    }
+
+    fn mark_fanout(&mut self, net: usize, cycle: u64) {
+        for &cid in self.netlist.fanout_of(crate::netlist::NetId(net as u32)) {
+            let idx = cid.index();
+            if self.cell_stamp[idx] != cycle {
+                self.cell_stamp[idx] = cycle;
+                self.dirty_lo = self.dirty_lo.min(idx);
+                self.dirty_hi = self.dirty_hi.max(idx);
+            }
+        }
+    }
+
+    fn initialize(&mut self, inputs: &[bool]) {
+        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
+            self.values[pi.index()] = inputs[i];
+        }
+        let mut pins: Vec<bool> = Vec::with_capacity(3);
+        for idx in 0..self.netlist.cell_count() {
+            let cell = &self.netlist.cells()[idx];
+            pins.clear();
+            pins.extend(cell.inputs().iter().map(|n| self.values[n.index()]));
+            self.values[cell.output().index()] = cell.kind().eval(&pins);
+        }
+        self.initialized = true;
+    }
+
+    /// Convenience: applies a little-endian bit-encoded vector.
+    ///
+    /// Bit `i` of `word` feeds primary input `i`. Inputs beyond 64 are set
+    /// to `false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from [`Self::apply`].
+    pub fn apply_word(&mut self, word: u64) -> Result<Transition, NetlistError> {
+        let n = self.netlist.primary_inputs().len();
+        let bits: Vec<bool> = (0..n).map(|i| i < 64 && (word >> i) & 1 == 1).collect();
+        self.apply(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::NetlistBuilder;
+    use crate::sta::StaticTiming;
+
+    fn ripple_adder(bits: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("rca");
+        let a = b.input_bus("a", bits);
+        let x = b.input_bus("b", bits);
+        let mut carry = b.const0().expect("ok");
+        let mut sums = Vec::new();
+        for i in 0..bits {
+            let s = b.cell(CellKind::Xor3, &[a[i], x[i], carry]).expect("ok");
+            carry = b.cell(CellKind::Maj3, &[a[i], x[i], carry]).expect("ok");
+            sums.push(s);
+        }
+        b.output_bus(&sums, "s");
+        b.output(carry, "cout");
+        b.finish().expect("valid")
+    }
+
+    fn adder_inputs(bits: usize, a: u64, b: u64) -> Vec<bool> {
+        let mut v = Vec::with_capacity(bits * 2);
+        for i in 0..bits {
+            v.push((a >> i) & 1 == 1);
+        }
+        for i in 0..bits {
+            v.push((b >> i) & 1 == 1);
+        }
+        v
+    }
+
+    #[test]
+    fn first_apply_reports_zero_delay() {
+        let n = ripple_adder(4);
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        let t = sim.apply(&adder_inputs(4, 5, 9)).expect("apply");
+        assert_eq!(t.delay, 0.0);
+        assert_eq!(t.output_bits() & 0xF, (5 + 9) & 0xF);
+    }
+
+    #[test]
+    fn functional_agreement_with_reference_eval() {
+        let n = ripple_adder(6);
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        let mut state: u64 = 0x2F;
+        for step in 0..200u64 {
+            // Cheap LCG for deterministic pseudo-random vectors.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = state & 0x3F;
+            let b = (state >> 6) & 0x3F;
+            let inputs = adder_inputs(6, a, b);
+            let t = sim.apply(&inputs).expect("apply");
+            let reference = n.evaluate(&inputs).expect("eval");
+            assert_eq!(t.outputs, reference, "divergence at step {step}");
+            let sum = (a + b) & 0x7F;
+            assert_eq!(t.output_bits() & 0x7F, sum, "bad sum at step {step}");
+        }
+    }
+
+    #[test]
+    fn long_carry_is_slower_than_short_carry() {
+        let n = ripple_adder(8);
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        sim.apply(&adder_inputs(8, 0, 0)).expect("init");
+        // 0xFF + 1 ripples the carry through all 8 positions.
+        let long = sim.apply(&adder_inputs(8, 0xFF, 1)).expect("apply").delay;
+        sim.apply(&adder_inputs(8, 0, 0)).expect("reset");
+        // 1 + 1 only disturbs the low bits.
+        let short = sim.apply(&adder_inputs(8, 1, 1)).expect("apply").delay;
+        assert!(
+            long > short * 2.0,
+            "carry ripple must dominate: long={long}, short={short}"
+        );
+    }
+
+    #[test]
+    fn dynamic_delay_bounded_by_sta() {
+        let n = ripple_adder(8);
+        let sta = StaticTiming::analyze(&n, Voltage::NOMINAL).expect("sta");
+        let bound = sta.nominal_period() + 1e-9;
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        let mut state: u64 = 7;
+        for _ in 0..500 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let t = sim
+                .apply(&adder_inputs(8, state & 0xFF, (state >> 8) & 0xFF))
+                .expect("apply");
+            assert!(t.delay <= bound, "dynamic {} exceeds STA {}", t.delay, bound);
+        }
+    }
+
+    #[test]
+    fn voltage_scales_dynamic_delay() {
+        let n = ripple_adder(8);
+        let worst = adder_inputs(8, 0xFF, 1);
+        let zero = adder_inputs(8, 0, 0);
+
+        let mut hi = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        hi.apply(&zero).expect("init");
+        let d_hi = hi.apply(&worst).expect("apply").delay;
+
+        let mut lo = TimingSim::new(&n, Voltage::new(0.72).expect("ok")).expect("sim");
+        lo.apply(&zero).expect("init");
+        let d_lo = lo.apply(&worst).expect("apply").delay;
+
+        let ratio = d_lo / d_hi;
+        assert!((ratio - 1.63).abs() < 1e-9, "0.72 V multiplier, got {ratio}");
+    }
+
+    #[test]
+    fn set_voltage_preserves_state() {
+        let n = ripple_adder(4);
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        sim.apply(&adder_inputs(4, 3, 4)).expect("init");
+        let before = sim.outputs();
+        sim.set_voltage(Voltage::new(0.8).expect("ok"));
+        assert_eq!(sim.outputs(), before);
+        // Re-applying the same vector causes no toggles and no delay.
+        let t = sim.apply(&adder_inputs(4, 3, 4)).expect("apply");
+        assert_eq!(t.toggles, 0);
+        assert_eq!(t.delay, 0.0);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let n = ripple_adder(4);
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        assert!(matches!(
+            sim.apply(&[true, false]).expect_err("short"),
+            NetlistError::InputWidthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn toggle_energy_accumulates() {
+        let n = ripple_adder(4);
+        let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        sim.apply(&adder_inputs(4, 0, 0)).expect("init");
+        sim.apply(&adder_inputs(4, 0xF, 1)).expect("apply");
+        assert!(sim.total_toggles() > 0);
+        assert!(sim.total_switch_energy() > 0.0);
+    }
+
+    #[test]
+    fn apply_word_matches_apply() {
+        let n = ripple_adder(4);
+        let mut s1 = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        let mut s2 = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        for word in [0u64, 0x13, 0xFF, 0xA5] {
+            let bits: Vec<bool> = (0..8).map(|i| (word >> i) & 1 == 1).collect();
+            let a = s1.apply(&bits).expect("ok");
+            let b = s2.apply_word(word).expect("ok");
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Netlist statistics: cell counts, area and power estimates.
+//!
+//! These feed the Sec 6.3 overhead analysis: SynTS's added hardware (Razor
+//! shadow latches, sampling counters, the per-core controller) is sized in
+//! the same normalized cell units as the pipe-stage netlists, so the
+//! power/area overhead ratios are library-consistent.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+use crate::voltage::Voltage;
+
+/// Static structural statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Instance count per cell kind.
+    pub cell_counts: BTreeMap<CellKind, usize>,
+    /// Total number of cell instances.
+    pub total_cells: usize,
+    /// Total area in normalized units (INV = 1.0).
+    pub total_area: f64,
+    /// Sum of per-cell switching energies — an upper bound on the energy of
+    /// a cycle in which every cell toggles once (at 1.0 V).
+    pub max_switch_energy: f64,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs (≈ pipeline-register bits the stage needs).
+    pub outputs: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut cell_counts: BTreeMap<CellKind, usize> = BTreeMap::new();
+        let mut total_area = 0.0;
+        let mut max_switch_energy = 0.0;
+        for cell in netlist.cells() {
+            *cell_counts.entry(cell.kind()).or_insert(0) += 1;
+            let p = cell.kind().params();
+            total_area += p.area;
+            max_switch_energy += p.switch_energy;
+        }
+        NetlistStats {
+            cell_counts,
+            total_cells: netlist.cell_count(),
+            total_area,
+            max_switch_energy,
+            inputs: netlist.primary_inputs().len(),
+            outputs: netlist.primary_outputs().len(),
+        }
+    }
+}
+
+/// Average-activity dynamic power estimate for a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Normalized switching energy consumed over the run.
+    pub energy: f64,
+    /// Number of vectors (cycles) in the run.
+    pub cycles: u64,
+    /// Energy per cycle — proportional to dynamic power at fixed frequency.
+    pub energy_per_cycle: f64,
+}
+
+impl PowerEstimate {
+    /// Builds an estimate from accumulated simulator counters.
+    ///
+    /// `switch_energy` should come from
+    /// [`crate::TimingSim::total_switch_energy`], `cycles` from
+    /// [`crate::TimingSim::applied_vectors`].
+    #[must_use]
+    pub fn from_counters(switch_energy: f64, cycles: u64) -> PowerEstimate {
+        PowerEstimate {
+            energy: switch_energy,
+            cycles,
+            energy_per_cycle: if cycles == 0 {
+                0.0
+            } else {
+                switch_energy / cycles as f64
+            },
+        }
+    }
+
+    /// Rescales the estimate to a different supply voltage
+    /// (dynamic energy ∝ V²).
+    #[must_use]
+    pub fn at_voltage(self, from: Voltage, to: Voltage) -> PowerEstimate {
+        let k = to.energy_scale() / from.energy_scale();
+        PowerEstimate {
+            energy: self.energy * k,
+            cycles: self.cycles,
+            energy_per_cycle: self.energy_per_cycle * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.cell(CellKind::Nand2, &[a, c]).expect("ok");
+        let y = b.cell(CellKind::Inv, &[x]).expect("ok");
+        b.output(y, "y");
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn counts_and_area() {
+        let s = NetlistStats::of(&tiny());
+        assert_eq!(s.total_cells, 2);
+        assert_eq!(s.cell_counts[&CellKind::Nand2], 1);
+        assert_eq!(s.cell_counts[&CellKind::Inv], 1);
+        let expected_area = CellKind::Nand2.params().area + CellKind::Inv.params().area;
+        assert!((s.total_area - expected_area).abs() < 1e-12);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+    }
+
+    #[test]
+    fn power_estimate_per_cycle() {
+        let p = PowerEstimate::from_counters(10.0, 5);
+        assert!((p.energy_per_cycle - 2.0).abs() < 1e-12);
+        let zero = PowerEstimate::from_counters(0.0, 0);
+        assert_eq!(zero.energy_per_cycle, 0.0);
+    }
+
+    #[test]
+    fn voltage_rescale_is_quadratic() {
+        let p = PowerEstimate::from_counters(10.0, 5);
+        let v08 = Voltage::new(0.8).expect("ok");
+        let q = p.at_voltage(Voltage::NOMINAL, v08);
+        assert!((q.energy - 6.4).abs() < 1e-12);
+    }
+}

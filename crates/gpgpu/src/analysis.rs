@@ -1,0 +1,134 @@
+//! Lane-homogeneity analysis: hamming histograms (Fig 5.10) and per-lane
+//! gate-level error curves.
+
+use circuits::{AluEvent, SimpleAlu};
+use gatelib::hamming::HammingHistogram;
+use timing::{max_abs_gap, ErrorCurve, StageCharacterizer, TimingError};
+
+/// The Fig 5.10 product: one hamming-distance histogram per vector-ALU
+/// lane, plus the pairwise-similarity summary that encodes "qualitatively
+/// similar".
+#[derive(Debug, Clone)]
+pub struct LaneActivityReport {
+    /// Per-lane histograms of output hamming distances.
+    pub histograms: Vec<HammingHistogram>,
+    /// Smallest pairwise similarity between any two lanes (1 = identical
+    /// distributions; the paper's homogeneity criterion).
+    pub min_similarity: f64,
+    /// Mean hamming distance per lane.
+    pub mean_distances: Vec<f64>,
+}
+
+impl LaneActivityReport {
+    /// Builds the report from per-lane output traces.
+    #[must_use]
+    pub fn from_outputs(width: usize, lane_outputs: &[Vec<u64>]) -> LaneActivityReport {
+        let histograms: Vec<HammingHistogram> = lane_outputs
+            .iter()
+            .map(|trace| HammingHistogram::from_trace(width, trace.iter().copied()))
+            .collect();
+        let mut min_similarity = 1.0f64;
+        for i in 0..histograms.len() {
+            for j in (i + 1)..histograms.len() {
+                min_similarity = min_similarity.min(histograms[i].similarity(&histograms[j]));
+            }
+        }
+        let mean_distances = histograms.iter().map(HammingHistogram::mean).collect();
+        LaneActivityReport {
+            histograms,
+            min_similarity,
+            mean_distances,
+        }
+    }
+
+    /// Number of lanes analyzed.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.histograms.len()
+    }
+}
+
+/// The stronger homogeneity statement: per-lane error-probability curves on
+/// the VALU datapath and their worst pairwise gap over the TSR range.
+#[derive(Debug, Clone)]
+pub struct LaneErrorReport {
+    /// Per-lane exact error curves.
+    pub curves: Vec<ErrorCurve>,
+    /// Largest |err_i(r) − err_j(r)| over lanes i, j and a TSR grid.
+    pub max_gap: f64,
+}
+
+impl LaneErrorReport {
+    /// Characterizes each lane's event stream on a VALU-shaped datapath
+    /// (the SimpleALU netlist at the unit's width).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimingError`] from the characterization pipeline.
+    pub fn characterize(
+        width: usize,
+        lane_events: &[Vec<AluEvent>],
+        max_samples: usize,
+    ) -> Result<LaneErrorReport, TimingError> {
+        let stage = SimpleAlu::new(width)?;
+        let charac = StageCharacterizer::from_stage(Box::new(stage))?;
+        let curves: Vec<ErrorCurve> = lane_events
+            .iter()
+            .map(|ev| charac.error_curve_sampled(ev, max_samples))
+            .collect::<Result<_, _>>()?;
+        let grid: Vec<f64> = (0..10).map(|i| 0.6 + 0.04 * i as f64).collect();
+        let mut max_gap = 0.0f64;
+        for i in 0..curves.len() {
+            for j in (i + 1)..curves.len() {
+                max_gap = max_gap.max(max_abs_gap(&curves[i], &curves[j], &grid));
+            }
+        }
+        Ok(LaneErrorReport { curves, max_gap })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuKernel, SimdConfig, SimdUnit};
+
+    #[test]
+    fn all_kernels_are_lane_homogeneous() {
+        // The paper's Sec 5.5 finding, reproduced for every kernel: lanes
+        // of a SIMD unit are statistically indistinguishable.
+        let unit = SimdUnit::new(SimdConfig::hd7970());
+        for kernel in GpuKernel::ALL {
+            let run = unit.run(kernel, 4096, 17);
+            let report = run.hamming_report();
+            assert_eq!(report.lanes(), 16);
+            assert!(
+                report.min_similarity > 0.85,
+                "{kernel}: lanes diverge, similarity {}",
+                report.min_similarity
+            );
+        }
+    }
+
+    #[test]
+    fn error_curves_are_lane_homogeneous() {
+        let unit = SimdUnit::new(SimdConfig::hd7970());
+        let run = unit.run(GpuKernel::MatrixMult, 1024, 23);
+        let report = run.lane_error_report(150).expect("characterizes");
+        assert_eq!(report.curves.len(), 16);
+        assert!(
+            report.max_gap < 0.15,
+            "per-lane error curves should agree, gap {}",
+            report.max_gap
+        );
+    }
+
+    #[test]
+    fn report_handles_degenerate_lanes() {
+        // Two lanes, one silent: similarity collapses, means reflect it.
+        let outputs = vec![vec![0u64; 50], (0..50u64).collect()];
+        let report = LaneActivityReport::from_outputs(16, &outputs);
+        assert_eq!(report.lanes(), 2);
+        assert!(report.min_similarity < 0.5);
+        assert_eq!(report.mean_distances[0], 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # gpgpu — the SynTS GPGPU case study substrate (paper Sec 3.2, 5.5)
+//!
+//! The paper asks whether timing speculation on a GPGPU needs per-lane
+//! tuning, modeling a Radeon HD 7970 with Multi2Sim + the MIAOW RTL: it
+//! extracts cycle-by-cycle inputs to the 16 vector-ALU lanes of a SIMD
+//! unit, plots per-lane hamming-distance histograms of the outputs
+//! (Fig 5.10), and finds them *homogeneous* — every multi-threaded kernel
+//! spreads statistically identical work across lanes, so per-core TS
+//! suffices and SynTS's heterogeneity machinery is not needed there.
+//!
+//! This crate rebuilds that pipeline: a compute-unit model with 16 VALU
+//! lanes executing wavefronts in lockstep, instrumented GPGPU kernels
+//! (BlackScholes, EigenValue, MatrixMult, FFT, BinarySearch, StreamCluster,
+//! Swaptions, X264-SAD), per-lane hamming-distance histograms, and per-lane
+//! gate-level error curves for the stronger form of the homogeneity check.
+//!
+//! ```
+//! use gpgpu::{GpuKernel, SimdConfig, SimdUnit};
+//!
+//! let unit = SimdUnit::new(SimdConfig::hd7970());
+//! let run = unit.run(GpuKernel::MatrixMult, 2048, 7);
+//! let report = run.hamming_report();
+//! // All 16 lanes look alike: the paper's homogeneity finding.
+//! assert!(report.min_similarity > 0.9);
+//! ```
+
+mod analysis;
+mod kernels;
+mod simd;
+
+pub use analysis::{LaneActivityReport, LaneErrorReport};
+pub use kernels::GpuKernel;
+pub use simd::{LaneCtx, SimdConfig, SimdRun, SimdUnit};

@@ -1,0 +1,224 @@
+//! The SIMD compute-unit model: 16 vector-ALU lanes executing wavefronts
+//! of work-items in lockstep (one GCN SIMD unit of the HD 7970).
+
+use circuits::AluEvent;
+use workloads::Recorder;
+
+use crate::analysis::{LaneActivityReport, LaneErrorReport};
+use crate::kernels::GpuKernel;
+
+/// Geometry of one SIMD unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdConfig {
+    /// Vector-ALU lanes per SIMD unit.
+    pub lanes: usize,
+    /// Work-items per wavefront (executed `wavefront / lanes` cycles per
+    /// instruction).
+    pub wavefront: usize,
+    /// Datapath width of the recorded operands.
+    pub width: usize,
+}
+
+impl SimdConfig {
+    /// The HD 7970 (GCN) shape the paper studies: 16 lanes, 64-wide
+    /// wavefronts.
+    #[must_use]
+    pub fn hd7970() -> SimdConfig {
+        SimdConfig {
+            lanes: 16,
+            wavefront: 64,
+            width: 16,
+        }
+    }
+}
+
+/// One lane's execution context inside a kernel invocation: an instrumented
+/// integer datapath plus the work-item's global id.
+#[derive(Debug)]
+pub struct LaneCtx<'a> {
+    /// The instrumented datapath (records every ALU op with operands).
+    pub rec: &'a mut Recorder,
+    /// Global work-item id.
+    pub gid: u64,
+    /// A per-item pseudo-random value derived from the run seed (stands in
+    /// for the item's input data).
+    pub data: u64,
+}
+
+/// A SIMD unit ready to execute kernels.
+#[derive(Debug, Clone)]
+pub struct SimdUnit {
+    config: SimdConfig,
+}
+
+impl SimdUnit {
+    /// Creates a unit with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavefront` is not a positive multiple of `lanes`.
+    #[must_use]
+    pub fn new(config: SimdConfig) -> SimdUnit {
+        assert!(
+            config.lanes > 0 && config.wavefront.is_multiple_of(config.lanes),
+            "wavefront must be a positive multiple of the lane count"
+        );
+        SimdUnit { config }
+    }
+
+    /// The unit's geometry.
+    #[must_use]
+    pub fn config(&self) -> SimdConfig {
+        self.config
+    }
+
+    /// Executes `kernel` over `n_items` work-items with the given seed.
+    ///
+    /// Work-items map to lanes the way GCN does: item `g` executes on lane
+    /// `g mod lanes` (consecutive items across lanes, wavefront by
+    /// wavefront).
+    #[must_use]
+    pub fn run(&self, kernel: GpuKernel, n_items: usize, seed: u64) -> SimdRun {
+        let mut recorders: Vec<Recorder> = (0..self.config.lanes)
+            .map(|_| Recorder::new(self.config.width))
+            .collect();
+        for gid in 0..n_items as u64 {
+            let lane = (gid as usize) % self.config.lanes;
+            // SplitMix64 per-item data (full finalizer so lane striding
+            // leaves no residual structure).
+            let mut z = gid
+                .wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let data = z ^ (z >> 31);
+            let mut ctx = LaneCtx {
+                rec: &mut recorders[lane],
+                gid,
+                data,
+            };
+            kernel.execute(&mut ctx);
+        }
+        SimdRun {
+            config: self.config,
+            kernel,
+            lane_events: recorders
+                .into_iter()
+                .map(|r| r.finish().events)
+                .collect(),
+        }
+    }
+}
+
+/// The result of one kernel execution: per-lane ALU event streams.
+#[derive(Debug, Clone)]
+pub struct SimdRun {
+    config: SimdConfig,
+    kernel: GpuKernel,
+    lane_events: Vec<Vec<AluEvent>>,
+}
+
+impl SimdRun {
+    /// The executed kernel.
+    #[must_use]
+    pub fn kernel(&self) -> GpuKernel {
+        self.kernel
+    }
+
+    /// The unit geometry used.
+    #[must_use]
+    pub fn config(&self) -> SimdConfig {
+        self.config
+    }
+
+    /// Per-lane ALU event streams.
+    #[must_use]
+    pub fn lane_events(&self) -> &[Vec<AluEvent>] {
+        &self.lane_events
+    }
+
+    /// Per-lane output-value traces (the VALU result each cycle), the input
+    /// to the Fig 5.10 hamming analysis.
+    #[must_use]
+    pub fn lane_outputs(&self) -> Vec<Vec<u64>> {
+        self.lane_events
+            .iter()
+            .map(|events| {
+                events
+                    .iter()
+                    .map(|e| e.result(self.config.width))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The Fig 5.10 analysis: per-lane hamming-distance histograms plus a
+    /// pairwise similarity summary.
+    #[must_use]
+    pub fn hamming_report(&self) -> LaneActivityReport {
+        LaneActivityReport::from_outputs(self.config.width, &self.lane_outputs())
+    }
+
+    /// The stronger homogeneity check: per-lane gate-level error curves on
+    /// a VALU datapath, with their maximum pairwise gap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`timing::TimingError`] from characterization.
+    pub fn lane_error_report(
+        &self,
+        max_samples: usize,
+    ) -> Result<LaneErrorReport, timing::TimingError> {
+        LaneErrorReport::characterize(self.config.width, &self.lane_events, max_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_items_stripe_across_lanes() {
+        let unit = SimdUnit::new(SimdConfig::hd7970());
+        let run = unit.run(GpuKernel::BinarySearch, 1600, 3);
+        let counts: Vec<usize> = run.lane_events().iter().map(Vec::len).collect();
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        assert!(min > 0);
+        // 1600 items over 16 lanes: perfectly balanced item counts; event
+        // counts may vary slightly with data-dependent control flow.
+        assert!((max - min) as f64 / max as f64 <= 0.2, "{counts:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let unit = SimdUnit::new(SimdConfig::hd7970());
+        let a = unit.run(GpuKernel::BlackScholes, 320, 11);
+        let b = unit.run(GpuKernel::BlackScholes, 320, 11);
+        assert_eq!(a.lane_events(), b.lane_events());
+    }
+
+    #[test]
+    fn outputs_match_event_semantics() {
+        let unit = SimdUnit::new(SimdConfig::hd7970());
+        let run = unit.run(GpuKernel::MatrixMult, 160, 5);
+        let outs = run.lane_outputs();
+        for (lane, events) in run.lane_events().iter().enumerate() {
+            assert_eq!(outs[lane].len(), events.len());
+            for (o, e) in outs[lane].iter().zip(events) {
+                assert_eq!(*o, e.result(16));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the lane count")]
+    fn bad_geometry_rejected() {
+        let _ = SimdUnit::new(SimdConfig {
+            lanes: 16,
+            wavefront: 40,
+            width: 16,
+        });
+    }
+}

@@ -1,0 +1,216 @@
+//! Depth-first branch-and-bound over the simplex relaxation.
+
+use crate::problem::{Problem, Relation, Solution, SolveError};
+
+const INT_TOL: f64 = 1e-6;
+const MAX_NODES: usize = 100_000;
+
+/// Solves `problem` to integral optimality.
+pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    // Fast path: nothing integral.
+    if !problem.integer.iter().any(|&b| b) {
+        return problem.solve_lp();
+    }
+    let mut best: Option<Solution> = None;
+    let mut stack: Vec<Problem> = vec![problem.clone()];
+    let mut nodes = 0usize;
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > MAX_NODES {
+            return Err(SolveError::IterationLimit);
+        }
+        let relaxed = match node.solve_lp() {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        // Bound: prune if the relaxation can't beat the incumbent.
+        if let Some(ref inc) = best {
+            if relaxed.objective >= inc.objective - 1e-9 {
+                continue;
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        for (v, &is_int) in problem.integer.iter().enumerate() {
+            if !is_int {
+                continue;
+            }
+            let val = relaxed.x[v];
+            let frac = (val - val.round()).abs();
+            if frac > INT_TOL {
+                let dist_to_half = (val.fract() - 0.5).abs();
+                match branch {
+                    None => branch = Some((v, dist_to_half)),
+                    Some((_, d)) if dist_to_half < d => branch = Some((v, dist_to_half)),
+                    _ => {}
+                }
+            }
+        }
+        match branch {
+            None => {
+                // Integral: new incumbent (rounded clean).
+                let mut x = relaxed.x.clone();
+                for (v, &is_int) in problem.integer.iter().enumerate() {
+                    if is_int {
+                        x[v] = x[v].round();
+                    }
+                }
+                best = Some(Solution {
+                    objective: relaxed.objective,
+                    x,
+                });
+            }
+            Some((v, _)) => {
+                let val = relaxed.x[v];
+                let floor = val.floor();
+                // Down branch: x_v <= floor.
+                let mut down = node.clone();
+                down.constraint(&[(v, 1.0)], Relation::Le, floor);
+                // Up branch: x_v >= floor + 1.
+                let mut up = node;
+                up.constraint(&[(v, 1.0)], Relation::Ge, floor + 1.0);
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+    // No integral point anywhere in the tree means integral-infeasible.
+    best.ok_or(SolveError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Problem, Relation, SolveError};
+
+    #[test]
+    fn knapsack_0_1() {
+        // max 10a + 13b + 7c, weight 3a + 4b + 2c <= 6 => a + c? values:
+        // a+b w=7 no; a+c w=5 val=17; b+c w=6 val=20 -> best b+c.
+        let mut p = Problem::minimize(3);
+        p.set_objective(0, -10.0);
+        p.set_objective(1, -13.0);
+        p.set_objective(2, -7.0);
+        p.constraint(&[(0, 3.0), (1, 4.0), (2, 2.0)], Relation::Le, 6.0);
+        for v in 0..3 {
+            p.set_binary(v);
+        }
+        let s = p.solve_milp().expect("feasible");
+        assert!((s.objective + 20.0).abs() < 1e-6);
+        assert!(s.x[0].abs() < 1e-6);
+        assert!((s.x[1] - 1.0).abs() < 1e-6);
+        assert!((s.x[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // LP optimum is fractional; ILP must settle for less.
+        // max x + y s.t. 2x + 2y <= 3, x, y binary -> LP 1.5, ILP 1.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -1.0);
+        p.set_objective(1, -1.0);
+        p.constraint(&[(0, 2.0), (1, 2.0)], Relation::Le, 3.0);
+        p.set_binary(0);
+        p.set_binary(1);
+        let lp = p.solve_lp().expect("lp");
+        assert!((lp.objective + 1.5).abs() < 1e-9);
+        let ilp = p.solve_milp().expect("ilp");
+        assert!((ilp.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 2 workers x 2 tasks, costs [[1, 10], [10, 2]]; best = 3.
+        // x_ij binary, each worker one task, each task one worker.
+        let mut p = Problem::minimize(4); // x00 x01 x10 x11
+        let costs = [1.0, 10.0, 10.0, 2.0];
+        for (v, &c) in costs.iter().enumerate() {
+            p.set_objective(v, c);
+            p.set_binary(v);
+        }
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 1.0);
+        p.constraint(&[(2, 1.0), (3, 1.0)], Relation::Eq, 1.0);
+        p.constraint(&[(0, 1.0), (2, 1.0)], Relation::Eq, 1.0);
+        p.constraint(&[(1, 1.0), (3, 1.0)], Relation::Eq, 1.0);
+        let s = p.solve_milp().expect("feasible");
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 2x = 1 with x integer.
+        let mut p = Problem::minimize(1);
+        p.set_integer(0);
+        p.constraint(&[(0, 2.0)], Relation::Eq, 1.0);
+        assert_eq!(
+            p.solve_milp().expect_err("no integral point"),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn continuous_passthrough() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, 1.0);
+        p.constraint(&[(0, 1.0)], Relation::Ge, 0.5);
+        let s = p.solve_milp().expect("feasible");
+        assert!((s.x[0] - 0.5).abs() < 1e-9, "no integers declared: LP result");
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min 2i + c s.t. i + c >= 2.5, i integer, c <= 0.4
+        // -> c = 0.4, i = ceil(2.1) ... i >= 2.1 -> i = 3? obj 6.4;
+        //    i = 2, c = 0.5 violates c <= 0.4; so i = 3, c = 0 is 6.0. Check:
+        //    i=3, c=0 satisfies 3 >= 2.5. obj = 6.0 < 6.4. Optimal: 6.0.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 2.0);
+        p.set_objective(1, 1.0);
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 2.5);
+        p.constraint(&[(1, 1.0)], Relation::Le, 0.4);
+        p.set_integer(0);
+        let s = p.solve_milp().expect("feasible");
+        assert!((s.objective - 6.0).abs() < 1e-6, "got {}", s.objective);
+        assert!((s.x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_binary_problems_match_exhaustive() {
+        // 4 binary vars, random objective and one random <= constraint;
+        // brute force all 16 assignments.
+        let mut state = 0x5bd1e995u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // [-1, 1)
+        };
+        for case in 0..40 {
+            let c: Vec<f64> = (0..4).map(|_| next()).collect();
+            let a: Vec<f64> = (0..4).map(|_| next().abs()).collect();
+            let b = next().abs() * 2.0;
+            let mut p = Problem::minimize(4);
+            for v in 0..4 {
+                p.set_objective(v, c[v]);
+                p.set_binary(v);
+            }
+            let coeffs: Vec<(usize, f64)> = a.iter().cloned().enumerate().collect();
+            p.constraint(&coeffs, crate::Relation::Le, b);
+            let milp = p.solve_milp().expect("binary feasible: all-zero works");
+            // Brute force.
+            let mut best = f64::INFINITY;
+            for bits in 0..16u32 {
+                let xs: Vec<f64> = (0..4).map(|v| f64::from((bits >> v) & 1)).collect();
+                let weight: f64 = xs.iter().zip(&a).map(|(x, w)| x * w).sum();
+                if weight <= b + 1e-9 {
+                    let obj: f64 = xs.iter().zip(&c).map(|(x, cc)| x * cc).sum();
+                    best = best.min(obj);
+                }
+            }
+            assert!(
+                (milp.objective - best).abs() < 1e-6,
+                "case {case}: milp {} vs brute {best}",
+                milp.objective
+            );
+        }
+    }
+}

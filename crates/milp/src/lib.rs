@@ -1,0 +1,36 @@
+//! # milp — a small dense LP/MILP solver
+//!
+//! The SynTS paper reduces its joint voltage/frequency/speculation
+//! assignment to a mixed-integer linear program, SynTS-MILP (Sec 4.2.1,
+//! Eq 4.5–4.10), and hands it to "a standard MILP solver". No such solver is
+//! available offline, so this crate supplies one: a textbook two-phase
+//! simplex over a dense tableau with Bland's anti-cycling rule, wrapped in a
+//! depth-first branch-and-bound for integer variables.
+//!
+//! It is deliberately small — SynTS-MILP has `M·Q·S + 1` variables
+//! (169 for the paper's configuration) — and exact: solutions are validated
+//! against exhaustive enumeration and against the paper's polynomial
+//! algorithm in the `synts-core` test-suite.
+//!
+//! ```
+//! use milp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), milp::SolveError> {
+//! // maximize x + y  s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+//! // (as minimization of -(x + y))
+//! let mut p = Problem::minimize(2);
+//! p.set_objective(0, -1.0);
+//! p.set_objective(1, -1.0);
+//! p.constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 4.0);
+//! p.constraint(&[(0, 3.0), (1, 1.0)], Relation::Le, 6.0);
+//! let sol = p.solve_lp()?;
+//! assert!((sol.objective - (-2.8)).abs() < 1e-9); // x=1.6, y=1.2
+//! # Ok(())
+//! # }
+//! ```
+
+mod bb;
+mod problem;
+mod simplex;
+
+pub use problem::{Problem, Relation, Solution, SolveError};

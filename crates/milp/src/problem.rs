@@ -1,0 +1,199 @@
+//! Problem construction API and solver entry points.
+
+use std::error::Error;
+use std::fmt;
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) coeffs: Vec<(usize, f64)>,
+    pub(crate) rel: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// Why a solve failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// The simplex or branch-and-bound iteration budget was exhausted.
+    IterationLimit,
+    /// A constraint referenced a variable index outside the problem.
+    BadVariable(usize),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::IterationLimit => write!(f, "iteration limit exhausted"),
+            SolveError::BadVariable(i) => write!(f, "unknown variable index {i}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Values of the structural variables.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+}
+
+/// A linear program / mixed-integer linear program in minimization form:
+/// `min c·x` subject to linear constraints and `x ≥ 0`.
+///
+/// Mark variables integral with [`Problem::set_integer`] and solve with
+/// [`Problem::solve_milp`]; leave all continuous and use
+/// [`Problem::solve_lp`].
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) n: usize,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) integer: Vec<bool>,
+}
+
+impl Problem {
+    /// A minimization problem over `n` non-negative variables with an
+    /// all-zero objective (set coefficients with [`Problem::set_objective`]).
+    #[must_use]
+    pub fn minimize(n: usize) -> Problem {
+        Problem {
+            n,
+            objective: vec![0.0; n],
+            constraints: Vec::new(),
+            integer: vec![false; n],
+        }
+    }
+
+    /// Number of structural variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.n, "variable {var} out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Adds the constraint `Σ coeffs ⟨rel⟩ rhs`.
+    ///
+    /// Duplicate variable entries are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn constraint(&mut self, coeffs: &[(usize, f64)], rel: Relation, rhs: f64) {
+        for &(v, _) in coeffs {
+            assert!(v < self.n, "variable {v} out of range");
+        }
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
+    }
+
+    /// Declares variable `var` integer-valued (for [`Problem::solve_milp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_integer(&mut self, var: usize) {
+        assert!(var < self.n, "variable {var} out of range");
+        self.integer[var] = true;
+    }
+
+    /// Declares variable `var` binary: integer with `var ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_binary(&mut self, var: usize) {
+        self.set_integer(var);
+        self.constraints.push(Constraint {
+            coeffs: vec![(var, 1.0)],
+            rel: Relation::Le,
+            rhs: 1.0,
+        });
+    }
+
+    /// Solves the continuous relaxation with two-phase simplex.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`] or
+    /// [`SolveError::IterationLimit`].
+    pub fn solve_lp(&self) -> Result<Solution, SolveError> {
+        crate::simplex::solve(self)
+    }
+
+    /// Solves the problem respecting integrality via branch-and-bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if no integral feasible point exists,
+    /// [`SolveError::Unbounded`] if the relaxation is unbounded, or
+    /// [`SolveError::IterationLimit`] if the node budget is exhausted.
+    pub fn solve_milp(&self) -> Result<Solution, SolveError> {
+        crate::bb::solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validation_panics_on_bad_var() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(1, 1.0);
+        let result = std::panic::catch_unwind(move || {
+            p.set_objective(5, 1.0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn counts() {
+        let mut p = Problem::minimize(3);
+        p.constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.num_constraints(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+    }
+}

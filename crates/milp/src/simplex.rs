@@ -1,0 +1,313 @@
+//! Two-phase dense simplex with Bland's anti-cycling rule.
+//!
+//! Standard-form transformation: every constraint gets its right-hand side
+//! made non-negative, then `≤` rows receive a slack, `≥` rows a surplus plus
+//! an artificial, and `=` rows an artificial. Phase 1 minimizes the sum of
+//! artificials (feasibility); phase 2 minimizes the true objective with
+//! artificial columns barred from entering the basis.
+
+use crate::problem::{Problem, Relation, Solution, SolveError};
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 50_000;
+
+struct Tableau {
+    /// `m × (ncols + 1)` rows; last column is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Columns barred from entering (artificials in phase 2).
+    barred: Vec<bool>,
+    ncols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[i][self.ncols]
+    }
+
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let scale = self.rows[prow][pcol];
+        debug_assert!(scale.abs() > EPS, "pivot on (near-)zero element");
+        for v in self.rows[prow].iter_mut() {
+            *v /= scale;
+        }
+        let pivot_row = self.rows[prow].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == prow {
+                continue;
+            }
+            let factor = row[pcol];
+            if factor.abs() > EPS {
+                for (v, pr) in row.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pr;
+                }
+            }
+        }
+        self.basis[prow] = pcol;
+    }
+
+    /// Runs simplex iterations on the given cost vector until optimal.
+    ///
+    /// `costs[j]` is the original cost of column j. Returns the optimal
+    /// objective value, or an error.
+    fn optimize(&mut self, costs: &[f64]) -> Result<f64, SolveError> {
+        for _ in 0..MAX_ITERS {
+            // Reduced costs r_j = c_j - c_B · B⁻¹ A_j. The tableau rows are
+            // already B⁻¹ A, so r_j = c_j - Σ_i costs[basis_i] * rows[i][j].
+            let mut entering: Option<usize> = None;
+            for j in 0..self.ncols {
+                if self.barred[j] || self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = costs[j];
+                for (i, row) in self.rows.iter().enumerate() {
+                    let cb = costs[self.basis[i]];
+                    if cb != 0.0 {
+                        r -= cb * row[j];
+                    }
+                }
+                if r < -EPS {
+                    entering = Some(j); // Bland: first (smallest) index
+                    break;
+                }
+            }
+            let Some(q) = entering else {
+                // Optimal: objective = c_B · b.
+                let obj = self
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| costs[self.basis[i]] * self.rhs(i))
+                    .sum();
+                return Ok(obj);
+            };
+            // Ratio test (Bland: ties broken by smallest basis variable).
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][q];
+                if a > EPS {
+                    let ratio = self.rhs(i) / a;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((p, _)) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(p, q);
+        }
+        Err(SolveError::IterationLimit)
+    }
+}
+
+/// Solves the LP relaxation of `problem`.
+pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    let n = problem.n;
+    let m = problem.constraints.len();
+
+    // Column layout: [structural n | slack/surplus | artificial].
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for c in &problem.constraints {
+        // Normalize to rhs >= 0 first; relation may flip.
+        let rel = effective_relation(c.rel, c.rhs);
+        match rel {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+    }
+    let ncols = n + n_slack + n_art;
+    let mut rows = vec![vec![0.0; ncols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut is_artificial = vec![false; ncols];
+
+    let mut slack_next = n;
+    let mut art_next = n + n_slack;
+    for (i, c) in problem.constraints.iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(v, a) in &c.coeffs {
+            rows[i][v] += sign * a;
+        }
+        rows[i][ncols] = sign * c.rhs;
+        let rel = effective_relation(c.rel, c.rhs);
+        match rel {
+            Relation::Le => {
+                rows[i][slack_next] = 1.0;
+                basis[i] = slack_next;
+                slack_next += 1;
+            }
+            Relation::Ge => {
+                rows[i][slack_next] = -1.0;
+                slack_next += 1;
+                rows[i][art_next] = 1.0;
+                is_artificial[art_next] = true;
+                basis[i] = art_next;
+                art_next += 1;
+            }
+            Relation::Eq => {
+                rows[i][art_next] = 1.0;
+                is_artificial[art_next] = true;
+                basis[i] = art_next;
+                art_next += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        rows,
+        basis,
+        barred: vec![false; ncols],
+        ncols,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        let phase1_costs: Vec<f64> = (0..ncols)
+            .map(|j| if is_artificial[j] { 1.0 } else { 0.0 })
+            .collect();
+        let w = t.optimize(&phase1_costs)?;
+        if w > 1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for i in 0..t.rows.len() {
+            if is_artificial[t.basis[i]] {
+                if let Some(j) = (0..ncols)
+                    .find(|&j| !is_artificial[j] && t.rows[i][j].abs() > EPS)
+                {
+                    t.pivot(i, j);
+                }
+                // If no pivot exists the row is redundant (all-zero); the
+                // artificial stays basic at value 0, which is harmless once
+                // artificial columns are barred below.
+            }
+        }
+        for j in 0..ncols {
+            if is_artificial[j] {
+                t.barred[j] = true;
+            }
+        }
+    }
+
+    // Phase 2: true objective (zero cost on slack/artificial columns).
+    let mut costs = vec![0.0; ncols];
+    costs[..n].copy_from_slice(&problem.objective);
+    let objective = t.optimize(&costs)?;
+
+    let mut x = vec![0.0; n];
+    for (i, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            x[b] = t.rhs(i);
+        }
+    }
+    Ok(Solution { x, objective })
+}
+
+fn effective_relation(rel: Relation, rhs: f64) -> Relation {
+    if rhs >= 0.0 {
+        rel
+    } else {
+        match rel {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Problem, Relation, SolveError};
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), 36.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -3.0);
+        p.set_objective(1, -5.0);
+        p.constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        p.constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        p.constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = p.solve_lp().expect("feasible");
+        assert!((s.objective + 36.0).abs() < 1e-9);
+        assert!((s.x[0] - 2.0).abs() < 1e-9);
+        assert!((s.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y = 10, x >= 3 => any split works, obj 10.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 10.0);
+        p.constraint(&[(0, 1.0)], Relation::Ge, 3.0);
+        let s = p.solve_lp().expect("feasible");
+        assert!((s.objective - 10.0).abs() < 1e-9);
+        assert!(s.x[0] >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize(1);
+        p.constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        p.constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(p.solve_lp().expect_err("infeasible"), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, -1.0); // minimize -x with x unconstrained above
+        assert_eq!(p.solve_lp().expect_err("unbounded"), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -2 with min x: y must exceed x by 2; x can be 0.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 0.1);
+        p.constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, -2.0);
+        let s = p.solve_lp().expect("feasible");
+        assert!(s.x[1] - s.x[0] >= 2.0 - 1e-9);
+        assert!((s.objective - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the optimum.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -1.0);
+        p.set_objective(1, -1.0);
+        for _ in 0..4 {
+            p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        }
+        p.constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        let s = p.solve_lp().expect("feasible");
+        assert!((s.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // min x with no constraints: x = 0.
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, 1.0);
+        let s = p.solve_lp().expect("feasible");
+        assert_eq!(s.objective, 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the LP/MILP solver: relaxation bounds, feasibility
+//! of returned points, binary integrality.
+
+use milp::{Problem, Relation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomBinary {
+    costs: Vec<f64>,
+    weights: Vec<f64>,
+    budget: f64,
+}
+
+fn binary_strategy() -> impl Strategy<Value = RandomBinary> {
+    (2usize..5).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-5.0f64..5.0, n),
+            prop::collection::vec(0.1f64..3.0, n),
+            0.5f64..6.0,
+        )
+            .prop_map(|(costs, weights, budget)| RandomBinary {
+                costs,
+                weights,
+                budget,
+            })
+    })
+}
+
+fn build(rb: &RandomBinary) -> Problem {
+    let n = rb.costs.len();
+    let mut p = Problem::minimize(n);
+    for v in 0..n {
+        p.set_objective(v, rb.costs[v]);
+        p.set_binary(v);
+    }
+    let coeffs: Vec<(usize, f64)> = rb.weights.iter().copied().enumerate().collect();
+    p.constraint(&coeffs, Relation::Le, rb.budget);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_relaxation_lower_bounds_the_milp(rb in binary_strategy()) {
+        let p = build(&rb);
+        let lp = p.solve_lp().expect("all-zero is feasible");
+        let milp = p.solve_milp().expect("all-zero is feasible");
+        prop_assert!(lp.objective <= milp.objective + 1e-6,
+            "LP {} must lower-bound MILP {}", lp.objective, milp.objective);
+    }
+
+    #[test]
+    fn milp_solution_is_feasible_and_binary(rb in binary_strategy()) {
+        let p = build(&rb);
+        let sol = p.solve_milp().expect("feasible");
+        let mut weight = 0.0;
+        for (x, w) in sol.x.iter().zip(&rb.weights) {
+            prop_assert!((x.round() - x).abs() < 1e-6, "non-integral {x}");
+            prop_assert!(*x > -1e-9 && *x < 1.0 + 1e-9, "out of binary range {x}");
+            weight += x * w;
+        }
+        prop_assert!(weight <= rb.budget + 1e-6, "constraint violated");
+    }
+
+    #[test]
+    fn milp_matches_brute_force(rb in binary_strategy()) {
+        let p = build(&rb);
+        let sol = p.solve_milp().expect("feasible");
+        let n = rb.costs.len();
+        let mut best = f64::INFINITY;
+        for bits in 0u32..(1 << n) {
+            let xs: Vec<f64> = (0..n).map(|v| f64::from((bits >> v) & 1)).collect();
+            let w: f64 = xs.iter().zip(&rb.weights).map(|(x, w)| x * w).sum();
+            if w <= rb.budget + 1e-9 {
+                let c: f64 = xs.iter().zip(&rb.costs).map(|(x, c)| x * c).sum();
+                best = best.min(c);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "milp {} vs brute {best}", sol.objective);
+    }
+}

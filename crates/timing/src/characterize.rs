@@ -1,0 +1,385 @@
+//! The cross-layer characterization pipeline (paper Fig 5.8):
+//! operand trace → stage input vectors → dynamic timing simulation →
+//! sensitized delay trace → error-probability curve.
+
+use circuits::{build_stage, AluEvent, PipeStage, StageKind};
+use gatelib::variation::DelayFactors;
+use gatelib::{StaticTiming, TimingSim, Voltage};
+
+use crate::err_curve::ErrorCurve;
+use crate::error::TimingError;
+use crate::trace::DelayTrace;
+
+/// Characterizes one pipe stage: owns the stage netlist and its STA-derived
+/// nominal period, and replays event streams through the timing simulator.
+///
+/// See the [crate-level example](crate) for usage.
+pub struct StageCharacterizer {
+    stage: Box<dyn PipeStage>,
+    tnom_v1: f64,
+    /// Per-cell delay factors of the die instance being characterized
+    /// (`None` = the nominal, variation-free die).
+    die: Option<DelayFactors>,
+}
+
+/// How a die instance's clock budget is derived when characterizing under
+/// process variation or aging ([`StageCharacterizer::from_stage_on_die`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DieTiming {
+    /// Speed binning: the die is clocked at its *own* point of first
+    /// failure (factored STA). Normalized delays stay ≤ 1 and `err(1) = 0`.
+    Binned,
+    /// The design's nominal clock is kept regardless of the die: a slow or
+    /// aged die can then sensitize paths *longer* than the period, so
+    /// `err(r)` may be nonzero even at `r = 1` — the "aging consumed the
+    /// guard band" regime the paper's introduction motivates.
+    DesignNominal,
+}
+
+impl StageCharacterizer {
+    /// Builds the given stage at the given datapath width and runs STA on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction/analysis failures as
+    /// [`TimingError::Netlist`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths (see [`circuits::build_stage`]).
+    pub fn new(kind: StageKind, width: usize) -> Result<StageCharacterizer, TimingError> {
+        StageCharacterizer::from_stage(build_stage(kind, width)?)
+    }
+
+    /// Wraps an already-built stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STA failures as [`TimingError::Netlist`].
+    pub fn from_stage(stage: Box<dyn PipeStage>) -> Result<StageCharacterizer, TimingError> {
+        let sta = StaticTiming::analyze(stage.netlist(), Voltage::NOMINAL)?;
+        Ok(StageCharacterizer {
+            tnom_v1: sta.nominal_period(),
+            stage,
+            die: None,
+        })
+    }
+
+    /// Wraps a stage instantiated on a specific die (process-variation
+    /// and/or aging [`DelayFactors`] from [`gatelib::variation`]), with the
+    /// clock budget chosen by `timing`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STA failures and factor/cell-count mismatches as
+    /// [`TimingError::Netlist`].
+    pub fn from_stage_on_die(
+        stage: Box<dyn PipeStage>,
+        factors: DelayFactors,
+        timing: DieTiming,
+    ) -> Result<StageCharacterizer, TimingError> {
+        let tnom_v1 = match timing {
+            DieTiming::Binned => {
+                StaticTiming::analyze_with_factors(stage.netlist(), Voltage::NOMINAL, &factors)?
+                    .nominal_period()
+            }
+            DieTiming::DesignNominal => {
+                StaticTiming::analyze(stage.netlist(), Voltage::NOMINAL)?.nominal_period()
+            }
+        };
+        Ok(StageCharacterizer {
+            tnom_v1,
+            stage,
+            die: Some(factors),
+        })
+    }
+
+    /// The stage under characterization.
+    #[must_use]
+    pub fn stage(&self) -> &dyn PipeStage {
+        self.stage.as_ref()
+    }
+
+    /// The stage's nominal clock period at 1.0 V (STA critical path).
+    #[must_use]
+    pub fn tnom_v1(&self) -> f64 {
+        self.tnom_v1
+    }
+
+    /// The stage's nominal clock period at an arbitrary voltage
+    /// (`t_nom(V)`, Sec 4.1).
+    #[must_use]
+    pub fn tnom(&self, voltage: Voltage) -> f64 {
+        self.tnom_v1 * voltage.delay_scale()
+    }
+
+    /// Replays `events` through the stage and records the sensitized delay
+    /// of every instruction whose operands reach the stage.
+    ///
+    /// Which events those are is the stage's [`PipeStage::accepts`] map:
+    /// decode and the SimpleALU operand bus see every instruction, while
+    /// the operand-isolated multiplier sees only multiplies — mirroring how
+    /// the paper extracts per-stage input vectors from Gem5.
+    ///
+    /// The first accepted event initializes the circuit state and is not
+    /// recorded (it has no predecessor vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::EmptyTrace`] if fewer than two events reach
+    /// the stage.
+    pub fn delay_trace(&self, events: &[AluEvent]) -> Result<DelayTrace, TimingError> {
+        self.delay_trace_sampled(events, usize::MAX)
+    }
+
+    /// Like [`Self::delay_trace`], but caps the number of *recorded*
+    /// instructions at `max_samples` by striding uniformly through the
+    /// events — the cheap path for long workload intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::EmptyTrace`] if fewer than two events reach
+    /// the stage.
+    pub fn delay_trace_sampled(
+        &self,
+        events: &[AluEvent],
+        max_samples: usize,
+    ) -> Result<DelayTrace, TimingError> {
+        let accepted: Vec<&AluEvent> = events
+            .iter()
+            .filter(|e| self.stage.accepts(e.op))
+            .collect();
+        if accepted.len() < 2 {
+            return Err(TimingError::EmptyTrace);
+        }
+        // Striding keeps consecutive pairs (the delay of instruction k
+        // depends on the state left by instruction k-1), so we subsample
+        // windows of 2 rather than isolated events. The stride is forced
+        // odd so that instruction streams with period-2 structure (e.g.
+        // mul/mulhi pairs over the same operands) don't alias: an even
+        // stride would sample only one phase of such a stream.
+        let wanted = max_samples.max(1);
+        let stride = ((accepted.len() / wanted.saturating_add(1)).max(1)) | 1;
+        let mut sim = match &self.die {
+            Some(f) => TimingSim::with_factors(self.stage.netlist(), Voltage::NOMINAL, f)?,
+            None => TimingSim::new(self.stage.netlist(), Voltage::NOMINAL)?,
+        };
+        let mut delays = Vec::with_capacity(accepted.len().min(wanted));
+        if stride == 1 {
+            sim.apply(&self.stage.encode(accepted[0]))?;
+            for ev in &accepted[1..] {
+                let t = sim.apply(&self.stage.encode(ev))?;
+                delays.push(t.delay);
+                if delays.len() >= wanted {
+                    break;
+                }
+            }
+        } else {
+            let mut idx = 0;
+            while idx + 1 < accepted.len() && delays.len() < wanted {
+                sim.apply(&self.stage.encode(accepted[idx]))?;
+                let t = sim.apply(&self.stage.encode(accepted[idx + 1]))?;
+                delays.push(t.delay);
+                idx += stride;
+            }
+        }
+        if delays.is_empty() {
+            return Err(TimingError::EmptyTrace);
+        }
+        DelayTrace::new(delays, self.tnom_v1)
+    }
+
+    /// One-shot characterization: events → error-probability curve.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::delay_trace`].
+    pub fn error_curve(&self, events: &[AluEvent]) -> Result<ErrorCurve, TimingError> {
+        Ok(ErrorCurve::from_trace(&self.delay_trace(events)?))
+    }
+
+    /// Capped-cost characterization; see [`Self::delay_trace_sampled`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::delay_trace`].
+    pub fn error_curve_sampled(
+        &self,
+        events: &[AluEvent],
+        max_samples: usize,
+    ) -> Result<ErrorCurve, TimingError> {
+        Ok(ErrorCurve::from_trace(
+            &self.delay_trace_sampled(events, max_samples)?,
+        ))
+    }
+}
+
+impl std::fmt::Debug for StageCharacterizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageCharacterizer")
+            .field("stage", &self.stage.name())
+            .field("tnom_v1", &self.tnom_v1)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::err_curve::ErrorModel;
+    use circuits::AluOp;
+
+    fn lcg_events(seed: u64, n: usize, mask: u64) -> Vec<AluEvent> {
+        let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Shl];
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let op = ops[(state >> 61) as usize % ops.len()];
+                AluEvent::new(op, state & mask, (state >> 13) & mask)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delay_trace_is_bounded_by_tnom() {
+        let c = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let trace = c
+            .delay_trace(&lcg_events(42, 300, 0xFF))
+            .expect("trace");
+        assert!(trace.max_normalized() <= 1.0 + 1e-9);
+        assert!(trace.mean_normalized() > 0.0);
+    }
+
+    #[test]
+    fn error_curve_zero_at_nominal_clock() {
+        let c = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let curve = c.error_curve(&lcg_events(7, 300, 0xFF)).expect("curve");
+        assert_eq!(curve.err(1.0), 0.0);
+        // Monotone in r.
+        assert!(curve.err(0.4) >= curve.err(0.8));
+    }
+
+    #[test]
+    fn unit_die_matches_nominal_characterization() {
+        let events = lcg_events(11, 200, 0xFF);
+        let plain = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let stage = circuits::build_stage(StageKind::SimpleAlu, 8).expect("build");
+        let unit = DelayFactors::unit(stage.netlist().cell_count());
+        let on_die = StageCharacterizer::from_stage_on_die(stage, unit, DieTiming::Binned)
+            .expect("build");
+        let a = plain.delay_trace(&events).expect("trace");
+        let b = on_die.delay_trace(&events).expect("trace");
+        assert_eq!(a.delays(), b.delays());
+        assert!((a.tnom_v1() - b.tnom_v1()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binned_die_keeps_err_zero_at_nominal() {
+        // On its own (factored) clock, even a slow die never errs at r = 1.
+        let events = lcg_events(13, 300, 0xFF);
+        let stage = circuits::build_stage(StageKind::SimpleAlu, 8).expect("build");
+        let aging = gatelib::variation::AgingModel::nbti_ptm22();
+        let f = aging
+            .factors(stage.netlist().cell_count(), 10.0, None)
+            .expect("ok");
+        let c = StageCharacterizer::from_stage_on_die(stage, f, DieTiming::Binned)
+            .expect("build");
+        let curve = c.error_curve(&events).expect("curve");
+        assert_eq!(curve.err(1.0), 0.0);
+    }
+
+    #[test]
+    fn design_nominal_aged_die_errs_more() {
+        // Same aged die, but clocked at the fresh design period: every
+        // normalized delay grows by the aging factor, so err at moderate r
+        // can only go up — and may be nonzero even at r = 1.
+        let events = lcg_events(13, 300, 0xFF);
+        let fresh = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let fresh_curve = fresh.error_curve(&events).expect("curve");
+        let stage = circuits::build_stage(StageKind::SimpleAlu, 8).expect("build");
+        let aging = gatelib::variation::AgingModel::nbti_ptm22();
+        let f = aging
+            .factors(stage.netlist().cell_count(), 10.0, None)
+            .expect("ok");
+        let aged = StageCharacterizer::from_stage_on_die(stage, f, DieTiming::DesignNominal)
+            .expect("build");
+        let aged_curve = aged.error_curve(&events).expect("curve");
+        for r in [0.7, 0.8, 0.9, 1.0] {
+            assert!(
+                aged_curve.err(r) >= fresh_curve.err(r),
+                "aged err({r}) {} < fresh {}",
+                aged_curve.err(r),
+                fresh_curve.err(r)
+            );
+        }
+        // Every sensitized path grew by exactly the uniform aging factor.
+        let fresh_trace = fresh.delay_trace(&events).expect("trace");
+        let aged_trace = aged.delay_trace(&events).expect("trace");
+        let growth = 1.0 + aging.degradation(10.0);
+        assert!(
+            (aged_trace.max_normalized() - growth * fresh_trace.max_normalized()).abs()
+                < 1e-9 * growth,
+            "uniform aging scales the worst sensitized path"
+        );
+    }
+
+    #[test]
+    fn complex_stage_is_operand_isolated() {
+        // Only multiplies open the multiplier's input latches; a stream of
+        // adds leaves nothing to time.
+        let c = StageCharacterizer::new(StageKind::ComplexAlu, 8).expect("build");
+        let adds: Vec<AluEvent> = (0..50)
+            .map(|i| AluEvent::new(AluOp::Add, i * 7 % 251, i * 13 % 249))
+            .collect();
+        assert_eq!(
+            c.delay_trace(&adds).expect_err("isolated"),
+            TimingError::EmptyTrace
+        );
+    }
+
+    #[test]
+    fn single_event_is_rejected() {
+        let c = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let one = [AluEvent::new(AluOp::Add, 1, 2)];
+        assert_eq!(
+            c.delay_trace(&one).expect_err("too short"),
+            TimingError::EmptyTrace
+        );
+    }
+
+    #[test]
+    fn sampled_trace_caps_cost() {
+        let c = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let events = lcg_events(3, 1000, 0xFF);
+        let t = c.delay_trace_sampled(&events, 50).expect("trace");
+        assert!(t.len() <= 50);
+        // The subsampled curve should approximate the full curve.
+        let full = ErrorCurve::from_trace(&c.delay_trace(&events).expect("trace"));
+        let sub = ErrorCurve::from_trace(&t);
+        let gap = crate::err_curve::max_abs_gap(&full, &sub, &[0.5, 0.6, 0.7, 0.8, 0.9]);
+        assert!(gap < 0.25, "subsample should roughly track full curve, gap {gap}");
+    }
+
+    #[test]
+    fn tnom_scales_with_voltage() {
+        let c = StageCharacterizer::new(StageKind::Decode, 8).expect("build");
+        let v = Voltage::new(0.72).expect("ok");
+        assert!((c.tnom(v) / c.tnom_v1() - 1.63).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_data_gives_different_curves() {
+        // Narrow operands vs. wide operands: the carry chains differ, so the
+        // curves must differ — the seed of the paper's heterogeneity claim.
+        let c = StageCharacterizer::new(StageKind::SimpleAlu, 16).expect("build");
+        let narrow = c
+            .error_curve(&lcg_events(11, 400, 0x1F))
+            .expect("curve");
+        let wide = c
+            .error_curve(&lcg_events(11, 400, 0xFFFF))
+            .expect("curve");
+        let gap = crate::err_curve::max_abs_gap(&narrow, &wide, &[0.5, 0.6, 0.7, 0.8]);
+        assert!(gap > 0.02, "operand width must shape the curve, gap {gap}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the error-curve machinery.
+
+use proptest::prelude::*;
+use timing::{max_abs_gap, DelayTrace, ErrorCurve, ErrorModel, SampledCurve};
+
+fn delays_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 4..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn error_curve_is_monotone_and_bounded(delays in delays_strategy()) {
+        let curve = ErrorCurve::from_normalized_delays(delays).expect("non-empty");
+        let mut prev = 1.0f64;
+        for i in 0..=50 {
+            let r = 0.02 + 0.0196 * i as f64;
+            let e = curve.err(r);
+            prop_assert!((0.0..=1.0).contains(&e));
+            prop_assert!(e <= prev + 1e-12, "err must be non-increasing");
+            prev = e;
+        }
+        prop_assert_eq!(curve.err(1.0), 0.0, "no errors at the nominal clock");
+    }
+
+    #[test]
+    fn sampled_curve_stays_within_its_points(delays in delays_strategy()) {
+        let curve = ErrorCurve::from_normalized_delays(delays).expect("non-empty");
+        let rs = [0.6, 0.7, 0.8, 0.9, 1.0];
+        let pts: Vec<(f64, f64)> = rs.iter().map(|&r| (r, curve.err(r))).collect();
+        let sampled = SampledCurve::from_points(pts.clone()).expect("valid");
+        // Exact at the sample points...
+        for &(r, e) in &pts {
+            prop_assert!((sampled.err(r) - e).abs() < 1e-12);
+        }
+        // ...and between adjacent points, bounded by their values.
+        for w in pts.windows(2) {
+            let mid = (w[0].0 + w[1].0) / 2.0;
+            let lo = w[0].1.min(w[1].1) - 1e-12;
+            let hi = w[0].1.max(w[1].1) + 1e-12;
+            let e = sampled.err(mid);
+            prop_assert!((lo..=hi).contains(&e), "interpolation out of bounds");
+        }
+    }
+
+    #[test]
+    fn normalization_rescales_but_preserves_order(
+        delays in delays_strategy(),
+        tnom in 1.0f64..100.0,
+    ) {
+        let scaled: Vec<f64> = delays.iter().map(|d| d * tnom).collect();
+        let trace = DelayTrace::new(scaled, tnom).expect("valid");
+        let normalized = trace.normalized();
+        for (n, d) in normalized.iter().zip(&delays) {
+            prop_assert!((n - d).abs() < 1e-9);
+        }
+        prop_assert!(trace.max_normalized() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn a_curve_perfectly_sampled_has_zero_gap(delays in delays_strategy()) {
+        let curve = ErrorCurve::from_normalized_delays(delays).expect("non-empty");
+        let rs: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        let pts: Vec<(f64, f64)> = rs.iter().map(|&r| (r, curve.err(r))).collect();
+        let sampled = SampledCurve::from_points(pts).expect("valid");
+        prop_assert!(max_abs_gap(&curve, &sampled, &rs) < 1e-12);
+    }
+}

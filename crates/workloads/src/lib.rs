@@ -1,0 +1,35 @@
+//! # workloads — instrumented SPLASH-2-like kernels for SynTS
+//!
+//! The paper characterizes ten SPLASH-2 benchmarks on a Gem5-simulated
+//! 4-core Alpha, extracting cycle-by-cycle pipe-stage input vectors
+//! (Sec 5.2, 5.4). SPLASH-2 binaries and Gem5 are not available here, so
+//! this crate reimplements the *benchmarks themselves* as small, real
+//! parallel kernels — radix sort, blocked LU (contiguous and
+//! non-contiguous), FFT, n-body (FMM-style and Barnes-Hut-style), water,
+//! raytracing, Cholesky, ocean relaxation — each instrumented so that every
+//! ALU-relevant operation it performs is recorded as a
+//! [`circuits::AluEvent`] with its true operand values, partitioned by
+//! thread and barrier interval.
+//!
+//! The thread-level heterogeneity the paper discovered arises here by the
+//! same mechanism as on real hardware: different threads touch different
+//! data (digit ranges, matrix panels, spatial regions), so their operand
+//! distributions — and therefore their sensitized circuit delays — differ.
+//! The three benchmarks the paper found homogeneous (FFT, Ocean, Water-sp)
+//! partition data symmetrically and come out homogeneous here too.
+//!
+//! ```
+//! use workloads::{Benchmark, WorkloadConfig};
+//!
+//! let trace = Benchmark::Radix.run(&WorkloadConfig::small(4));
+//! assert_eq!(trace.intervals[0].threads(), 4);
+//! // Every thread did real work in the first interval.
+//! assert!(trace.intervals[0].thread(0).events.len() > 100);
+//! ```
+
+mod kernels;
+mod recorder;
+mod types;
+
+pub use recorder::{MemRef, Recorder, ThreadWork};
+pub use types::{BarrierInterval, Benchmark, WorkloadConfig, WorkloadTrace};

@@ -1,0 +1,77 @@
+//! Property tests over the workload kernels: the invariants every consumer
+//! of the traces relies on.
+
+use proptest::prelude::*;
+use workloads::{Benchmark, WorkloadConfig};
+
+fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..5, 64usize..200, 1usize..4, any::<u32>()).prop_map(
+        |(threads, scale, intervals, seed)| WorkloadConfig {
+            threads,
+            scale,
+            intervals,
+            width: 16,
+            seed: u64::from(seed),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_benchmark_is_deterministic(cfg in config_strategy()) {
+        for bench in Benchmark::ALL {
+            let a = bench.run(&cfg);
+            let b = bench.run(&cfg);
+            prop_assert_eq!(a.intervals.len(), b.intervals.len(), "{}", bench);
+            for (ia, ib) in a.intervals.iter().zip(&b.intervals) {
+                for t in 0..ia.threads() {
+                    prop_assert_eq!(&ia.thread(t).events, &ib.thread(t).events);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operands_respect_the_datapath_width(cfg in config_strategy()) {
+        let mask = (1u64 << cfg.width) - 1;
+        for bench in Benchmark::ALL {
+            let trace = bench.run(&cfg);
+            for iv in &trace.intervals {
+                for work in iv {
+                    for e in &work.events {
+                        prop_assert!(e.a <= mask && e.b <= mask, "{bench}: operand overflow");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_and_interval_shapes(cfg in config_strategy()) {
+        for bench in Benchmark::ALL {
+            let trace = bench.run(&cfg);
+            prop_assert!(!trace.intervals.is_empty(), "{bench}");
+            prop_assert!(trace.intervals.len() <= cfg.intervals.max(1) * 3);
+            for iv in &trace.intervals {
+                prop_assert_eq!(iv.threads(), cfg.threads, "{}", bench);
+            }
+            prop_assert!(trace.total_instructions() > 0, "{bench}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces(cfg in config_strategy()) {
+        let mut other = cfg.clone();
+        other.seed = cfg.seed.wrapping_add(0x9E37_79B9);
+        // Data-dependent kernels must react to the seed.
+        for bench in [Benchmark::Radix, Benchmark::Fft, Benchmark::WaterSp] {
+            let a = bench.run(&cfg);
+            let b = bench.run(&other);
+            let ea = &a.intervals[0].thread(0).events;
+            let eb = &b.intervals[0].thread(0).events;
+            prop_assert!(ea != eb, "{bench}: seed had no effect");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Process variation, aging, and the guard band timing speculation eats.
+//!
+//! The paper's introduction motivates timing speculation from worst-case
+//! design: guard bands exist because of "process variation and aging
+//! etc.", yet critical-path delays are rarely sensitized. This example
+//! makes that argument quantitative on the gate-level substrate:
+//!
+//! 1. sizes the worst-case guard band for a population of varied dies;
+//! 2. ages one die for ten years and watches its error curve rise;
+//! 3. shows SynTS adapting its speculation to the aged die.
+//!
+//! Run with: `cargo run --release --example aging_guardband`
+
+use circuits::{build_stage, AluEvent, AluOp, StageKind};
+use gatelib::variation::{guard_band, AgingModel, VariationModel};
+use gatelib::Voltage;
+use synts_core::{evaluate, synts_poly, SystemConfig, ThreadProfile};
+use timing::{DieTiming, ErrorModel, StageCharacterizer};
+
+fn operand_stream(seed: u64, n: usize) -> Vec<AluEvent> {
+    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Shl];
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let op = ops[(state >> 61) as usize % ops.len()];
+            AluEvent::new(op, state & 0xFFFF, (state >> 13) & 0xFFFF)
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Guard-band sizing over a Monte Carlo die population.
+    let stage = build_stage(StageKind::SimpleAlu, 16)?;
+    let netlist = stage.netlist().clone();
+    println!("worst-case guard band over 50 sampled dies:");
+    for (label, model) in [
+        ("typical 22nm", VariationModel::ptm22_typical()),
+        ("pessimistic", VariationModel::new(0.10, 0.08)?),
+    ] {
+        let gb = guard_band(&netlist, Voltage::NOMINAL, &model, 50, 7)?;
+        println!("  {label:>12}: x{gb:.4} on the nominal period");
+    }
+
+    // 2. Age a die and characterize it against the FRESH clock budget.
+    let events = operand_stream(0xfeed, 800);
+    let fresh = StageCharacterizer::from_stage(build_stage(StageKind::SimpleAlu, 16)?)?;
+    let fresh_curve = fresh.error_curve(&events)?;
+    let aging = AgingModel::nbti_ptm22();
+    println!("\nerr(r) as the die ages (design-nominal clock):");
+    println!("  {:>6} {:>10} {:>10} {:>10}", "years", "err(0.8)", "err(0.9)", "err(1.0)");
+    println!(
+        "  {:>6} {:>10.4} {:>10.4} {:>10.4}",
+        0.0,
+        fresh_curve.err(0.8),
+        fresh_curve.err(0.9),
+        fresh_curve.err(1.0)
+    );
+    let mut aged_curve = fresh_curve.clone();
+    for years in [3.0, 7.0, 10.0] {
+        let stage = build_stage(StageKind::SimpleAlu, 16)?;
+        let factors = aging.factors(stage.netlist().cell_count(), years, None)?;
+        let charac =
+            StageCharacterizer::from_stage_on_die(stage, factors, DieTiming::DesignNominal)?;
+        aged_curve = charac.error_curve(&events)?;
+        println!(
+            "  {years:>6} {:>10.4} {:>10.4} {:>10.4}",
+            aged_curve.err(0.8),
+            aged_curve.err(0.9),
+            aged_curve.err(1.0)
+        );
+    }
+
+    // 3. SynTS on fresh vs aged curves: the optimizer backs off exactly
+    //    as much speculation as the silicon lost.
+    let cfg = SystemConfig::paper_default(fresh.tnom_v1());
+    let theta = 1.0;
+    for (label, curve) in [("fresh", fresh_curve), ("aged 10y", aged_curve)] {
+        let profiles = vec![
+            ThreadProfile::new(10_000.0, 1.2, curve.clone()),
+            ThreadProfile::new(8_000.0, 1.0, curve.clone()),
+        ];
+        let a = synts_poly(&cfg, &profiles, theta)?;
+        let ed = evaluate(&cfg, &profiles, &a);
+        let rs: Vec<String> = a
+            .points
+            .iter()
+            .map(|p| format!("{:.2}", cfg.tsr_levels[p.tsr_idx]))
+            .collect();
+        println!(
+            "\n{label:>9}: SynTS picks r = [{}], EDP {:.3e}",
+            rs.join(", "),
+            ed.edp()
+        );
+    }
+    Ok(())
+}

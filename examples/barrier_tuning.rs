@@ -1,0 +1,92 @@
+//! Barrier-interval tuning across a whole benchmark: per-interval SynTS
+//! assignments, validated against the cycle-level Razor simulator.
+//!
+//! Shows that the closed-form model (Eq 4.1–4.3) the optimizer works on
+//! agrees with instruction-by-instruction execution with Razor replay —
+//! the reason optimizing the model optimizes the machine.
+//!
+//! Run with: `cargo run --release --example barrier_tuning`
+
+use archsim::{simulate_barrier, CoreSetting, RazorCore};
+use circuits::StageKind;
+use synts_core::experiments::{characterize, HarnessConfig};
+use synts_core::{evaluate, synts_poly, theta_equal_weight};
+use workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = HarnessConfig::quick();
+    let data = characterize(Benchmark::Cholesky, StageKind::SimpleAlu, &harness)?;
+    let cfg = data.system_config();
+    println!(
+        "{} on {}: {} barrier intervals\n",
+        data.benchmark,
+        data.stage,
+        data.intervals.len()
+    );
+
+    for (k, iv) in data.intervals.iter().enumerate() {
+        let profiles = iv.profiles();
+        let theta = theta_equal_weight(&cfg, &profiles)?;
+        let assignment = synts_poly(&cfg, &profiles, theta)?;
+
+        // Analytic prediction from Eq 4.1-4.3.
+        let predicted = evaluate(&cfg, &profiles, &assignment);
+
+        // Cycle-level execution: replay the actual delay traces through the
+        // Razor cores at the chosen operating points.
+        let settings: Vec<CoreSetting> = assignment
+            .points
+            .iter()
+            .map(|p| CoreSetting {
+                voltage: cfg.voltages.levels()[p.voltage_idx],
+                tsr: cfg.tsr_levels[p.tsr_idx],
+            })
+            .collect();
+        let traces: Vec<&[f64]> = iv
+            .threads
+            .iter()
+            .map(|t| t.normalized_delays.as_slice())
+            .collect();
+        let cpi: Vec<f64> = iv.threads.iter().map(|t| t.cpi_base).collect();
+        let sim = simulate_barrier(
+            data.tnom_v1,
+            &settings,
+            &traces,
+            &cpi,
+            cfg.alpha,
+            RazorCore {
+                c_penalty: cfg.c_penalty as u64,
+            },
+        );
+
+        // The simulator runs over the subsampled trace (N = trace length),
+        // so compare per-instruction quantities.
+        let n_model: f64 = profiles.iter().map(|p| p.instructions).sum();
+        let n_sim: f64 = traces.iter().map(|t| t.len() as f64).sum();
+        println!("interval {k}:");
+        println!(
+            "  assignment: {:?}",
+            assignment
+                .points
+                .iter()
+                .map(|p| format!(
+                    "{:.2}V/r{:.2}",
+                    cfg.voltages.levels()[p.voltage_idx].volts(),
+                    cfg.tsr_levels[p.tsr_idx]
+                ))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  model:     time/instr = {:.3}, energy/instr = {:.4}",
+            predicted.time / n_model * profiles.len() as f64,
+            predicted.energy / n_model
+        );
+        println!(
+            "  simulator: time/instr = {:.3}, energy/instr = {:.4}  (errors: {:?})",
+            sim.texec / n_sim * traces.len() as f64,
+            sim.energy / n_sim,
+            sim.errors
+        );
+    }
+    Ok(())
+}

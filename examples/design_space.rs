@@ -1,0 +1,69 @@
+//! Design-space exploration: how datapath micro-architecture shapes the
+//! timing-speculation headroom.
+//!
+//! Sweeps the SimpleALU's adder topology and the multiplier topology,
+//! characterizes each against the same workload trace, and prints the
+//! resulting error-probability curves — the knob a designer would turn to
+//! trade nominal frequency against speculation headroom. Also dumps one
+//! stage as structural Verilog to show the netlist interchange surface.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use circuits::{array_multiplier, wallace_multiplier, AdderKind, PipeStage, SimpleAlu};
+use gatelib::{export, NetlistBuilder, StaticTiming, Voltage};
+use timing::{ErrorModel, StageCharacterizer};
+use workloads::{Benchmark, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = WorkloadConfig::small(4);
+    let trace = Benchmark::Cholesky.run(&cfg);
+    let events = &trace.intervals[0].thread(0).events;
+
+    println!("== SimpleALU adder topology vs err(r) (Cholesky thread 0) ==");
+    for (name, kind) in [
+        ("ripple-carry", AdderKind::Ripple),
+        ("carry-lookahead", AdderKind::CarryLookahead),
+        ("kogge-stone", AdderKind::KoggeStone),
+    ] {
+        let alu = SimpleAlu::with_adder(cfg.width, kind)?;
+        println!("  {}", export::summary_line(alu.netlist()));
+        let charac = StageCharacterizer::from_stage(Box::new(alu))?;
+        let curve = charac.error_curve_sampled(events, 400)?;
+        print!("  {name:>16}: tnom {:6.1}", charac.tnom_v1());
+        for r in [0.7, 0.8, 0.9] {
+            print!("  err({r:.1}) = {:.4}", curve.err(r));
+        }
+        println!("\n");
+    }
+
+    println!("== multiplier topology (8x8) ==");
+    for (name, wallace) in [("array", false), ("wallace+kogge-stone", true)] {
+        let mut b = NetlistBuilder::new(format!("mult_{name}"));
+        let a = b.input_bus("a", 8);
+        let x = b.input_bus("b", 8);
+        let p = if wallace {
+            wallace_multiplier(&mut b, &a, &x)?
+        } else {
+            array_multiplier(&mut b, &a, &x)?
+        };
+        b.output_bus(&p, "p");
+        let n = b.finish()?;
+        let sta = StaticTiming::analyze(&n, Voltage::NOMINAL)?;
+        println!(
+            "  {name:>20}: {}  critical path {:.1}",
+            export::summary_line(&n),
+            sta.nominal_period()
+        );
+    }
+
+    println!("\n== structural Verilog of a half adder (netlist interchange) ==");
+    let mut b = NetlistBuilder::new("half_adder");
+    let a = b.input("a");
+    let c = b.input("b");
+    let s = b.cell(gatelib::CellKind::Xor2, &[a, c])?;
+    let carry = b.cell(gatelib::CellKind::And2, &[a, c])?;
+    b.output(s, "sum");
+    b.output(carry, "carry");
+    print!("{}", export::to_verilog(&b.finish()?));
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The online SynTS controller in action (paper Sec 4.3).
+//!
+//! Runs the sampling phase on real delay traces, shows the estimated vs
+//! actual error curves, and quantifies the energy/time the online scheme
+//! gives up relative to the offline oracle.
+//!
+//! Run with: `cargo run --release --example online_controller`
+
+use circuits::StageKind;
+use synts_core::experiments::{characterize, HarnessConfig};
+use synts_core::online::estimate_curve;
+use synts_core::{run_interval, run_interval_offline, SamplingPlan};
+use timing::ErrorModel;
+use workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = HarnessConfig::quick();
+    let data = characterize(Benchmark::Fmm, StageKind::SimpleAlu, &harness)?;
+    let cfg = data.system_config();
+    let iv = &data.intervals[0];
+    let traces = iv.thread_traces();
+    let longest = traces
+        .iter()
+        .map(|t| t.normalized_delays.len())
+        .max()
+        .unwrap_or(0);
+    let plan = SamplingPlan::paper_default(longest, cfg.s());
+    println!(
+        "sampling plan: {} instructions per thread at {} ({} per TSR level)\n",
+        plan.n_samp,
+        plan.v_samp,
+        plan.n_samp / cfg.s()
+    );
+
+    // Estimated vs actual error curves per thread.
+    println!("estimated ~err(r) vs actual err(r):");
+    for (t, tr) in traces.iter().enumerate() {
+        let est = estimate_curve(&cfg, &tr.normalized_delays, plan)?;
+        let actual = tr.exact_curve()?;
+        print!("  T{t}:");
+        for &r in &cfg.tsr_levels {
+            print!(" r={r:.2}: {:.3}/{:.3}", est.err(r), actual.err(r));
+        }
+        println!();
+    }
+
+    // Run the interval online and compare with the offline oracle.
+    let theta = 1.0;
+    let online = run_interval(&cfg, &traces, theta, plan)?;
+    let (oracle_assignment, offline) = run_interval_offline(&cfg, &traces, theta)?;
+    println!("\nchosen operating points (online | oracle):");
+    for t in 0..traces.len() {
+        let op = online.assignment.points[t];
+        let or = oracle_assignment.points[t];
+        println!(
+            "  T{t}: {:.2}V/r{:.2}  |  {:.2}V/r{:.2}",
+            cfg.voltages.levels()[op.voltage_idx].volts(),
+            cfg.tsr_levels[op.tsr_idx],
+            cfg.voltages.levels()[or.voltage_idx].volts(),
+            cfg.tsr_levels[or.tsr_idx],
+        );
+    }
+    println!(
+        "\nsampling overhead: {:.1}% of interval time, {:.1}% of energy",
+        100.0 * online.sampling.time / online.total.time,
+        100.0 * online.sampling.energy / online.total.energy
+    );
+    println!(
+        "online EDP / offline EDP = {:.3} (the cost of not knowing the future)",
+        online.total.edp() / offline.edp()
+    );
+    Ok(())
+}

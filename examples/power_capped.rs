@@ -1,0 +1,77 @@
+//! Power-capped SynTS: the paper's suggested generalization (Sec 4.1)
+//! "the proposed approach can be generalized to address power consumption
+//! as well".
+//!
+//! Characterizes an FMM barrier interval, then asks the power-capped
+//! solver for the fastest barrier completion under a sweep of average-
+//! power budgets — the operating curve a power-limited chip would follow.
+//!
+//! Run with: `cargo run --release --example power_capped`
+
+use circuits::StageKind;
+use synts_core::experiments::{characterize, HarnessConfig};
+use synts_core::leakage::{evaluate_with_leakage, synts_poly_leakage, LeakageModel};
+use synts_core::power_cap::synts_poly_power_capped;
+use synts_core::{evaluate, nominal, OptError};
+use workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = HarnessConfig::quick();
+    let data = characterize(Benchmark::Fmm, StageKind::SimpleAlu, &harness)?;
+    let cfg = data.system_config();
+    let iv = &data.intervals[0];
+    let profiles = iv.profiles();
+
+    // Reference point: the nominal assignment's average power.
+    let nom = nominal(&cfg, &profiles)?;
+    let ed_nom = evaluate(&cfg, &profiles, &nom);
+    let p_nom = ed_nom.energy / ed_nom.time;
+    println!(
+        "nominal: time {:.1}, energy {:.1}, avg power {:.4}",
+        ed_nom.time, ed_nom.energy, p_nom
+    );
+
+    // Sweep the cap from well below to well above the nominal power.
+    println!("\n  cap/Pnom   time/Tnom   power/Pnom   per-thread (V, r)");
+    for scale in [0.5, 0.7, 0.9, 1.0, 1.2, 1.5, 2.0] {
+        match synts_poly_power_capped(&cfg, &profiles, p_nom * scale) {
+            Ok(sol) => {
+                let points: Vec<String> = sol
+                    .assignment
+                    .points
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "({}, {:.2})",
+                            cfg.voltages.levels()[p.voltage_idx],
+                            cfg.tsr_levels[p.tsr_idx]
+                        )
+                    })
+                    .collect();
+                println!(
+                    "  {scale:>8.2}   {:>9.4}   {:>10.4}   {}",
+                    sol.time / ed_nom.time,
+                    sol.avg_power / p_nom,
+                    points.join(" ")
+                );
+            }
+            Err(OptError::Infeasible) => {
+                println!("  {scale:>8.2}   infeasible — cap below the most frugal point");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // The same interval under the leakage-extended model: a chip whose
+    // static power is 30% of dynamic at nominal re-balances its choices.
+    let leak = LeakageModel::fraction_of_dynamic(&cfg, 0.3)?;
+    let theta = ed_nom.energy / ed_nom.time;
+    let aware = synts_poly_leakage(&cfg, &profiles, theta, &leak)?;
+    let ed = evaluate_with_leakage(&cfg, &profiles, &aware, &leak);
+    println!(
+        "\nleakage-aware SynTS (30% leakage share): time x{:.3}, energy x{:.3} vs nominal",
+        ed.time / ed_nom.time,
+        ed.energy / evaluate_with_leakage(&cfg, &profiles, &nom, &leak).energy
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the whole SynTS pipeline on one barrier interval.
+//!
+//! Characterizes a Radix barrier interval on the Decode stage, then asks
+//! SynTS-Poly for the jointly optimal per-thread voltage/frequency/
+//! speculation assignment and compares it with the baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use circuits::StageKind;
+use synts_core::experiments::{characterize, HarnessConfig};
+use synts_core::{evaluate, nominal, per_core_ts, synts_poly, theta_equal_weight, weighted_cost};
+use workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Cross-layer characterization: run the instrumented kernel and
+    //    replay each thread's operand trace through the gate-level stage.
+    let harness = HarnessConfig::quick();
+    let data = characterize(Benchmark::Radix, StageKind::Decode, &harness)?;
+    let cfg = data.system_config();
+    println!(
+        "characterized {} on {}: tnom = {:.1} units, {} barrier intervals",
+        data.benchmark,
+        data.stage,
+        data.tnom_v1,
+        data.intervals.len()
+    );
+
+    // 2. Pick the rank interval (strongest thread heterogeneity for Radix).
+    let iv = &data.intervals[1];
+    let profiles = iv.profiles();
+    for (t, p) in profiles.iter().enumerate() {
+        println!(
+            "  thread {t}: N = {:>8.0}, CPI = {:.2}",
+            p.instructions, p.cpi_base
+        );
+    }
+
+    // 3. Optimize with equal energy/time weighting (Eq 4.4).
+    let theta = theta_equal_weight(&cfg, &profiles)?;
+    let synts = synts_poly(&cfg, &profiles, theta)?;
+    println!("\nSynTS assignment:");
+    for (t, pt) in synts.points.iter().enumerate() {
+        println!(
+            "  thread {t}: V = {}, r = {:.2}",
+            cfg.voltages.levels()[pt.voltage_idx],
+            cfg.tsr_levels[pt.tsr_idx]
+        );
+    }
+
+    // 4. Compare with the baselines.
+    let base = evaluate(&cfg, &profiles, &nominal(&cfg, &profiles)?);
+    for (name, assignment) in [
+        ("Nominal", nominal(&cfg, &profiles)?),
+        ("Per-core TS", per_core_ts(&cfg, &profiles, theta)?),
+        ("SynTS", synts),
+    ] {
+        let ed = evaluate(&cfg, &profiles, &assignment).normalized_to(base);
+        let cost = weighted_cost(&cfg, &profiles, &assignment, theta);
+        println!(
+            "{name:>12}: time x{:.3}, energy x{:.3}, Eq-4.4 cost {cost:.3e}",
+            ed.time, ed.energy
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate for the SynTS reproduction suite: see the member crates.
+pub use synts_core as core_api;

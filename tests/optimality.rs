@@ -1,0 +1,124 @@
+//! Property-based certification of Lemma 4.2.1: on random instances,
+//! SynTS-Poly, SynTS-MILP and exhaustive search agree on the optimum of
+//! Eq 4.4, and the optimizer invariants hold.
+
+use proptest::prelude::*;
+use synts_core::{
+    evaluate, synts_exhaustive, synts_milp, synts_poly, weighted_cost, SystemConfig,
+    ThreadProfile,
+};
+use timing::{ErrorCurve, VoltageTable};
+
+#[derive(Debug, Clone)]
+struct Instance {
+    cfg: SystemConfig,
+    profiles: Vec<ThreadProfile<ErrorCurve>>,
+    theta: f64,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let thread = (
+        0.2f64..0.8,     // delay band low
+        0.05f64..0.3,    // band width
+        1_000.0f64..50_000.0, // N
+        1.0f64..2.5,     // CPI
+    );
+    (
+        prop::collection::vec(thread, 2..4),
+        2usize..4,           // voltage levels
+        2usize..4,           // TSR levels
+        0.0f64..100.0,       // theta scale
+    )
+        .prop_map(|(threads, q, s, theta_raw)| {
+            let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.08 * j as f64).collect();
+            let mut cfg = SystemConfig::paper_default(25.0);
+            cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
+            cfg.tsr_levels = (0..s)
+                .map(|k| 0.6 + 0.4 * k as f64 / (s - 1) as f64)
+                .collect();
+            let profiles = threads
+                .into_iter()
+                .map(|(lo, w, n, cpi)| {
+                    let delays: Vec<f64> =
+                        (0..64).map(|i| (lo + w * i as f64 / 64.0).min(1.0)).collect();
+                    ThreadProfile::new(
+                        n,
+                        cpi,
+                        ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
+                    )
+                })
+                .collect();
+            Instance {
+                cfg,
+                profiles,
+                theta: theta_raw,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn poly_matches_exhaustive(inst in instance_strategy()) {
+        let poly = synts_poly(&inst.cfg, &inst.profiles, inst.theta).expect("poly");
+        let ex = synts_exhaustive(&inst.cfg, &inst.profiles, inst.theta).expect("exhaustive");
+        let cp = weighted_cost(&inst.cfg, &inst.profiles, &poly, inst.theta);
+        let ce = weighted_cost(&inst.cfg, &inst.profiles, &ex, inst.theta);
+        prop_assert!((cp - ce).abs() <= 1e-9 * ce.abs().max(1.0), "poly {cp} vs exhaustive {ce}");
+    }
+
+    #[test]
+    fn milp_matches_poly(inst in instance_strategy()) {
+        let poly = synts_poly(&inst.cfg, &inst.profiles, inst.theta).expect("poly");
+        let milp = synts_milp(&inst.cfg, &inst.profiles, inst.theta).expect("milp");
+        let cp = weighted_cost(&inst.cfg, &inst.profiles, &poly, inst.theta);
+        let cm = weighted_cost(&inst.cfg, &inst.profiles, &milp, inst.theta);
+        prop_assert!((cp - cm).abs() <= 1e-6 * cp.abs().max(1.0), "poly {cp} vs milp {cm}");
+    }
+
+    #[test]
+    fn optimum_is_never_beaten_by_random_assignments(inst in instance_strategy(), seed in any::<u64>()) {
+        let poly = synts_poly(&inst.cfg, &inst.profiles, inst.theta).expect("poly");
+        let c_opt = weighted_cost(&inst.cfg, &inst.profiles, &poly, inst.theta);
+        // A handful of random assignments must not improve on the optimum.
+        let mut state = seed | 1;
+        for _ in 0..20 {
+            let points = (0..inst.profiles.len())
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    synts_core::OperatingPoint {
+                        voltage_idx: (state >> 33) as usize % inst.cfg.q(),
+                        tsr_idx: (state >> 49) as usize % inst.cfg.s(),
+                    }
+                })
+                .collect();
+            let a = synts_core::Assignment { points };
+            let c = weighted_cost(&inst.cfg, &inst.profiles, &a, inst.theta);
+            prop_assert!(c >= c_opt - 1e-9 * c_opt.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn evaluation_invariants(inst in instance_strategy()) {
+        let a = synts_poly(&inst.cfg, &inst.profiles, inst.theta).expect("poly");
+        let ed = evaluate(&inst.cfg, &inst.profiles, &a);
+        prop_assert!(ed.energy > 0.0);
+        prop_assert!(ed.time > 0.0);
+        // texec is the max thread time (Eq 4.2).
+        for (p, pt) in inst.profiles.iter().zip(&a.points) {
+            let t = synts_core::thread_time(&inst.cfg, p, *pt);
+            prop_assert!(t <= ed.time * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn theta_monotonicity(inst in instance_strategy()) {
+        // Raising theta never slows the optimum down.
+        let slow = synts_poly(&inst.cfg, &inst.profiles, inst.theta).expect("poly");
+        let fast = synts_poly(&inst.cfg, &inst.profiles, inst.theta * 100.0 + 1.0).expect("poly");
+        let ed_slow = evaluate(&inst.cfg, &inst.profiles, &slow);
+        let ed_fast = evaluate(&inst.cfg, &inst.profiles, &fast);
+        prop_assert!(ed_fast.time <= ed_slow.time * (1.0 + 1e-9));
+    }
+}
