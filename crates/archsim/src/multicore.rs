@@ -92,11 +92,7 @@ impl MultiCore {
     ///
     /// Panics if `programs.len() != self.cores()` or barrier counts differ
     /// between programs.
-    pub fn run(
-        &mut self,
-        programs: &[Program],
-        max_steps: u64,
-    ) -> Result<MultiCoreRun, ExecError> {
+    pub fn run(&mut self, programs: &[Program], max_steps: u64) -> Result<MultiCoreRun, ExecError> {
         assert_eq!(programs.len(), self.cores.len(), "one program per core");
         // Split each program into barrier episodes.
         let episodes: Vec<Vec<Program>> = programs.iter().map(split_on_barriers).collect();
@@ -240,7 +236,10 @@ mod tests {
             },
         );
         let better = tuned.run(&[fast, slow], 1_000_000).expect("runs").makespan;
-        assert!(better < base, "speculation on the critical core: {better} vs {base}");
+        assert!(
+            better < base,
+            "speculation on the critical core: {better} vs {base}"
+        );
     }
 
     #[test]

@@ -174,10 +174,7 @@ pub fn simulate_barrier_with_leakage(
     assert!(p_leak_v1 >= 0.0, "leakage power must be non-negative");
     let mut sim = simulate_barrier(tnom_v1, settings, traces, cpi_base, alpha, razor);
     // Dynamic-only barrier time; sleeping stretches it by the wake latency.
-    let slept = sim
-        .times
-        .iter()
-        .any(|&t| t < sim.texec * (1.0 - 1e-15));
+    let slept = sim.times.iter().any(|&t| t < sim.texec * (1.0 - 1e-15));
     let wake = if slept && sleep.wake_cycles > 0.0 {
         sleep.wake_cycles * tnom_v1
     } else {
@@ -230,14 +227,7 @@ mod tests {
             voltage: Voltage::NOMINAL,
             tsr: 0.8,
         };
-        let sim = simulate_barrier(
-            100.0,
-            &[fast],
-            &[&trace],
-            &[1.0],
-            1.0,
-            RazorCore::default(),
-        );
+        let sim = simulate_barrier(100.0, &[fast], &[&trace], &[1.0], 1.0, RazorCore::default());
         assert_eq!(sim.errors[0], 2, "0.9 and 0.95 exceed r = 0.8");
         // cycles = 4 * 1.0 + 2 * 5.
         assert!((sim.cycles[0] - 14.0).abs() < 1e-12);
@@ -387,14 +377,7 @@ mod tests {
             voltage: Voltage::NOMINAL,
             tsr: 0.5,
         };
-        let sim = simulate_barrier(
-            10.0,
-            &[fast],
-            &[&trace],
-            &[1.0],
-            1.0,
-            RazorCore::default(),
-        );
+        let sim = simulate_barrier(10.0, &[fast], &[&trace], &[1.0], 1.0, RazorCore::default());
         assert!((sim.error_rate(0, 4) - 0.5).abs() < 1e-12);
         assert_eq!(sim.error_rate(0, 0), 0.0);
     }

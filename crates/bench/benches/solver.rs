@@ -4,18 +4,16 @@
 //! for online use; this bench quantifies the gap on identical instances.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use synts_core::{synts_exhaustive, synts_milp, synts_poly, SystemConfig, ThreadProfile};
+use synts_core::{synts_poly, SolverRegistry, SystemConfig, ThreadProfile};
 use timing::{ErrorCurve, VoltageTable};
 
-fn instance(
-    m: usize,
-    q: usize,
-    s: usize,
-) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+fn instance(m: usize, q: usize, s: usize) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
     let mut cfg = SystemConfig::paper_default(10.0);
     let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.05 * j as f64).collect();
     cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
-    cfg.tsr_levels = (0..s).map(|k| 0.64 + 0.36 * k as f64 / (s - 1) as f64).collect();
+    cfg.tsr_levels = (0..s)
+        .map(|k| 0.64 + 0.36 * k as f64 / (s - 1) as f64)
+        .collect();
     let profiles = (0..m)
         .map(|i| {
             let lo = 0.3 + 0.05 * i as f64;
@@ -33,18 +31,18 @@ fn instance(
 }
 
 fn bench_solvers(c: &mut Criterion) {
+    let registry: SolverRegistry = SolverRegistry::with_defaults();
     let mut group = c.benchmark_group("solver");
-    // Small instance where all three solvers are feasible.
+    // Small instance where all three exact solvers are feasible,
+    // dispatched through the registry (the cost of dynamic dispatch is
+    // part of what production sweeps pay).
     let (cfg, profiles) = instance(4, 3, 3);
-    group.bench_function("poly/m4q3s3", |b| {
-        b.iter(|| synts_poly(&cfg, &profiles, 1.0).expect("solves"))
-    });
-    group.bench_function("milp/m4q3s3", |b| {
-        b.iter(|| synts_milp(&cfg, &profiles, 1.0).expect("solves"))
-    });
-    group.bench_function("exhaustive/m4q3s3", |b| {
-        b.iter(|| synts_exhaustive(&cfg, &profiles, 1.0).expect("solves"))
-    });
+    for name in ["synts_poly", "synts_milp", "synts_exhaustive"] {
+        let solver = registry.get(name).expect("registered");
+        group.bench_function(format!("{name}/m4q3s3"), |b| {
+            b.iter(|| solver.solve(&cfg, &profiles, 1.0).expect("solves"))
+        });
+    }
     // Paper-sized instance: poly only (the point of Algorithm 1).
     let (cfg, profiles) = instance(4, 7, 6);
     group.bench_function("poly/m4q7s6", |b| {

@@ -91,12 +91,9 @@ mod tests {
 
     #[test]
     fn subset_build_and_lookup() {
-        let corpus = Corpus::build_subset(
-            Effort::Quick,
-            &[Benchmark::Radix],
-            &[StageKind::SimpleAlu],
-        )
-        .expect("builds");
+        let corpus =
+            Corpus::build_subset(Effort::Quick, &[Benchmark::Radix], &[StageKind::SimpleAlu])
+                .expect("builds");
         assert!(corpus.get(Benchmark::Radix, StageKind::SimpleAlu).is_some());
         assert!(corpus.get(Benchmark::Fmm, StageKind::SimpleAlu).is_none());
         assert_eq!(corpus.iter().count(), 1);

@@ -55,8 +55,7 @@ pub fn ablation_variation() -> Result<Figure, OptError> {
     let mut rows = Vec::new();
     let mut bands = Vec::new();
     for &sigma in &sigmas {
-        let model = VariationModel::new(sigma, sigma * 0.75)
-            .map_err(timing::TimingError::from)?;
+        let model = VariationModel::new(sigma, sigma * 0.75).map_err(timing::TimingError::from)?;
         let gb = guard_band(&netlist, Voltage::NOMINAL, &model, dies, 0xD1E)
             .map_err(timing::TimingError::from)?;
         bands.push(gb);
@@ -73,12 +72,7 @@ pub fn ablation_variation() -> Result<Figure, OptError> {
             err_lo = err_lo.min(e);
             err_hi = err_hi.max(e);
         }
-        rows.push(vec![
-            f(sigma, 2),
-            f(gb, 4),
-            f(err_lo, 4),
-            f(err_hi, 4),
-        ]);
+        rows.push(vec![f(sigma, 2), f(gb, 4), f(err_lo, 4), f(err_hi, 4)]);
     }
     let header = ["sigma", "guard_band", "err08_min", "err08_max"];
     let monotone = bands.windows(2).all(|w| w[1] >= w[0] - 1e-12);
@@ -114,9 +108,7 @@ pub fn ablation_variation() -> Result<Figure, OptError> {
 pub fn ablation_aging() -> Result<Figure, OptError> {
     let aging = AgingModel::nbti_ptm22();
     let years_grid = [0.0, 3.0, 7.0, 10.0];
-    let events: Vec<Vec<AluEvent>> = (0..4)
-        .map(|t| synthetic_events(0xA6E + t, 500))
-        .collect();
+    let events: Vec<Vec<AluEvent>> = (0..4).map(|t| synthetic_events(0xA6E + t, 500)).collect();
     let fresh_stage = build_stage(StageKind::SimpleAlu, 16).map_err(timing::TimingError::from)?;
     let fresh_tnom = StageCharacterizer::from_stage(fresh_stage)?.tnom_v1();
     let cfg = SystemConfig::paper_default(fresh_tnom);
@@ -140,12 +132,7 @@ pub fn ablation_aging() -> Result<Figure, OptError> {
             .fold(0.0f64, f64::max);
         err09.push(worst_err);
         let a = synts_poly(&cfg, &profiles, 1.0)?;
-        let tsr = a
-            .points
-            .iter()
-            .map(|p| p.tsr_idx)
-            .min()
-            .expect("non-empty");
+        let tsr = a.points.iter().map(|p| p.tsr_idx).min().expect("non-empty");
         min_tsr.push(tsr);
         let ed = evaluate(&cfg, &profiles, &a);
         rows.push(vec![
@@ -156,7 +143,13 @@ pub fn ablation_aging() -> Result<Figure, OptError> {
             f(ed.edp(), 3),
         ]);
     }
-    let header = ["years", "delay_factor", "worst_err_r09", "min_tsr_idx", "edp"];
+    let header = [
+        "years",
+        "delay_factor",
+        "worst_err_r09",
+        "min_tsr_idx",
+        "edp",
+    ];
     let checks = vec![
         Check::new(
             "error probability at r = 0.9 never falls as the die ages",
@@ -190,9 +183,9 @@ pub fn ablation_leakage(corpus: &Corpus) -> Result<Figure, OptError> {
     let cfg = data.system_config();
     let leak = LeakageModel::fraction_of_dynamic(&cfg, 0.3)?;
     let mut totals = [0.0f64; 8]; // (energy, time) × 4 schemes
-    // Weighted-cost sums for aware vs blind — the quantity the aware
-    // solver provably optimizes (EDP, a product of sums, is reported but
-    // not guaranteed per interval).
+                                  // Weighted-cost sums for aware vs blind — the quantity the aware
+                                  // solver provably optimizes (EDP, a product of sums, is reported but
+                                  // not guaranteed per interval).
     let mut cost_aware = 0.0f64;
     let mut cost_blind = 0.0f64;
     for iv in &data.intervals {
@@ -222,7 +215,12 @@ pub fn ablation_leakage(corpus: &Corpus) -> Result<Figure, OptError> {
     }
     let edp = |i: usize| totals[2 * i] * totals[2 * i + 1];
     let nominal_edp = edp(3);
-    let names = ["SynTS leak-aware", "SynTS leak-blind", "Thrifty barrier", "Nominal"];
+    let names = [
+        "SynTS leak-aware",
+        "SynTS leak-blind",
+        "Thrifty barrier",
+        "Nominal",
+    ];
     let rows: Vec<Vec<String>> = names
         .iter()
         .enumerate()
@@ -241,7 +239,10 @@ pub fn ablation_leakage(corpus: &Corpus) -> Result<Figure, OptError> {
             "leakage-aware SynTS never costs more than leakage-blind SynTS",
             cost_aware <= cost_blind * (1.0 + 1e-9),
         ),
-        Check::new("leakage-aware SynTS beats the thrifty barrier", edp(0) < edp(2)),
+        Check::new(
+            "leakage-aware SynTS beats the thrifty barrier",
+            edp(0) < edp(2),
+        ),
         Check::new("the thrifty barrier beats Nominal", edp(2) < edp(3)),
     ];
     Ok(Figure {
@@ -288,7 +289,11 @@ pub fn ablation_power_cap(corpus: &Corpus) -> Result<Figure, OptError> {
             Err(e) => return Err(e),
         }
     }
-    let header = ["cap_vs_nominal_power", "time_vs_nominal", "power_vs_nominal"];
+    let header = [
+        "cap_vs_nominal_power",
+        "time_vs_nominal",
+        "power_vs_nominal",
+    ];
     let checks = vec![
         Check::new(
             "loosening the cap never slows the barrier",
@@ -325,7 +330,9 @@ pub fn ablation_predictor(corpus: &Corpus) -> Result<Figure, OptError> {
         .ok_or(OptError::BadConfig("corpus lacks Radix/SimpleALU"))?;
     let cfg = data.system_config();
     if data.intervals.len() < 2 {
-        return Err(OptError::BadConfig("predictor ablation needs >= 2 intervals"));
+        return Err(OptError::BadConfig(
+            "predictor ablation needs >= 2 intervals",
+        ));
     }
     let intervals: Vec<Vec<synts_core::ThreadTrace>> = data
         .intervals

@@ -3,18 +3,33 @@
 //! of the paper that the reproduction is expected to reproduce (who wins,
 //! by roughly what factor, where the structure lies).
 
+use std::sync::{Arc, OnceLock};
+
 use circuits::{AdderKind, SimpleAlu, StageKind};
 use gpgpu::{GpuKernel, SimdConfig, SimdUnit};
 use synts_core::experiments::BenchmarkData;
 use synts_core::{
-    assignment_for, estimate_overhead_defaults, evaluate, run_interval, run_interval_offline,
-    theta_equal_weight, OptError, SamplingPlan, Scheme, ThreadProfile,
+    estimate_overhead_defaults, run_interval, run_interval_offline, theta_equal_weight, OptError,
+    SamplingPlan, Scheme, Solver, SolverRegistry, ThreadProfile,
 };
 use timing::{EnergyDelay, ErrorCurve, ErrorModel, StageCharacterizer, VOLTAGE_TABLE_POINTS};
 use workloads::Benchmark;
 
 use crate::corpus::Corpus;
 use crate::render::{f, table};
+
+/// The shared solver registry every figure dispatches through.
+fn registry() -> &'static SolverRegistry {
+    static REGISTRY: OnceLock<SolverRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(SolverRegistry::with_defaults)
+}
+
+/// Resolves a scheme to its registered solver.
+fn solver_for(scheme: Scheme) -> Arc<dyn Solver<ErrorCurve>> {
+    registry()
+        .get(scheme.key())
+        .expect("every Scheme key is registered by default")
+}
 
 /// One qualitative claim and whether the reproduction satisfies it.
 #[derive(Debug, Clone)]
@@ -62,13 +77,15 @@ fn corpus_data(
     bench: Benchmark,
     stage: StageKind,
 ) -> Result<&BenchmarkData, OptError> {
-    corpus.get(bench, stage).ok_or_else(|| missing(bench, stage))
+    corpus
+        .get(bench, stage)
+        .ok_or_else(|| missing(bench, stage))
 }
 
-/// Sums a scheme's energy/time over all barrier intervals of a benchmark.
+/// Sums a solver's energy/time over all barrier intervals of a benchmark.
 fn sum_intervals(
     data: &BenchmarkData,
-    scheme: Scheme,
+    solver: &dyn Solver<ErrorCurve>,
     theta: f64,
 ) -> Result<EnergyDelay, OptError> {
     let cfg = data.system_config();
@@ -76,8 +93,7 @@ fn sum_intervals(
     let mut time = 0.0;
     for iv in &data.intervals {
         let profiles = iv.profiles();
-        let a = assignment_for(scheme, &cfg, &profiles, theta)?;
-        let ed = evaluate(&cfg, &profiles, &a);
+        let (_, ed) = solver.solve_evaluated(&cfg, &profiles, theta)?;
         energy += ed.energy;
         time += ed.time;
     }
@@ -87,14 +103,14 @@ fn sum_intervals(
 /// Equal-weight θ for a whole benchmark (Σ nominal energy / Σ nominal time).
 fn theta_eq(data: &BenchmarkData) -> Result<f64, OptError> {
     let cfg = data.system_config();
+    let nominal = solver_for(Scheme::Nominal);
     let mut en = 0.0;
     let mut t = 0.0;
     for iv in &data.intervals {
         let profiles = iv.profiles();
         let theta = theta_equal_weight(&cfg, &profiles)?;
         // theta_equal_weight is en/t of the interval; recover the sums.
-        let a = assignment_for(Scheme::Nominal, &cfg, &profiles, theta)?;
-        let ed = evaluate(&cfg, &profiles, &a);
+        let (_, ed) = nominal.solve_evaluated(&cfg, &profiles, theta)?;
         en += ed.energy;
         t += ed.time;
     }
@@ -153,7 +169,9 @@ pub fn table_5_1() -> Result<Figure, OptError> {
     let start = b.input("in");
     let mut n = start;
     for _ in 0..31 {
-        n = b.cell(CellKind::Inv, &[n]).map_err(timing::TimingError::from)?;
+        n = b
+            .cell(CellKind::Inv, &[n])
+            .map_err(timing::TimingError::from)?;
     }
     b.output(n, "out");
     let ring = b.finish().map_err(timing::TimingError::from)?;
@@ -214,7 +232,10 @@ pub fn fig_1_2(corpus: &Corpus) -> Result<Figure, OptError> {
         nominal_spi / (r * (p * c_pen + td.cpi_base))
     };
     let checks = vec![
-        Check::new("an optimal speculative clock f_s exists below f_0", best.0 < 1.0),
+        Check::new(
+            "an optimal speculative clock f_s exists below f_0",
+            best.0 < 1.0,
+        ),
         Check::new(
             "clocking past f_s degrades performance (recovery dominates)",
             best.1 > perf_at_min,
@@ -222,7 +243,10 @@ pub fn fig_1_2(corpus: &Corpus) -> Result<Figure, OptError> {
         Check::new("speculation at f_s beats nominal", best.1 > 1.0),
     ];
     let mut text = table(&["r", "err(r)", "perf (x nominal)"], &rows);
-    text.push_str(&format!("\noptimum: r = {:.2}, perf = {:.3}x\n", best.0, best.1));
+    text.push_str(&format!(
+        "\noptimum: r = {:.2}, perf = {:.3}x\n",
+        best.0, best.1
+    ));
     Ok(Figure {
         id: "fig-1-2",
         title: "Fig 1.2: Timing speculation vs error probability trade-off".into(),
@@ -279,7 +303,10 @@ pub fn fig_3_5(corpus: &Corpus) -> Result<Figure, OptError> {
             format!("thread error curves are heterogeneous (worst/best = {factor:.1}x, paper ~4x)"),
             factor > 2.0,
         ),
-        Check::new("thread 0 consistently has the highest error probability", t0_critical),
+        Check::new(
+            "thread 0 consistently has the highest error probability",
+            t0_critical,
+        ),
         Check::new(
             "error probability decreases with the clock period",
             iv.threads
@@ -311,10 +338,24 @@ pub fn fig_3_6(corpus: &Corpus) -> Result<Figure, OptError> {
     let m = profiles.len();
 
     let time_at = |p: &ThreadProfile<ErrorCurve>, vj: usize, rk: usize| {
-        synts_core::thread_time(&cfg, p, synts_core::OperatingPoint { voltage_idx: vj, tsr_idx: rk })
+        synts_core::thread_time(
+            &cfg,
+            p,
+            synts_core::OperatingPoint {
+                voltage_idx: vj,
+                tsr_idx: rk,
+            },
+        )
     };
     let energy_at = |p: &ThreadProfile<ErrorCurve>, vj: usize, rk: usize| {
-        synts_core::thread_energy(&cfg, p, synts_core::OperatingPoint { voltage_idx: vj, tsr_idx: rk })
+        synts_core::thread_energy(
+            &cfg,
+            p,
+            synts_core::OperatingPoint {
+                voltage_idx: vj,
+                tsr_idx: rk,
+            },
+        )
     };
 
     // (a) Nominal: V = 1.0, r = 1 for everyone.
@@ -382,7 +423,11 @@ pub fn fig_3_6(corpus: &Corpus) -> Result<Figure, OptError> {
             format!("T{i}"),
             f(nominal_times[i] / nominal_texec, 3),
             f(step1_times[i] / nominal_texec, 3),
-            format!("{:.2}V/r={:.2}", cfg.voltages.levels()[vj].volts(), cfg.tsr_levels[rk]),
+            format!(
+                "{:.2}V/r={:.2}",
+                cfg.voltages.levels()[vj].volts(),
+                cfg.tsr_levels[rk]
+            ),
         ]);
     }
     let mut text = table(&["thread", "t nominal", "t step-1", "step-2 point"], &rows);
@@ -407,8 +452,9 @@ pub fn fig_3_6(corpus: &Corpus) -> Result<Figure, OptError> {
     ];
     Ok(Figure {
         id: "fig-3-6",
-        title: "Fig 3.6: SynTS motivational example (frequency up-scaling, then voltage down-scaling)"
-            .into(),
+        title:
+            "Fig 3.6: SynTS motivational example (frequency up-scaling, then voltage down-scaling)"
+                .into(),
         text,
         csv: None,
         checks,
@@ -445,7 +491,9 @@ pub fn fig_5_10() -> Result<Figure, OptError> {
         worst > 0.85,
     ));
     let text = table(
-        &["kernel", "min-sim", "VALU0", "VALU1", "VALU2", "VALU3", "VALU4", "VALU5"],
+        &[
+            "kernel", "min-sim", "VALU0", "VALU1", "VALU2", "VALU3", "VALU4", "VALU5",
+        ],
         &rows,
     );
     Ok(Figure {
@@ -453,7 +501,16 @@ pub fn fig_5_10() -> Result<Figure, OptError> {
         title: "Fig 5.10: Hamming-distance profiles of the vector ALUs (HD 7970 SIMD unit)".into(),
         text,
         csv: Some((
-            vec!["kernel", "min_similarity", "v0", "v1", "v2", "v3", "v4", "v5"],
+            vec![
+                "kernel",
+                "min_similarity",
+                "v0",
+                "v1",
+                "v2",
+                "v3",
+                "v4",
+                "v5",
+            ],
             rows,
         )),
         checks,
@@ -478,24 +535,25 @@ pub fn fig_pareto(
     let thetas: Vec<f64> = (0..9)
         .map(|i| center * 10f64.powf(-2.0 + 0.5 * i as f64))
         .collect();
-    let nominal = sum_intervals(data, Scheme::Nominal, center)?;
+    let nominal = sum_intervals(data, &*solver_for(Scheme::Nominal), center)?;
 
     let mut rows = Vec::new();
-    let mut series: Vec<(Scheme, Vec<EnergyDelay>)> = Vec::new();
+    let mut series: Vec<(&'static str, Vec<EnergyDelay>)> = Vec::new();
     for scheme in [Scheme::SynTs, Scheme::PerCoreTs, Scheme::NoTs] {
+        let solver = solver_for(scheme);
         let mut pts = Vec::new();
         for &theta in &thetas {
-            let ed = sum_intervals(data, scheme, theta)?;
+            let ed = sum_intervals(data, &*solver, theta)?;
             let n = ed.normalized_to(nominal);
             rows.push(vec![
-                scheme.to_string(),
+                solver.label().to_string(),
                 f(theta / center, 3),
                 f(n.time, 4),
                 f(n.energy, 4),
             ]);
             pts.push(n);
         }
-        series.push((scheme, pts));
+        series.push((solver.label(), pts));
     }
 
     // Shape checks. SynTS optimizes Eq 4.4 exactly, so at every theta its
@@ -527,7 +585,10 @@ pub fn fig_pareto(
             min_energy_synts < 0.9,
         ),
     ];
-    let text = table(&["scheme", "theta/eq", "time (norm)", "energy (norm)"], &rows);
+    let text = table(
+        &["scheme", "theta/eq", "time (norm)", "energy (norm)"],
+        &rows,
+    );
     Ok(Figure {
         id,
         title: format!("Fig {figure_no}: Energy vs execution time, {bench} ({stage})"),
@@ -601,7 +662,9 @@ pub fn fig_6_17(corpus: &Corpus) -> Result<Figure, OptError> {
             max_gap < gap_budget,
         ));
         checks.push(Check::new(
-            format!("{bench}: the speculation-critical thread is identified whenever distinguishable"),
+            format!(
+                "{bench}: the speculation-critical thread is identified whenever distinguishable"
+            ),
             critical_match,
         ));
     }
@@ -610,7 +673,10 @@ pub fn fig_6_17(corpus: &Corpus) -> Result<Figure, OptError> {
         id: "fig-6-17",
         title: "Fig 6.17: Actual vs online-estimated error probability (Radix, FMM)".into(),
         text,
-        csv: Some((vec!["benchmark", "thread", "r", "actual", "estimated"], rows)),
+        csv: Some((
+            vec!["benchmark", "thread", "r", "actual", "estimated"],
+            rows,
+        )),
         checks,
     })
 }
@@ -645,8 +711,7 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
             let mut theta_t = 0.0;
             for iv in &data.intervals {
                 let profiles = trace_profiles(iv)?;
-                let a = assignment_for(Scheme::Nominal, &cfg, &profiles, 1.0)?;
-                let ed = evaluate(&cfg, &profiles, &a);
+                let (_, ed) = solver_for(Scheme::Nominal).solve_evaluated(&cfg, &profiles, 1.0)?;
                 theta_en += ed.energy;
                 theta_t += ed.time;
             }
@@ -669,8 +734,7 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
                     (Scheme::Nominal, &mut nominal_ed),
                     (Scheme::NoTs, &mut nots_ed),
                 ] {
-                    let a = assignment_for(scheme, &cfg, &profiles, theta)?;
-                    let ed = evaluate(&cfg, &profiles, &a);
+                    let (_, ed) = solver_for(scheme).solve_evaluated(&cfg, &profiles, theta)?;
                     acc.energy += ed.energy;
                     acc.time += ed.time;
                 }
@@ -757,7 +821,10 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
         id: "fig-6-18",
         title: "Fig 6.18: Normalized EDP (baseline = SynTS offline)".into(),
         text,
-        csv: Some((vec!["stage", "benchmark", "online", "nots", "nominal"], rows)),
+        csv: Some((
+            vec!["stage", "benchmark", "online", "nots", "nominal"],
+            rows,
+        )),
         checks,
     })
 }
@@ -770,16 +837,30 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
 pub fn sec_6_3() -> Result<Figure, OptError> {
     let report = estimate_overhead_defaults(16)?;
     let rows = vec![
-        vec!["power overhead (%)".to_string(), f(report.power_pct(), 2), "3.41".into()],
-        vec!["area overhead (%)".to_string(), f(report.area_pct(), 2), "2.70".into()],
+        vec![
+            "power overhead (%)".to_string(),
+            f(report.power_pct(), 2),
+            "3.41".into(),
+        ],
+        vec![
+            "area overhead (%)".to_string(),
+            f(report.area_pct(), 2),
+            "2.70".into(),
+        ],
     ];
     let checks = vec![
         Check::new(
-            format!("power overhead is a few percent ({:.2}%, paper 3.41%)", report.power_pct()),
+            format!(
+                "power overhead is a few percent ({:.2}%, paper 3.41%)",
+                report.power_pct()
+            ),
             report.power_pct() > 0.5 && report.power_pct() < 8.0,
         ),
         Check::new(
-            format!("area overhead is a few percent ({:.2}%, paper 2.7%)", report.area_pct()),
+            format!(
+                "area overhead is a few percent ({:.2}%, paper 2.7%)",
+                report.area_pct()
+            ),
             report.area_pct() > 0.5 && report.area_pct() < 8.0,
         ),
         Check::new(
@@ -815,8 +896,8 @@ pub fn headline(corpus: &Corpus) -> Result<Figure, OptError> {
                 continue;
             };
             let theta = theta_eq(data)?;
-            let synts = sum_intervals(data, Scheme::SynTs, theta)?;
-            let percore = sum_intervals(data, Scheme::PerCoreTs, theta)?;
+            let synts = sum_intervals(data, &*solver_for(Scheme::SynTs), theta)?;
+            let percore = sum_intervals(data, &*solver_for(Scheme::PerCoreTs), theta)?;
             let gain = 100.0 * (1.0 - synts.edp() / percore.edp());
             rows.push(vec![stage.to_string(), bench.to_string(), f(gain, 1)]);
             if gain > best {
@@ -834,7 +915,10 @@ pub fn headline(corpus: &Corpus) -> Result<Figure, OptError> {
         };
         rows.push(vec![
             stage.to_string(),
-            format!("BEST ({})", bench.map(|b| b.to_string()).unwrap_or_default()),
+            format!(
+                "BEST ({})",
+                bench.map(|b| b.to_string()).unwrap_or_default()
+            ),
             f(best, 1),
         ]);
         checks.push(Check::new(
@@ -857,7 +941,10 @@ pub fn headline(corpus: &Corpus) -> Result<Figure, OptError> {
         "the ComplexALU shows the smallest best-case gain (paper: 7.5% vs 25-26%)",
         complex_best < others_best,
     ));
-    let text = table(&["stage", "benchmark", "EDP gain vs per-core TS (%)"], &rows);
+    let text = table(
+        &["stage", "benchmark", "EDP gain vs per-core TS (%)"],
+        &rows,
+    );
     Ok(Figure {
         id: "headline",
         title: "Headline: EDP reduction vs per-core timing speculation".into(),
@@ -885,7 +972,8 @@ pub fn ablation_adders(corpus: &Corpus) -> Result<Figure, OptError> {
     let mut means = Vec::new();
     for kind in AdderKind::ALL {
         let name = kind.name();
-        let alu = SimpleAlu::with_adder(cfg.workload.width, kind).map_err(timing::TimingError::from)?;
+        let alu =
+            SimpleAlu::with_adder(cfg.workload.width, kind).map_err(timing::TimingError::from)?;
         let charac = StageCharacterizer::from_stage(Box::new(alu))?;
         let trace = charac.delay_trace_sampled(events, cfg.max_samples)?;
         let curve = ErrorCurve::from_trace(&trace);
@@ -918,14 +1006,24 @@ pub fn ablation_adders(corpus: &Corpus) -> Result<Figure, OptError> {
         ),
     ];
     let text = table(
-        &["adder", "tnom (1.0V)", "mean d/tnom", "err(0.7)", "err(0.8)", "err(0.9)"],
+        &[
+            "adder",
+            "tnom (1.0V)",
+            "mean d/tnom",
+            "err(0.7)",
+            "err(0.8)",
+            "err(0.9)",
+        ],
         &rows,
     );
     Ok(Figure {
         id: "ablation-adders",
         title: "Ablation: SimpleALU adder topology vs error-probability curve".into(),
         text,
-        csv: Some((vec!["adder", "tnom", "mean", "err07", "err08", "err09"], rows)),
+        csv: Some((
+            vec!["adder", "tnom", "mean", "err07", "err08", "err09"],
+            rows,
+        )),
         checks,
     })
 }
@@ -995,7 +1093,12 @@ pub fn sec_5_4(corpus: &Corpus) -> Result<Figure, OptError> {
         }
         rows.push(vec![
             bench.name().to_string(),
-            if bench.paper_homogeneous() { "homogeneous" } else { "reported" }.to_string(),
+            if bench.paper_homogeneous() {
+                "homogeneous"
+            } else {
+                "reported"
+            }
+            .to_string(),
             f(s, 4),
             f(gentle, 4),
         ]);
@@ -1029,9 +1132,22 @@ pub fn sec_5_4(corpus: &Corpus) -> Result<Figure, OptError> {
     Ok(Figure {
         id: "sec-5-4",
         title: "Sec 5.4: benchmark classification by thread heterogeneity (SimpleALU)".into(),
-        text: table(&["benchmark", "paper class", "max err spread", "worst err(0.928)"], &rows),
+        text: table(
+            &[
+                "benchmark",
+                "paper class",
+                "max err spread",
+                "worst err(0.928)",
+            ],
+            &rows,
+        ),
         csv: Some((
-            vec!["benchmark", "paper_class", "max_err_spread", "worst_err_0928"],
+            vec![
+                "benchmark",
+                "paper_class",
+                "max_err_spread",
+                "worst_err_0928",
+            ],
             rows,
         )),
         checks,

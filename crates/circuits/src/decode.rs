@@ -92,7 +92,6 @@ impl DecodeStage {
         let mut grants = priority_chain(&mut b, &qualified)?;
         grants.reverse(); // back to opcode order
 
-
         b.output(is_simple, "is_simple");
         b.output(is_complex, "is_complex");
         b.output(is_load, "is_load");

@@ -58,7 +58,6 @@ pub fn array_multiplier(
     Ok(product)
 }
 
-
 /// Carry-save (Wallace-style) multiplier: partial products are reduced in
 /// log-depth 3:2 compressor layers, then a final Kogge-Stone carry-
 /// propagate add. Much shallower than the ripple array — the multiplier
@@ -304,7 +303,6 @@ mod tests {
             StaticTiming::analyze(&b.finish().expect("valid"), Voltage::NOMINAL).expect("sta");
         assert!(sta_mul.nominal_period() > 2.0 * sta_add.nominal_period());
     }
-
 
     #[test]
     fn wallace_exhaustive_4x4() {

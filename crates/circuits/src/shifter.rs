@@ -31,7 +31,10 @@ pub fn barrel_shifter(
     direction: ShiftDirection,
 ) -> Result<Vec<NetId>, NetlistError> {
     let w = data.len();
-    assert!(w.is_power_of_two(), "barrel shifter requires power-of-two width");
+    assert!(
+        w.is_power_of_two(),
+        "barrel shifter requires power-of-two width"
+    );
     assert_eq!(
         amount.len(),
         w.trailing_zeros() as usize,
@@ -98,7 +101,11 @@ mod tests {
         let n = build(8, ShiftDirection::Left);
         for data in [0u64, 1, 0x80, 0xA5, 0xFF] {
             for amt in 0..8 {
-                assert_eq!(run(&n, 8, data, amt), (data << amt) & 0xFF, "{data} << {amt}");
+                assert_eq!(
+                    run(&n, 8, data, amt),
+                    (data << amt) & 0xFF,
+                    "{data} << {amt}"
+                );
             }
         }
     }

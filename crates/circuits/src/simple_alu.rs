@@ -214,11 +214,7 @@ mod tests {
             let b = (state >> 8) & 0xFF;
             let ev = AluEvent::new(op, a, b);
             let out = alu.netlist().evaluate(&alu.encode(&ev)).expect("ok");
-            assert_eq!(
-                alu.result_of(&out),
-                ev.result(8),
-                "{op} {a} {b}"
-            );
+            assert_eq!(alu.result_of(&out), ev.result(8), "{op} {a} {b}");
         }
     }
 
@@ -258,11 +254,17 @@ mod tests {
             .collect();
         let mut state = 0xabcdefu64;
         for _ in 0..200 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let op = SIMPLE_OPS[(state >> 59) as usize % 8];
             let ev = AluEvent::new(op, state & 0xFF, (state >> 8) & 0xFF);
-            let reference =
-                alus[0].result_of(&alus[0].netlist().evaluate(&alus[0].encode(&ev)).expect("ok"));
+            let reference = alus[0].result_of(
+                &alus[0]
+                    .netlist()
+                    .evaluate(&alus[0].encode(&ev))
+                    .expect("ok"),
+            );
             for alu in &alus[1..] {
                 let r = alu.result_of(&alu.netlist().evaluate(&alu.encode(&ev)).expect("ok"));
                 assert_eq!(r, reference, "{:?} disagrees on {ev:?}", alu.adder_kind());

@@ -20,7 +20,11 @@ pub enum StageKind {
 
 impl StageKind {
     /// All stages, in the paper's reporting order.
-    pub const ALL: [StageKind; 3] = [StageKind::Decode, StageKind::SimpleAlu, StageKind::ComplexAlu];
+    pub const ALL: [StageKind; 3] = [
+        StageKind::Decode,
+        StageKind::SimpleAlu,
+        StageKind::ComplexAlu,
+    ];
 }
 
 impl std::fmt::Display for StageKind {

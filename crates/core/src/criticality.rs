@@ -104,11 +104,7 @@ impl NiPredictor {
                 .iter()
                 .map(|h| *h.last().expect("observed > 0"))
                 .collect(),
-            PredictorKind::Ewma(_) => self
-                .ewma
-                .iter()
-                .map(|e| e.expect("observed > 0"))
-                .collect(),
+            PredictorKind::Ewma(_) => self.ewma.iter().map(|e| e.expect("observed > 0")).collect(),
             PredictorKind::WindowMean(k) => self
                 .history
                 .iter()
@@ -472,7 +468,9 @@ mod tests {
         use timing::ErrorCurve;
         let cfg = cfg();
         let curve = |lo: f64, hi: f64| {
-            let d: Vec<f64> = (0..100).map(|i| lo + (hi - lo) * i as f64 / 100.0).collect();
+            let d: Vec<f64> = (0..100)
+                .map(|i| lo + (hi - lo) * i as f64 / 100.0)
+                .collect();
             ErrorCurve::from_normalized_delays(d).expect("ok")
         };
         let base = vec![

@@ -19,6 +19,8 @@ pub enum OptError {
     Infeasible,
     /// The MILP back-end failed.
     Milp(SolveError),
+    /// A solver name that is not in the [`crate::SolverRegistry`].
+    UnknownSolver(String),
     /// A timing-layer failure while preparing inputs.
     Timing(TimingError),
     /// Problem too large for the exhaustive reference solver.
@@ -37,6 +39,9 @@ impl fmt::Display for OptError {
             OptError::NoThreads => write!(f, "no thread profiles supplied"),
             OptError::Infeasible => write!(f, "no feasible assignment"),
             OptError::Milp(e) => write!(f, "milp solver: {e}"),
+            OptError::UnknownSolver(name) => {
+                write!(f, "unknown solver scheme '{name}' (not in the registry)")
+            }
             OptError::Timing(e) => write!(f, "timing layer: {e}"),
             OptError::TooLarge { candidates, limit } => write!(
                 f,
@@ -85,5 +90,7 @@ mod tests {
     fn display() {
         let e = OptError::BadConfig("no TSR levels");
         assert_eq!(e.to_string(), "bad system config: no TSR levels");
+        let e = OptError::UnknownSolver("annealer".to_string());
+        assert!(e.to_string().contains("annealer"));
     }
 }

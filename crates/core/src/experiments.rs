@@ -126,17 +126,12 @@ fn thread_data(
             let normalized = trace.normalized();
             (normalized, ErrorCurve::from_trace(&trace))
         }
-        Err(timing::TimingError::EmptyTrace) => (
-            Vec::new(),
-            ErrorCurve::from_normalized_delays(vec![0.0])?,
-        ),
+        Err(timing::TimingError::EmptyTrace) => {
+            (Vec::new(), ErrorCurve::from_normalized_delays(vec![0.0])?)
+        }
         Err(e) => return Err(e.into()),
     };
-    let mul_ops = work
-        .events
-        .iter()
-        .filter(|e| e.op.is_complex())
-        .count() as u64;
+    let mul_ops = work.events.iter().filter(|e| e.op.is_complex()).count() as u64;
     let mem: Vec<(u64, bool)> = work.mem_refs.iter().map(|m| (m.addr, m.is_store)).collect();
     let stream = InstrStream {
         alu_ops: work.events.len() as u64 - mul_ops,

@@ -145,7 +145,9 @@ mod tests {
     use timing::ErrorCurve;
 
     fn curve(lo: f64, hi: f64) -> ErrorCurve {
-        let delays: Vec<f64> = (0..128).map(|i| lo + (hi - lo) * i as f64 / 128.0).collect();
+        let delays: Vec<f64> = (0..128)
+            .map(|i| lo + (hi - lo) * i as f64 / 128.0)
+            .collect();
         ErrorCurve::from_normalized_delays(delays).expect("non-empty")
     }
 
@@ -227,7 +229,12 @@ mod tests {
         };
         let a = evaluate_task_queue(&cfg, &ths, 10_000.0, &all_nominal);
         let b = evaluate_task_queue(&cfg, &ths, 10_000.0, &one_slow);
-        assert!(b.time > a.time, "queue drain must slow down: {} vs {}", b.time, a.time);
+        assert!(
+            b.time > a.time,
+            "queue drain must slow down: {} vs {}",
+            b.time,
+            a.time
+        );
     }
 
     #[test]

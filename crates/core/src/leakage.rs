@@ -377,7 +377,9 @@ mod tests {
     use timing::ErrorCurve;
 
     fn curve(lo: f64, hi: f64) -> ErrorCurve {
-        let delays: Vec<f64> = (0..200).map(|i| lo + (hi - lo) * i as f64 / 200.0).collect();
+        let delays: Vec<f64> = (0..200)
+            .map(|i| lo + (hi - lo) * i as f64 / 200.0)
+            .collect();
         ErrorCurve::from_normalized_delays(delays).expect("non-empty")
     }
 
@@ -417,8 +419,7 @@ mod tests {
             for idle in [0.0, 0.5, 1.0] {
                 leak.idle_scale = idle;
                 for theta in [0.0, 0.5, 10.0] {
-                    let poly =
-                        synts_poly_leakage(&cfg, &profiles, theta, &leak).expect("poly");
+                    let poly = synts_poly_leakage(&cfg, &profiles, theta, &leak).expect("poly");
                     let ex = synts_exhaustive_leakage(&cfg, &profiles, theta, &leak)
                         .expect("exhaustive");
                     let cp = weighted_cost_with_leakage(&cfg, &profiles, &poly, &leak, theta);
@@ -479,8 +480,7 @@ mod tests {
         let base = synts_poly(&cfg, &profiles, theta).expect("poly");
         let leak = LeakageModel::fraction_of_dynamic(&cfg, 0.8).expect("ok");
         let heavy = synts_poly_leakage(&cfg, &profiles, theta, &leak).expect("poly");
-        let volts =
-            |a: &Assignment| -> f64 { a.points.iter().map(|p| p.voltage_idx as f64).sum() };
+        let volts = |a: &Assignment| -> f64 { a.points.iter().map(|p| p.voltage_idx as f64).sum() };
         // Higher voltage_idx = lower voltage in the table.
         assert!(volts(&heavy) >= volts(&base) - 1e-9);
     }

@@ -6,26 +6,16 @@
 //! ratio for a barrier-synchronized multi-threaded program on a multi-core
 //! processor with Razor-style error recovery.
 //!
-//! The pieces, in paper order:
+//! ## The unified solver API
 //!
-//! * [`SystemConfig`] / [`ThreadProfile`] and Eq 4.1–4.3 — the system model
-//!   (Sec 4.1);
-//! * [`synts_milp`] — the SynTS-MILP formulation (Sec 4.2.1), solved by the
-//!   in-workspace [`milp`] crate;
-//! * [`synts_poly`] — Algorithm 1, the exact polynomial-time solver;
-//! * [`nominal`], [`no_ts`], [`per_core_ts`] — the evaluation baselines;
-//! * [`online`] — the sampling-based online controller (Sec 4.3);
-//! * [`overhead`] — the Sec 6.3 hardware-overhead accounting;
-//! * [`leakage`] — the Sec 4.1-suggested leakage-power extension;
-//! * [`power_cap`] — the Sec 4.1-suggested power-constrained variant;
-//! * [`criticality`] — online `N_i` prediction (the Sec 6.2 assumption);
-//! * [`thrifty`] — the thrifty-barrier baseline (related work, ref \[4\]);
-//! * [`pareto`] — θ sweeps behind Figs 6.11–6.16;
-//! * [`experiments`] — the end-to-end harness tying workloads, circuits and
-//!   the optimizer together to regenerate the paper's figures.
+//! Every optimization scheme is a [`Solver`] — one object-safe interface
+//! (`solve(cfg, profiles, theta)` plus `name()` / `capabilities()`)
+//! implemented by the paper's solvers, the evaluation baselines and the
+//! extension solvers alike. A [`SolverRegistry`] provides string-keyed
+//! lookup, and [`Synts::builder`] is the fluent front door:
 //!
 //! ```
-//! use synts_core::{synts_poly, SystemConfig, ThreadProfile};
+//! use synts_core::{Synts, SystemConfig, ThreadProfile};
 //! use timing::ErrorCurve;
 //!
 //! # fn main() -> Result<(), synts_core::OptError> {
@@ -37,27 +27,65 @@
 //!     ThreadProfile::new(10_000.0, 1.2, hot),
 //!     ThreadProfile::new(10_000.0, 1.0, cool),
 //! ];
-//! let assignment = synts_poly(&cfg, &profiles, 1.0)?;
+//! let synts = Synts::builder().scheme("synts_poly").theta(1.0).build()?;
+//! let assignment = synts.solve(&cfg, &profiles)?;
 //! // The cool thread can be pushed to a cheaper operating point.
 //! assert_ne!(assignment.points[0], assignment.points[1]);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Registered schemes (see [`SolverRegistry::with_defaults`]):
+//!
+//! | name | implementation | paper artifact |
+//! |------|----------------|----------------|
+//! | `synts_poly` | [`synts_poly`] (Algorithm 1) | the SynTS scheme |
+//! | `synts_milp` | [`synts_milp`] | Sec 4.2.1 formulation |
+//! | `synts_exhaustive` | [`synts_exhaustive`] | certification oracle |
+//! | `nominal` | [`nominal`] | evaluation baseline |
+//! | `no_ts` | [`no_ts`] | barrier-aware DVFS baseline |
+//! | `per_core_ts` | [`per_core_ts`] | per-core TS baseline |
+//! | `power_cap` | [`power_cap`] module | Sec 4.1 generalization |
+//! | `synts_leakage` | [`leakage`] module | Sec 4.1 leakage extension |
+//! | `thrifty` | [`thrifty`] module | thrifty barrier (ref \[4\]) |
+//!
+//! ## The pieces, in paper order
+//!
+//! * [`SystemConfig`] / [`ThreadProfile`] and Eq 4.1–4.3 — the system model
+//!   (Sec 4.1);
+//! * [`solver`] — the [`Solver`] trait, [`SolverRegistry`] and the
+//!   [`Synts`] builder described above;
+//! * [`synts_milp`] — the SynTS-MILP formulation (Sec 4.2.1), solved by the
+//!   in-workspace [`milp`] crate;
+//! * [`synts_poly`] — Algorithm 1, the exact polynomial-time solver;
+//! * [`nominal`], [`no_ts`], [`per_core_ts`] — the evaluation baselines;
+//! * [`online`] — the sampling-based online controller (Sec 4.3), which
+//!   dispatches its optimization step through the [`Solver`] trait
+//!   ([`online::run_interval_with`]);
+//! * [`overhead`] — the Sec 6.3 hardware-overhead accounting;
+//! * [`leakage`] — the Sec 4.1-suggested leakage-power extension;
+//! * [`power_cap`] — the Sec 4.1-suggested power-constrained variant;
+//! * [`criticality`] — online `N_i` prediction (the Sec 6.2 assumption);
+//! * [`thrifty`] — the thrifty-barrier baseline (related work, ref \[4\]);
+//! * [`pareto`] — trait-dispatched θ sweeps behind Figs 6.11–6.16;
+//! * [`experiments`] — the end-to-end harness tying workloads, circuits and
+//!   the optimizer together to regenerate the paper's figures.
 
 mod baselines;
 pub mod criticality;
 mod error;
 mod exhaustive;
-pub mod extensions;
 pub mod experiments;
+pub mod extensions;
 pub mod leakage;
 mod milp_formulation;
-pub mod power_cap;
 mod model;
 pub mod online;
 pub mod overhead;
 pub mod pareto;
 mod poly;
+pub mod power_cap;
+pub mod solver;
 pub mod thrifty;
 
 pub use baselines::{no_ts, nominal, per_core_ts};
@@ -68,9 +96,13 @@ pub use model::{
     evaluate, thread_energy, thread_time, weighted_cost, Assignment, OperatingPoint, SystemConfig,
     ThreadProfile, RAZOR_PENALTY_CYCLES,
 };
-pub use online::{run_interval, run_interval_offline, IntervalOutcome, SamplingPlan, ThreadTrace};
+pub use online::{
+    run_interval, run_interval_full, run_interval_offline, run_interval_with, IntervalOutcome,
+    SamplingPlan, ThreadTrace,
+};
 pub use overhead::{estimate_overhead, estimate_overhead_defaults, OverheadReport};
 pub use pareto::{
     assignment_for, default_theta_sweep, pareto_sweep, theta_equal_weight, Scheme, SweepPoint,
 };
 pub use poly::synts_poly;
+pub use solver::{Capabilities, Objective, Solver, SolverRegistry, Synts, SyntsBuilder};

@@ -122,11 +122,7 @@ mod tests {
                 let delays: Vec<f64> = (0..100)
                     .map(|i| (base + spread * (i as f64 / 100.0)).min(1.0))
                     .collect();
-                ThreadProfile::new(
-                    1_000.0 + 9_000.0 * rand01(),
-                    1.0 + rand01(),
-                    curve(delays),
-                )
+                ThreadProfile::new(1_000.0 + 9_000.0 * rand01(), 1.0 + rand01(), curve(delays))
             })
             .collect();
         (cfg, profiles)

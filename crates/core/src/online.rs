@@ -17,6 +17,7 @@ use timing::{EnergyDelay, ErrorCurve, SampledCurve, Voltage};
 use crate::error::OptError;
 use crate::model::{evaluate, thread_energy, thread_time, Assignment, SystemConfig, ThreadProfile};
 use crate::poly::synts_poly;
+use crate::solver::{Poly, Solver};
 
 /// Sampling-phase knobs (Sec 4.3): how many instructions to spend, at
 /// what voltage, and what a frequency switch costs.
@@ -181,7 +182,8 @@ impl ThreadTrace {
     }
 }
 
-/// Runs one barrier interval under the online scheme.
+/// Runs one barrier interval under the online scheme, optimizing the
+/// post-sampling remainder with SynTS-Poly (the paper's configuration).
 ///
 /// # Errors
 ///
@@ -193,7 +195,26 @@ pub fn run_interval(
     theta: f64,
     plan: SamplingPlan,
 ) -> Result<IntervalOutcome, OptError> {
-    run_interval_impl(cfg, traces, theta, plan, None)
+    run_interval_impl(cfg, traces, theta, plan, None, &Poly)
+}
+
+/// [`run_interval`] with an explicit [`Solver`] choosing the operating
+/// points from the sampled estimates — the online controller's dispatch
+/// point onto the unified solver interface. The solver sees
+/// [`timing::SampledCurve`] profiles, exactly what the sampling hardware
+/// produces.
+///
+/// # Errors
+///
+/// As [`run_interval`].
+pub fn run_interval_with(
+    cfg: &SystemConfig,
+    traces: &[ThreadTrace],
+    theta: f64,
+    plan: SamplingPlan,
+    solver: &dyn Solver<SampledCurve>,
+) -> Result<IntervalOutcome, OptError> {
+    run_interval_full(cfg, traces, theta, plan, None, solver)
 }
 
 /// [`run_interval`] with externally supplied whole-interval `N_i`
@@ -211,10 +232,31 @@ pub fn run_interval_with_workload(
     plan: SamplingPlan,
     ni: &[f64],
 ) -> Result<IntervalOutcome, OptError> {
-    if ni.len() != traces.len() {
-        return Err(OptError::BadConfig("Ni estimate thread count mismatch"));
+    run_interval_full(cfg, traces, theta, plan, Some(ni), &Poly)
+}
+
+/// The fully general online interval: optional external `N_i` estimates
+/// and an explicit [`Solver`] together. The three convenience wrappers
+/// above all delegate here.
+///
+/// # Errors
+///
+/// As [`run_interval`], plus [`OptError::BadConfig`] if `ni` is present
+/// with a thread count different from `traces`.
+pub fn run_interval_full(
+    cfg: &SystemConfig,
+    traces: &[ThreadTrace],
+    theta: f64,
+    plan: SamplingPlan,
+    ni: Option<&[f64]>,
+    solver: &dyn Solver<SampledCurve>,
+) -> Result<IntervalOutcome, OptError> {
+    if let Some(est) = ni {
+        if est.len() != traces.len() {
+            return Err(OptError::BadConfig("Ni estimate thread count mismatch"));
+        }
     }
-    run_interval_impl(cfg, traces, theta, plan, Some(ni))
+    run_interval_impl(cfg, traces, theta, plan, ni, solver)
 }
 
 fn run_interval_impl(
@@ -223,6 +265,7 @@ fn run_interval_impl(
     theta: f64,
     plan: SamplingPlan,
     ni: Option<&[f64]>,
+    solver: &dyn Solver<SampledCurve>,
 ) -> Result<IntervalOutcome, OptError> {
     cfg.validate()?;
     if traces.is_empty() {
@@ -243,7 +286,7 @@ fn run_interval_impl(
     let sampling = EnergyDelay::new(sampling_energy, sampling_time);
 
     // 2. Optimize the remainder of the interval on the estimates.
-    let est_profiles: Vec<ThreadProfile<&SampledCurve>> = traces
+    let est_profiles: Vec<ThreadProfile<SampledCurve>> = traces
         .iter()
         .zip(&estimates)
         .enumerate()
@@ -261,10 +304,10 @@ fn run_interval_impl(
                     .saturating_sub(plan.n_samp.min(tr.normalized_delays.len()))
                     .max(1) as f64,
             };
-            ThreadProfile::new(remaining, tr.cpi_base, est)
+            ThreadProfile::new(remaining, tr.cpi_base, est.clone())
         })
         .collect();
-    let assignment = synts_poly(cfg, &est_profiles, theta)?;
+    let assignment = solver.solve(cfg, &est_profiles, theta)?;
 
     // 3. Account the remainder against the TRUE curves (what actually
     //    happens on silicon once the estimate-driven points are applied).
@@ -374,10 +417,12 @@ mod tests {
         // aggressive r must be the largest — the property the paper calls
         // out in Fig 6.17 ("the critical thread is always identified").
         let cfg = cfg();
-        let traces = [trace(7, 5_000, 0.75, 1.0, 1.0),
+        let traces = [
+            trace(7, 5_000, 0.75, 1.0, 1.0),
             trace(8, 5_000, 0.40, 0.85, 1.0),
             trace(9, 5_000, 0.45, 0.88, 1.0),
-            trace(10, 5_000, 0.42, 0.86, 1.0)];
+            trace(10, 5_000, 0.42, 0.86, 1.0),
+        ];
         let plan = SamplingPlan::paper_default(5_000, cfg.s());
         let ests: Vec<SampledCurve> = traces
             .iter()
@@ -434,7 +479,10 @@ mod tests {
     #[test]
     fn transition_cost_charges_sampling_overhead() {
         let cfg = cfg();
-        let traces = vec![trace(5, 6_000, 0.5, 1.0, 1.0), trace(6, 6_000, 0.4, 0.9, 1.0)];
+        let traces = vec![
+            trace(5, 6_000, 0.5, 1.0, 1.0),
+            trace(6, 6_000, 0.4, 0.9, 1.0),
+        ];
         let free = SamplingPlan::paper_default(6_000, cfg.s());
         let costly = free.with_transition_cycles(500.0);
         let out_free = run_interval(&cfg, &traces, 1.0, free).expect("ok");
@@ -456,7 +504,10 @@ mod tests {
     #[test]
     fn outcome_contains_assignment_per_thread() {
         let cfg = cfg();
-        let traces = vec![trace(3, 4_000, 0.5, 1.0, 1.0), trace(4, 4_000, 0.4, 0.9, 1.0)];
+        let traces = vec![
+            trace(3, 4_000, 0.5, 1.0, 1.0),
+            trace(4, 4_000, 0.4, 0.9, 1.0),
+        ];
         let plan = SamplingPlan::paper_default(4_000, cfg.s());
         let out = run_interval(&cfg, &traces, 1.0, plan).expect("ok");
         assert_eq!(out.assignment.len(), 2);

@@ -111,8 +111,7 @@ pub fn estimate_overhead(stages: &[&Netlist]) -> OverheadReport {
     let nand2_area = gatelib::CellKind::Nand2.params().area;
     let nand2_energy = gatelib::CellKind::Nand2.params().switch_energy;
     let controller_area = CONTROLLER_NAND2_EQUIV * nand2_area;
-    let controller_energy =
-        CONTROLLER_NAND2_EQUIV * nand2_energy * COMB_ACTIVITY * SAMPLING_DUTY;
+    let controller_energy = CONTROLLER_NAND2_EQUIV * nand2_energy * COMB_ACTIVITY * SAMPLING_DUTY;
 
     let added_area = razor_area + counter_area + controller_area;
     let added_energy = razor_energy + counter_energy + controller_energy;

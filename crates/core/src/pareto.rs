@@ -1,11 +1,19 @@
-//! θ sweeps and Pareto-curve generation (Figs 6.11–6.16).
+//! θ sweeps and Pareto-curve generation (Figs 6.11–6.16), dispatched
+//! through the [`Solver`] trait.
+//!
+//! [`Scheme`] survives as a thin, display-friendly key for the four
+//! schemes the paper compares; it resolves into a trait object via
+//! [`Scheme::solver`] and shares the [`crate::SolverRegistry`] names, so
+//! sweeps, experiment harnesses and the online controller all dispatch
+//! through the same interface.
+
+use std::sync::Arc;
 
 use timing::{EnergyDelay, ErrorModel};
 
-use crate::baselines::{no_ts, nominal, per_core_ts};
 use crate::error::OptError;
 use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
-use crate::poly::synts_poly;
+use crate::solver::{self, Solver};
 
 /// The four schemes compared throughout the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,7 +30,32 @@ pub enum Scheme {
 
 impl Scheme {
     /// All schemes, in the paper's reporting order.
-    pub const ALL: [Scheme; 4] = [Scheme::Nominal, Scheme::NoTs, Scheme::PerCoreTs, Scheme::SynTs];
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Nominal,
+        Scheme::NoTs,
+        Scheme::PerCoreTs,
+        Scheme::SynTs,
+    ];
+
+    /// The [`crate::SolverRegistry`] key of this scheme.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Scheme::Nominal => "nominal",
+            Scheme::NoTs => "no_ts",
+            Scheme::PerCoreTs => "per_core_ts",
+            Scheme::SynTs => "synts_poly",
+        }
+    }
+
+    /// The solver implementing this scheme, resolved through the same
+    /// name→solver mapping [`crate::SolverRegistry::with_defaults`]
+    /// registers ([`solver::default_solver`]), so the dispatch table has
+    /// a single source of truth.
+    #[must_use]
+    pub fn solver<M: ErrorModel + 'static>(self) -> Arc<dyn Solver<M>> {
+        solver::default_solver(self.key()).expect("every Scheme key has a default solver")
+    }
 }
 
 impl std::fmt::Display for Scheme {
@@ -37,23 +70,19 @@ impl std::fmt::Display for Scheme {
     }
 }
 
-/// Computes the assignment a scheme picks at weight `theta`.
+/// Computes the assignment a scheme picks at weight `theta`, dispatching
+/// through the [`Solver`] trait.
 ///
 /// # Errors
 ///
 /// Propagates [`OptError`] from the underlying solver.
-pub fn assignment_for<M: ErrorModel>(
+pub fn assignment_for<M: ErrorModel + 'static>(
     scheme: Scheme,
     cfg: &SystemConfig,
     profiles: &[ThreadProfile<M>],
     theta: f64,
 ) -> Result<Assignment, OptError> {
-    match scheme {
-        Scheme::Nominal => nominal(cfg, profiles),
-        Scheme::NoTs => no_ts(cfg, profiles, theta),
-        Scheme::PerCoreTs => per_core_ts(cfg, profiles, theta),
-        Scheme::SynTs => synts_poly(cfg, profiles, theta),
-    }
+    scheme.solver().solve(cfg, profiles, theta)
 }
 
 /// One point of a θ sweep.
@@ -67,14 +96,14 @@ pub struct SweepPoint {
     pub ed: EnergyDelay,
 }
 
-/// Sweeps `theta` over a scheme, producing the raw points behind the Pareto
-/// plots of Figs 6.11–6.16.
+/// Sweeps `theta` over any [`Solver`], producing the raw points behind
+/// the Pareto plots of Figs 6.11–6.16.
 ///
 /// # Errors
 ///
-/// Propagates [`OptError`] from the underlying solver.
+/// Propagates [`OptError`] from the solver.
 pub fn pareto_sweep<M: ErrorModel>(
-    scheme: Scheme,
+    solver: &dyn Solver<M>,
     cfg: &SystemConfig,
     profiles: &[ThreadProfile<M>],
     thetas: &[f64],
@@ -82,7 +111,7 @@ pub fn pareto_sweep<M: ErrorModel>(
     thetas
         .iter()
         .map(|&theta| {
-            let assignment = assignment_for(scheme, cfg, profiles, theta)?;
+            let assignment = solver.solve(cfg, profiles, theta)?;
             let ed = evaluate(cfg, profiles, &assignment);
             Ok(SweepPoint {
                 theta,
@@ -104,7 +133,7 @@ pub fn theta_equal_weight<M: ErrorModel>(
     cfg: &SystemConfig,
     profiles: &[ThreadProfile<M>],
 ) -> Result<f64, OptError> {
-    let a = nominal(cfg, profiles)?;
+    let a = crate::baselines::nominal(cfg, profiles)?;
     let ed = evaluate(cfg, profiles, &a);
     Ok(ed.energy / ed.time)
 }
@@ -136,6 +165,7 @@ pub fn default_theta_sweep<M: ErrorModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baselines::nominal;
     use timing::{pareto_front, ErrorCurve};
 
     fn curve(delays: Vec<f64>) -> ErrorCurve {
@@ -145,7 +175,11 @@ mod tests {
     fn workload() -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
         let cfg = SystemConfig::paper_default(10.0);
         let mk = |lo: f64, hi: f64| {
-            curve((0..200).map(|i| lo + (hi - lo) * (i as f64 / 200.0)).collect())
+            curve(
+                (0..200)
+                    .map(|i| lo + (hi - lo) * (i as f64 / 200.0))
+                    .collect(),
+            )
         };
         let profiles = vec![
             ThreadProfile::new(8_000.0, 1.3, mk(0.7, 1.0)),
@@ -160,26 +194,32 @@ mod tests {
     fn sweep_produces_monotone_tradeoff_for_synts() {
         let (cfg, profiles) = workload();
         let thetas = default_theta_sweep(&cfg, &profiles, 9, 2.0).expect("ok");
-        let pts = pareto_sweep(Scheme::SynTs, &cfg, &profiles, &thetas).expect("ok");
+        let pts = pareto_sweep(&solver::Poly, &cfg, &profiles, &thetas).expect("ok");
         // Higher theta -> no slower, and the sweep spans a real range.
         for w in pts.windows(2) {
-            assert!(w[1].ed.time <= w[0].ed.time + 1e-9, "time must not rise with theta");
+            assert!(
+                w[1].ed.time <= w[0].ed.time + 1e-9,
+                "time must not rise with theta"
+            );
         }
-        assert!(pts[0].ed.time > pts[pts.len() - 1].ed.time, "sweep must spread");
+        assert!(
+            pts[0].ed.time > pts[pts.len() - 1].ed.time,
+            "sweep must spread"
+        );
     }
 
     #[test]
     fn synts_weakly_dominates_baselines_on_the_front() {
         let (cfg, profiles) = workload();
         let thetas = default_theta_sweep(&cfg, &profiles, 7, 2.0).expect("ok");
-        let synts = pareto_sweep(Scheme::SynTs, &cfg, &profiles, &thetas).expect("ok");
-        let percore = pareto_sweep(Scheme::PerCoreTs, &cfg, &profiles, &thetas).expect("ok");
+        let synts = pareto_sweep(&*Scheme::SynTs.solver(), &cfg, &profiles, &thetas).expect("ok");
+        let percore =
+            pareto_sweep(&*Scheme::PerCoreTs.solver(), &cfg, &profiles, &thetas).expect("ok");
         // For every per-core point, some SynTS point is at least as good on
         // both axes (SynTS solves the joint problem optimally).
         for p in &percore {
             let dominated = synts.iter().any(|s| {
-                s.ed.energy <= p.ed.energy * (1.0 + 1e-9)
-                    && s.ed.time <= p.ed.time * (1.0 + 1e-9)
+                s.ed.energy <= p.ed.energy * (1.0 + 1e-9) && s.ed.time <= p.ed.time * (1.0 + 1e-9)
             });
             assert!(dominated, "per-core point not covered by SynTS front");
         }
@@ -198,7 +238,7 @@ mod tests {
     fn pareto_front_of_sweep_is_nontrivial() {
         let (cfg, profiles) = workload();
         let thetas = default_theta_sweep(&cfg, &profiles, 11, 2.0).expect("ok");
-        let pts = pareto_sweep(Scheme::SynTs, &cfg, &profiles, &thetas).expect("ok");
+        let pts = pareto_sweep(&solver::Poly, &cfg, &profiles, &thetas).expect("ok");
         let eds: Vec<EnergyDelay> = pts.iter().map(|p| p.ed).collect();
         let front = pareto_front(&eds);
         assert!(front.len() >= 2, "expected a real trade-off curve");
@@ -210,5 +250,33 @@ mod tests {
         assert_eq!(Scheme::PerCoreTs.to_string(), "Per-core TS");
         assert_eq!(Scheme::NoTs.to_string(), "No-TS");
         assert_eq!(Scheme::Nominal.to_string(), "Nominal");
+    }
+
+    #[test]
+    fn scheme_keys_resolve_in_the_registry() {
+        let reg: crate::SolverRegistry = crate::SolverRegistry::with_defaults();
+        for scheme in Scheme::ALL {
+            let solver = reg.get(scheme.key()).expect("scheme key registered");
+            assert_eq!(solver.name(), scheme.key());
+            assert_eq!(
+                scheme.solver::<ErrorCurve>().name(),
+                solver.name(),
+                "Scheme::solver and registry must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_for_matches_direct_solver_dispatch() {
+        let (cfg, profiles) = workload();
+        let theta = theta_equal_weight(&cfg, &profiles).expect("ok");
+        for scheme in Scheme::ALL {
+            let via_scheme = assignment_for(scheme, &cfg, &profiles, theta).expect("ok");
+            let via_trait = scheme
+                .solver::<ErrorCurve>()
+                .solve(&cfg, &profiles, theta)
+                .expect("ok");
+            assert_eq!(via_scheme, via_trait, "{scheme}");
+        }
     }
 }

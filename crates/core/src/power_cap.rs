@@ -221,7 +221,9 @@ mod tests {
     use timing::ErrorCurve;
 
     fn curve(lo: f64, hi: f64) -> ErrorCurve {
-        let delays: Vec<f64> = (0..200).map(|i| lo + (hi - lo) * i as f64 / 200.0).collect();
+        let delays: Vec<f64> = (0..200)
+            .map(|i| lo + (hi - lo) * i as f64 / 200.0)
+            .collect();
         ErrorCurve::from_normalized_delays(delays).expect("non-empty")
     }
 

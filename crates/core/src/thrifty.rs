@@ -141,7 +141,9 @@ mod tests {
     use timing::ErrorCurve;
 
     fn curve(lo: f64, hi: f64) -> ErrorCurve {
-        let delays: Vec<f64> = (0..200).map(|i| lo + (hi - lo) * i as f64 / 200.0).collect();
+        let delays: Vec<f64> = (0..200)
+            .map(|i| lo + (hi - lo) * i as f64 / 200.0)
+            .collect();
         ErrorCurve::from_normalized_delays(delays).expect("non-empty")
     }
 
@@ -208,8 +210,7 @@ mod tests {
             },
         )
         .expect("ok");
-        let slow = thrifty_barrier(&cfg, &profiles, &leak, &ThriftyConfig::classic())
-            .expect("ok");
+        let slow = thrifty_barrier(&cfg, &profiles, &leak, &ThriftyConfig::classic()).expect("ok");
         assert!(slow.total.time > base.total.time);
     }
 
@@ -220,8 +221,7 @@ mod tests {
             .map(|_| ThreadProfile::new(5_000.0, 1.0, curve(0.4, 0.9)))
             .collect();
         let leak = LeakageModel::fraction_of_dynamic(&cfg, 0.3).expect("ok");
-        let out =
-            thrifty_barrier(&cfg, &profiles, &leak, &ThriftyConfig::classic()).expect("ok");
+        let out = thrifty_barrier(&cfg, &profiles, &leak, &ThriftyConfig::classic()).expect("ok");
         assert_eq!(out.slept, 0);
         assert_eq!(out.sleep_time, 0.0);
     }

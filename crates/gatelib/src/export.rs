@@ -22,7 +22,13 @@ fn net_name(netlist: &Netlist, idx: usize) -> String {
 
 fn sanitized(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -148,7 +154,10 @@ mod tests {
     fn verilog_gate_count_matches_netlist() {
         let n = adder();
         let v = to_verilog(&n);
-        let instances = v.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase())).count();
+        let instances = v
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase()))
+            .count();
         assert_eq!(instances, n.cell_count());
     }
 

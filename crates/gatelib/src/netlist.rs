@@ -324,7 +324,9 @@ impl NetlistBuilder {
     /// Declares a bus of `width` primary inputs named `name[0..width]`,
     /// least-significant bit first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Instantiates a cell and returns its output net.
@@ -505,7 +507,10 @@ mod tests {
         let n = full_adder();
         assert!(matches!(
             n.evaluate(&[true]).expect_err("short vector"),
-            NetlistError::InputWidthMismatch { expected: 3, got: 1 }
+            NetlistError::InputWidthMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 
@@ -573,6 +578,9 @@ mod tests {
         b.output(y, "y");
         let n = b.finish().expect("valid");
         // The inverter output drives two pins of the AND.
-        assert_eq!(n.fanout_of(n.cell(CellId(0)).expect("cell").output()).len(), 2);
+        assert_eq!(
+            n.fanout_of(n.cell(CellId(0)).expect("cell").output()).len(),
+            2
+        );
     }
 }

@@ -387,7 +387,9 @@ mod tests {
         let mut state: u64 = 0x2F;
         for step in 0..200u64 {
             // Cheap LCG for deterministic pseudo-random vectors.
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = state & 0x3F;
             let b = (state >> 6) & 0x3F;
             let inputs = adder_inputs(6, a, b);
@@ -423,11 +425,18 @@ mod tests {
         let mut sim = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
         let mut state: u64 = 7;
         for _ in 0..500 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let t = sim
                 .apply(&adder_inputs(8, state & 0xFF, (state >> 8) & 0xFF))
                 .expect("apply");
-            assert!(t.delay <= bound, "dynamic {} exceeds STA {}", t.delay, bound);
+            assert!(
+                t.delay <= bound,
+                "dynamic {} exceeds STA {}",
+                t.delay,
+                bound
+            );
         }
     }
 
@@ -446,7 +455,10 @@ mod tests {
         let d_lo = lo.apply(&worst).expect("apply").delay;
 
         let ratio = d_lo / d_hi;
-        assert!((ratio - 1.63).abs() < 1e-9, "0.72 V multiplier, got {ratio}");
+        assert!(
+            (ratio - 1.63).abs() < 1e-9,
+            "0.72 V multiplier, got {ratio}"
+        );
     }
 
     #[test]

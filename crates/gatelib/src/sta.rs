@@ -214,9 +214,7 @@ mod tests {
     fn critical_path_endpoint_is_a_primary_output() {
         let n = adder_chain(4);
         let sta = StaticTiming::analyze(&n, Voltage::NOMINAL).expect("sta");
-        assert!(n
-            .primary_outputs()
-            .contains(&sta.critical_path().endpoint));
+        assert!(n.primary_outputs().contains(&sta.critical_path().endpoint));
     }
 
     #[test]
@@ -229,10 +227,7 @@ mod tests {
         for w in path.windows(2) {
             let out = n.cell(w[0]).expect("cell").output();
             let consumer = n.cell(w[1]).expect("cell");
-            assert!(
-                consumer.inputs().contains(&out),
-                "path cells not connected"
-            );
+            assert!(consumer.inputs().contains(&out), "path cells not connected");
         }
     }
 

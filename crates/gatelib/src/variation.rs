@@ -141,7 +141,11 @@ impl DelayFactors {
             (1.0, 1.0)
         } else {
             let lo = self.factors.iter().copied().fold(f64::INFINITY, f64::min);
-            let hi = self.factors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let hi = self
+                .factors
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
             (lo, hi)
         }
     }
@@ -317,7 +321,9 @@ pub fn guard_band(
     samples: u32,
     seed: u64,
 ) -> Result<f64, NetlistError> {
-    let nominal = StaticTiming::analyze(netlist, voltage)?.critical_path().delay;
+    let nominal = StaticTiming::analyze(netlist, voltage)?
+        .critical_path()
+        .delay;
     let mut worst: f64 = 1.0;
     for k in 0..samples {
         let die = model.sample(netlist.cell_count(), seed.wrapping_add(u64::from(k)));
@@ -417,7 +423,10 @@ mod tests {
         let short = DelayFactors::unit(1);
         assert!(matches!(
             a.compose(&short).expect_err("length mismatch"),
-            NetlistError::FactorCountMismatch { expected: 2, got: 1 }
+            NetlistError::FactorCountMismatch {
+                expected: 2,
+                got: 1
+            }
         ));
     }
 

@@ -117,7 +117,10 @@ impl VoltageTable {
     #[must_use]
     pub fn ptm22() -> VoltageTable {
         VoltageTable {
-            levels: VOLTAGE_TABLE_POINTS.iter().map(|&(v, _)| Voltage(v)).collect(),
+            levels: VOLTAGE_TABLE_POINTS
+                .iter()
+                .map(|&(v, _)| Voltage(v))
+                .collect(),
         }
     }
 

@@ -51,7 +51,10 @@ fn random_netlist(n_inputs: usize, recipe: &[(u8, u16, u16, u16)]) -> Netlist {
 }
 
 fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u16, u16, u16)>> {
-    prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()), 1..60)
+    prop::collection::vec(
+        (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()),
+        1..60,
+    )
 }
 
 fn vectors_strategy(n_inputs: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {

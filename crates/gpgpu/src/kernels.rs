@@ -271,7 +271,11 @@ fn x264_sad(ctx: &mut LaneCtx<'_>) {
         v = v.rotate_left(7).wrapping_add(p);
         let d = rec.sub(a, b);
         // abs via compare + conditional negate.
-        let abs = if rec.less_than(a, b) { rec.sub(0, d) } else { d };
+        let abs = if rec.less_than(a, b) {
+            rec.sub(0, d)
+        } else {
+            d
+        };
         acc = rec.add(acc, abs);
         let addr = rec.index(0x7F80, ((v ^ acc) & 0xFF) * 8 + p, 4);
         rec.load(addr);
@@ -309,7 +313,11 @@ mod tests {
 
     #[test]
     fn multiplier_kernels_emit_muls() {
-        for kernel in [GpuKernel::MatrixMult, GpuKernel::BlackScholes, GpuKernel::Fft] {
+        for kernel in [
+            GpuKernel::MatrixMult,
+            GpuKernel::BlackScholes,
+            GpuKernel::Fft,
+        ] {
             let mut rec = Recorder::new(16);
             let mut ctx = LaneCtx {
                 rec: &mut rec,

@@ -103,10 +103,7 @@ impl SimdUnit {
         SimdRun {
             config: self.config,
             kernel,
-            lane_events: recorders
-                .into_iter()
-                .map(|r| r.finish().events)
-                .collect(),
+            lane_events: recorders.into_iter().map(|r| r.finish().events).collect(),
         }
     }
 }
@@ -144,12 +141,7 @@ impl SimdRun {
     pub fn lane_outputs(&self) -> Vec<Vec<u64>> {
         self.lane_events
             .iter()
-            .map(|events| {
-                events
-                    .iter()
-                    .map(|e| e.result(self.config.width))
-                    .collect()
-            })
+            .map(|events| events.iter().map(|e| e.result(self.config.width)).collect())
             .collect()
     }
 

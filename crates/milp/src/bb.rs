@@ -155,7 +155,10 @@ mod tests {
         p.set_objective(0, 1.0);
         p.constraint(&[(0, 1.0)], Relation::Ge, 0.5);
         let s = p.solve_milp().expect("feasible");
-        assert!((s.x[0] - 0.5).abs() < 1e-9, "no integers declared: LP result");
+        assert!(
+            (s.x[0] - 0.5).abs() < 1e-9,
+            "no integers declared: LP result"
+        );
     }
 
     #[test]

@@ -186,8 +186,7 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
         // Drive any artificial still in the basis out (degenerate rows).
         for i in 0..t.rows.len() {
             if is_artificial[t.basis[i]] {
-                if let Some(j) = (0..ncols)
-                    .find(|&j| !is_artificial[j] && t.rows[i][j].abs() > EPS)
+                if let Some(j) = (0..ncols).find(|&j| !is_artificial[j] && t.rows[i][j].abs() > EPS)
                 {
                     t.pivot(i, j);
                 }
@@ -266,7 +265,10 @@ mod tests {
         let mut p = Problem::minimize(1);
         p.constraint(&[(0, 1.0)], Relation::Le, 1.0);
         p.constraint(&[(0, 1.0)], Relation::Ge, 2.0);
-        assert_eq!(p.solve_lp().expect_err("infeasible"), SolveError::Infeasible);
+        assert_eq!(
+            p.solve_lp().expect_err("infeasible"),
+            SolveError::Infeasible
+        );
     }
 
     #[test]

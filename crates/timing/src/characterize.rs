@@ -145,10 +145,7 @@ impl StageCharacterizer {
         events: &[AluEvent],
         max_samples: usize,
     ) -> Result<DelayTrace, TimingError> {
-        let accepted: Vec<&AluEvent> = events
-            .iter()
-            .filter(|e| self.stage.accepts(e.op))
-            .collect();
+        let accepted: Vec<&AluEvent> = events.iter().filter(|e| self.stage.accepts(e.op)).collect();
         if accepted.len() < 2 {
             return Err(TimingError::EmptyTrace);
         }
@@ -244,9 +241,7 @@ mod tests {
     #[test]
     fn delay_trace_is_bounded_by_tnom() {
         let c = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
-        let trace = c
-            .delay_trace(&lcg_events(42, 300, 0xFF))
-            .expect("trace");
+        let trace = c.delay_trace(&lcg_events(42, 300, 0xFF)).expect("trace");
         assert!(trace.max_normalized() <= 1.0 + 1e-9);
         assert!(trace.mean_normalized() > 0.0);
     }
@@ -266,8 +261,8 @@ mod tests {
         let plain = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
         let stage = circuits::build_stage(StageKind::SimpleAlu, 8).expect("build");
         let unit = DelayFactors::unit(stage.netlist().cell_count());
-        let on_die = StageCharacterizer::from_stage_on_die(stage, unit, DieTiming::Binned)
-            .expect("build");
+        let on_die =
+            StageCharacterizer::from_stage_on_die(stage, unit, DieTiming::Binned).expect("build");
         let a = plain.delay_trace(&events).expect("trace");
         let b = on_die.delay_trace(&events).expect("trace");
         assert_eq!(a.delays(), b.delays());
@@ -283,8 +278,7 @@ mod tests {
         let f = aging
             .factors(stage.netlist().cell_count(), 10.0, None)
             .expect("ok");
-        let c = StageCharacterizer::from_stage_on_die(stage, f, DieTiming::Binned)
-            .expect("build");
+        let c = StageCharacterizer::from_stage_on_die(stage, f, DieTiming::Binned).expect("build");
         let curve = c.error_curve(&events).expect("curve");
         assert_eq!(curve.err(1.0), 0.0);
     }
@@ -358,7 +352,10 @@ mod tests {
         let full = ErrorCurve::from_trace(&c.delay_trace(&events).expect("trace"));
         let sub = ErrorCurve::from_trace(&t);
         let gap = crate::err_curve::max_abs_gap(&full, &sub, &[0.5, 0.6, 0.7, 0.8, 0.9]);
-        assert!(gap < 0.25, "subsample should roughly track full curve, gap {gap}");
+        assert!(
+            gap < 0.25,
+            "subsample should roughly track full curve, gap {gap}"
+        );
     }
 
     #[test]
@@ -373,12 +370,8 @@ mod tests {
         // Narrow operands vs. wide operands: the carry chains differ, so the
         // curves must differ — the seed of the paper's heterogeneity claim.
         let c = StageCharacterizer::new(StageKind::SimpleAlu, 16).expect("build");
-        let narrow = c
-            .error_curve(&lcg_events(11, 400, 0x1F))
-            .expect("curve");
-        let wide = c
-            .error_curve(&lcg_events(11, 400, 0xFFFF))
-            .expect("curve");
+        let narrow = c.error_curve(&lcg_events(11, 400, 0x1F)).expect("curve");
+        let wide = c.error_curve(&lcg_events(11, 400, 0xFFFF)).expect("curve");
         let gap = crate::err_curve::max_abs_gap(&narrow, &wide, &[0.5, 0.6, 0.7, 0.8]);
         assert!(gap > 0.02, "operand width must shape the curve, gap {gap}");
     }

@@ -221,8 +221,7 @@ mod tests {
 
     #[test]
     fn sampled_curve_interpolates() {
-        let s = SampledCurve::from_points(vec![(0.6, 0.3), (0.8, 0.1), (1.0, 0.0)])
-            .expect("valid");
+        let s = SampledCurve::from_points(vec![(0.6, 0.3), (0.8, 0.1), (1.0, 0.0)]).expect("valid");
         assert!((s.err(0.7) - 0.2).abs() < 1e-12);
         assert_eq!(s.err(0.5), 0.3); // clamp below
         assert_eq!(s.err(1.0), 0.0);

@@ -63,8 +63,7 @@ pub(crate) fn raytrace(cfg: &WorkloadConfig) -> Vec<BarrierInterval> {
                                 // Lambertian-ish shade: n·l via fxmul + div.
                                 let nx = rec.shr(dx, 2);
                                 let nl = rec.fxmul(nx, 0x55, FRAC);
-                                let _intensity =
-                                    div_restoring(rec, nl.max(1), (t >> 4).max(1));
+                                let _intensity = div_restoring(rec, nl.max(1), (t >> 4).max(1));
                             }
                         }
                     }

@@ -11,11 +11,11 @@
 //!
 //! Run with: `cargo run --release --example aging_guardband`
 
-use circuits::{build_stage, AluEvent, AluOp, StageKind};
-use gatelib::variation::{guard_band, AgingModel, VariationModel};
-use gatelib::Voltage;
-use synts_core::{evaluate, synts_poly, SystemConfig, ThreadProfile};
-use timing::{DieTiming, ErrorModel, StageCharacterizer};
+use synts::circuits::{build_stage, AluEvent, AluOp};
+use synts::gatelib::variation::{guard_band, AgingModel, VariationModel};
+use synts::gatelib::Voltage;
+use synts::prelude::*;
+use synts::timing::{DieTiming, StageCharacterizer};
 
 fn operand_stream(seed: u64, n: usize) -> Vec<AluEvent> {
     let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Shl];
@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fresh_curve = fresh.error_curve(&events)?;
     let aging = AgingModel::nbti_ptm22();
     println!("\nerr(r) as the die ages (design-nominal clock):");
-    println!("  {:>6} {:>10} {:>10} {:>10}", "years", "err(0.8)", "err(0.9)", "err(1.0)");
+    println!(
+        "  {:>6} {:>10} {:>10} {:>10}",
+        "years", "err(0.8)", "err(0.9)", "err(1.0)"
+    );
     println!(
         "  {:>6} {:>10.4} {:>10.4} {:>10.4}",
         0.0,

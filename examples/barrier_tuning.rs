@@ -7,11 +7,8 @@
 //!
 //! Run with: `cargo run --release --example barrier_tuning`
 
-use archsim::{simulate_barrier, CoreSetting, RazorCore};
-use circuits::StageKind;
-use synts_core::experiments::{characterize, HarnessConfig};
-use synts_core::{evaluate, synts_poly, theta_equal_weight};
-use workloads::Benchmark;
+use synts::archsim::{simulate_barrier, CoreSetting, RazorCore};
+use synts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = HarnessConfig::quick();

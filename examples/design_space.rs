@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use circuits::{array_multiplier, wallace_multiplier, AdderKind, PipeStage, SimpleAlu};
-use gatelib::{export, NetlistBuilder, StaticTiming, Voltage};
-use timing::{ErrorModel, StageCharacterizer};
-use workloads::{Benchmark, WorkloadConfig};
+use synts::circuits::{array_multiplier, wallace_multiplier, AdderKind, PipeStage, SimpleAlu};
+use synts::gatelib::{export, NetlistBuilder, StaticTiming, Voltage};
+use synts::prelude::*;
+use synts::timing::StageCharacterizer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = WorkloadConfig::small(4);
@@ -60,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut b = NetlistBuilder::new("half_adder");
     let a = b.input("a");
     let c = b.input("b");
-    let s = b.cell(gatelib::CellKind::Xor2, &[a, c])?;
-    let carry = b.cell(gatelib::CellKind::And2, &[a, c])?;
+    let s = b.cell(synts::gatelib::CellKind::Xor2, &[a, c])?;
+    let carry = b.cell(synts::gatelib::CellKind::And2, &[a, c])?;
     b.output(s, "sum");
     b.output(carry, "carry");
     print!("{}", export::to_verilog(&b.finish()?));

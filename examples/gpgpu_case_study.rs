@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example gpgpu_case_study`
 
-use gpgpu::{GpuKernel, SimdConfig, SimdUnit};
-use timing::ErrorModel;
+use synts::gpgpu::{GpuKernel, SimdConfig, SimdUnit};
+use synts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unit = SimdUnit::new(SimdConfig::hd7970());

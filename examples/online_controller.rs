@@ -6,12 +6,7 @@
 //!
 //! Run with: `cargo run --release --example online_controller`
 
-use circuits::StageKind;
-use synts_core::experiments::{characterize, HarnessConfig};
-use synts_core::online::estimate_curve;
-use synts_core::{run_interval, run_interval_offline, SamplingPlan};
-use timing::ErrorModel;
-use workloads::Benchmark;
+use synts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = HarnessConfig::quick();

@@ -8,12 +8,7 @@
 //!
 //! Run with: `cargo run --release --example power_capped`
 
-use circuits::StageKind;
-use synts_core::experiments::{characterize, HarnessConfig};
-use synts_core::leakage::{evaluate_with_leakage, synts_poly_leakage, LeakageModel};
-use synts_core::power_cap::synts_poly_power_capped;
-use synts_core::{evaluate, nominal, OptError};
-use workloads::Benchmark;
+use synts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let harness = HarnessConfig::quick();

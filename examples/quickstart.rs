@@ -1,15 +1,14 @@
-//! Quickstart: the whole SynTS pipeline on one barrier interval.
+//! Quickstart: the whole SynTS pipeline on one barrier interval, through
+//! the `synts` facade.
 //!
 //! Characterizes a Radix barrier interval on the Decode stage, then asks
-//! SynTS-Poly for the jointly optimal per-thread voltage/frequency/
-//! speculation assignment and compares it with the baselines.
+//! the builder-configured SynTS solver for the jointly optimal per-thread
+//! voltage/frequency/speculation assignment and compares it with the
+//! baselines via the solver registry.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use circuits::StageKind;
-use synts_core::experiments::{characterize, HarnessConfig};
-use synts_core::{evaluate, nominal, per_core_ts, synts_poly, theta_equal_weight, weighted_cost};
-use workloads::Benchmark;
+use synts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Cross-layer characterization: run the instrumented kernel and
@@ -35,11 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 3. Optimize with equal energy/time weighting (Eq 4.4).
+    // 3. Optimize with equal energy/time weighting (Eq 4.4), through the
+    //    fluent facade entry point.
     let theta = theta_equal_weight(&cfg, &profiles)?;
-    let synts = synts_poly(&cfg, &profiles, theta)?;
-    println!("\nSynTS assignment:");
-    for (t, pt) in synts.points.iter().enumerate() {
+    let synts = Synts::builder().scheme("synts_poly").theta(theta).build()?;
+    let assignment = synts.solve(&cfg, &profiles)?;
+    println!("\n{} assignment:", synts.solver().label());
+    for (t, pt) in assignment.points.iter().enumerate() {
         println!(
             "  thread {t}: V = {}, r = {:.2}",
             cfg.voltages.levels()[pt.voltage_idx],
@@ -47,18 +48,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. Compare with the baselines.
-    let base = evaluate(&cfg, &profiles, &nominal(&cfg, &profiles)?);
-    for (name, assignment) in [
-        ("Nominal", nominal(&cfg, &profiles)?),
-        ("Per-core TS", per_core_ts(&cfg, &profiles, theta)?),
-        ("SynTS", synts),
-    ] {
-        let ed = evaluate(&cfg, &profiles, &assignment).normalized_to(base);
+    // 4. Compare with the baselines — every scheme behind the same
+    //    `Solver` trait, looked up by name.
+    let registry = SolverRegistry::with_defaults();
+    let base = evaluate(
+        &cfg,
+        &profiles,
+        &registry
+            .get("nominal")
+            .expect("registered")
+            .solve(&cfg, &profiles, theta)?,
+    );
+    for name in ["nominal", "per_core_ts", "synts_poly"] {
+        let solver = registry.get(name).expect("registered");
+        let (assignment, ed) = solver.solve_evaluated(&cfg, &profiles, theta)?;
+        let n = ed.normalized_to(base);
         let cost = weighted_cost(&cfg, &profiles, &assignment, theta);
         println!(
-            "{name:>12}: time x{:.3}, energy x{:.3}, Eq-4.4 cost {cost:.3e}",
-            ed.time, ed.energy
+            "{:>12}: time x{:.3}, energy x{:.3}, Eq-4.4 cost {cost:.3e}",
+            solver.label(),
+            n.time,
+            n.energy
         );
     }
     Ok(())

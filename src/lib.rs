@@ -1,2 +1,123 @@
-//! Umbrella crate for the SynTS reproduction suite: see the member crates.
+//! # synts — Synergistic Timing Speculation for Multi-Threaded Programs
+//!
+//! The facade crate of the SynTS reproduction suite (DAC 2016 /
+//! Yasin 2016). It re-exports every member crate and flattens the
+//! optimization API — the [`Solver`] trait, the [`SolverRegistry`] and
+//! the [`Synts`] builder — so applications depend on one crate and write
+//! `use synts::prelude::*;`.
+//!
+//! ## Layers
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`gatelib`] | `gatelib` | cell library, netlists, STA, dynamic timing simulation |
+//! | [`circuits`] | `circuits` | Decode / SimpleALU / ComplexALU stage generators |
+//! | [`timing`] | `timing` | delay traces, error curves, energy-delay metrics |
+//! | [`workloads`] | `workloads` | instrumented SPLASH-2-like parallel kernels |
+//! | [`archsim`] | `archsim` | CPI model, caches, cycle-level Razor simulation |
+//! | [`gpgpu`] | `gpgpu` | the SIMD-unit homogeneity case study |
+//! | [`milp`] | `milp` | the dense LP/MILP solver backing SynTS-MILP |
+//! | [`core_api`] | `synts-core` | system model, solvers, baselines, extensions, online controller |
+//!
+//! ## Quickstart
+//!
+//! Solve one heterogeneous barrier interval with the paper's exact
+//! polynomial solver, via the builder:
+//!
+//! ```
+//! use synts::prelude::*;
+//!
+//! # fn main() -> Result<(), OptError> {
+//! let cfg = SystemConfig::paper_default(100.0);
+//! let curve = |lo: f64| {
+//!     ErrorCurve::from_normalized_delays(
+//!         (0..64).map(|i| lo + (1.0 - lo) * i as f64 / 64.0).collect(),
+//!     )
+//! };
+//! let profiles = vec![
+//!     ThreadProfile::new(10_000.0, 1.2, curve(0.7)?), // speculation-critical
+//!     ThreadProfile::new(10_000.0, 1.0, curve(0.4)?), // has headroom
+//! ];
+//!
+//! // The fluent front door...
+//! let synts = Synts::builder().scheme("synts_poly").theta(1.0).build()?;
+//! let (assignment, ed) = synts.run(&cfg, &profiles)?;
+//! assert_eq!(assignment.len(), 2);
+//! assert!(ed.energy > 0.0 && ed.time > 0.0);
+//!
+//! // ...or registry-driven dispatch over every scheme:
+//! let registry = SolverRegistry::with_defaults();
+//! for name in ["synts_poly", "per_core_ts", "nominal"] {
+//!     let solver = registry.get(name).expect("registered");
+//!     let a = solver.solve(&cfg, &profiles, 1.0)?;
+//!     assert_eq!(a.len(), profiles.len());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! End-to-end (workload kernel → gate-level characterization → solver),
+//! as in `examples/quickstart.rs`:
+//!
+//! ```no_run
+//! use synts::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = characterize(Benchmark::Radix, StageKind::Decode, &HarnessConfig::quick())?;
+//! let cfg = data.system_config();
+//! let profiles = data.intervals[0].profiles();
+//! let theta = theta_equal_weight(&cfg, &profiles)?;
+//! let assignment = Synts::builder().theta(theta).build()?.solve(&cfg, &profiles)?;
+//! println!("{assignment:?}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use archsim;
+pub use circuits;
+pub use gatelib;
+pub use gpgpu;
+pub use milp;
 pub use synts_core as core_api;
+pub use timing;
+pub use workloads;
+
+// The optimization API, flattened to the facade root.
+pub use synts_core::{
+    assignment_for, default_theta_sweep, evaluate, no_ts, nominal, pareto_sweep, per_core_ts,
+    run_interval, run_interval_full, run_interval_offline, run_interval_with, synts_exhaustive,
+    synts_milp, synts_poly, theta_equal_weight, thread_energy, thread_time, weighted_cost,
+    Assignment, Capabilities, IntervalOutcome, Objective, OperatingPoint, OptError, SamplingPlan,
+    Scheme, Solver, SolverRegistry, SweepPoint, SyntsBuilder, SystemConfig, ThreadProfile,
+    ThreadTrace,
+};
+
+// Keep the builder's name free at the root for the facade struct itself.
+pub use synts_core::Synts;
+
+/// Everything a SynTS application typically needs: the solver API, the
+/// system model, the characterization harness, and the cross-layer types
+/// it produces and consumes.
+pub mod prelude {
+    pub use synts_core::experiments::{
+        characterize, characterize_workload, BenchmarkData, HarnessConfig, IntervalData, ThreadData,
+    };
+    pub use synts_core::leakage::{
+        evaluate_with_leakage, synts_poly_leakage, weighted_cost_with_leakage, LeakageModel,
+    };
+    pub use synts_core::online::estimate_curve;
+    pub use synts_core::power_cap::{synts_poly_power_capped, PowerCappedSolution};
+    pub use synts_core::thrifty::{thrifty_barrier, ThriftyConfig};
+    pub use synts_core::{
+        assignment_for, default_theta_sweep, evaluate, no_ts, nominal, pareto_sweep, per_core_ts,
+        run_interval, run_interval_full, run_interval_offline, run_interval_with, synts_exhaustive,
+        synts_milp, synts_poly, theta_equal_weight, thread_energy, thread_time, weighted_cost,
+        Assignment, Capabilities, IntervalOutcome, Objective, OperatingPoint, OptError,
+        SamplingPlan, Scheme, Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder,
+        SystemConfig, ThreadProfile, ThreadTrace,
+    };
+
+    pub use circuits::StageKind;
+    pub use timing::{EnergyDelay, ErrorCurve, ErrorModel, SampledCurve};
+    pub use workloads::{Benchmark, WorkloadConfig};
+}

@@ -4,18 +4,11 @@
 //! the `N_i` predictors stay inside the envelope of their observations.
 
 use proptest::prelude::*;
-use synts_core::criticality::{NiPredictor, PredictorKind};
-use synts_core::leakage::{
-    evaluate_with_leakage, synts_exhaustive_leakage, synts_poly_leakage,
-    weighted_cost_with_leakage, LeakageModel,
-};
-use synts_core::power_cap::{synts_exhaustive_power_capped, synts_poly_power_capped};
-use synts_core::thrifty::{thrifty_barrier, ThriftyConfig};
-use synts_core::{
-    evaluate, nominal, synts_poly, Assignment, OperatingPoint, OptError, SystemConfig,
-    ThreadProfile,
-};
-use timing::{ErrorCurve, VoltageTable};
+use synts::core_api::criticality::{NiPredictor, PredictorKind};
+use synts::core_api::leakage::synts_exhaustive_leakage;
+use synts::core_api::power_cap::synts_exhaustive_power_capped;
+use synts::prelude::*;
+use synts::timing::VoltageTable;
 
 #[derive(Debug, Clone)]
 struct Instance {
@@ -47,8 +40,9 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             let profiles = threads
                 .into_iter()
                 .map(|(lo, w, n, cpi)| {
-                    let delays: Vec<f64> =
-                        (0..64).map(|i| (lo + w * i as f64 / 64.0).min(1.0)).collect();
+                    let delays: Vec<f64> = (0..64)
+                        .map(|i| (lo + w * i as f64 / 64.0).min(1.0))
+                        .collect();
                     ThreadProfile::new(
                         n,
                         cpi,
@@ -221,9 +215,9 @@ proptest! {
 /// equal-or-more-conservative TSR levels.
 #[test]
 fn aging_makes_synts_more_conservative() {
-    use circuits::{AluEvent, AluOp, PipeStage, SimpleAlu};
-    use gatelib::variation::AgingModel;
-    use gatelib::{StaticTiming, TimingSim, Voltage};
+    use synts::circuits::{AluEvent, AluOp, PipeStage, SimpleAlu};
+    use synts::gatelib::variation::AgingModel;
+    use synts::gatelib::{StaticTiming, TimingSim, Voltage};
 
     let alu = SimpleAlu::new(8).expect("build");
     // A modest operand stream with mixed carry lengths.
@@ -233,7 +227,7 @@ fn aging_makes_synts_more_conservative() {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         events.push(AluEvent::new(AluOp::Add, state & 0xFF, (state >> 8) & 0xFF));
     }
-    let run = |factors: Option<&gatelib::variation::DelayFactors>| -> Vec<f64> {
+    let run = |factors: Option<&synts::gatelib::variation::DelayFactors>| -> Vec<f64> {
         let tnom = match factors {
             Some(f) => StaticTiming::analyze_with_factors(alu.netlist(), Voltage::NOMINAL, f)
                 .expect("sta")

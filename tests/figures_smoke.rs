@@ -2,10 +2,9 @@
 //! their shape checks, and corpus-backed figures generate cleanly at quick
 //! effort.
 
-use circuits::StageKind;
+use synts::prelude::*;
 use synts_bench::corpus::{Corpus, Effort};
 use synts_bench::figures;
-use workloads::Benchmark;
 
 #[test]
 fn table_5_1_reproduces_exactly() {
@@ -28,12 +27,8 @@ fn fig_5_10_lane_homogeneity() {
 
 #[test]
 fn radix_figures_generate_with_passing_checks() {
-    let corpus = Corpus::build_subset(
-        Effort::Quick,
-        &[Benchmark::Radix],
-        &[StageKind::Decode],
-    )
-    .expect("corpus");
+    let corpus = Corpus::build_subset(Effort::Quick, &[Benchmark::Radix], &[StageKind::Decode])
+        .expect("corpus");
     let fig = figures::fig_3_5(&corpus).expect("generates");
     assert!(
         fig.checks.iter().all(|c| c.pass),

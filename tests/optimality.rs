@@ -3,11 +3,8 @@
 //! Eq 4.4, and the optimizer invariants hold.
 
 use proptest::prelude::*;
-use synts_core::{
-    evaluate, synts_exhaustive, synts_milp, synts_poly, weighted_cost, SystemConfig,
-    ThreadProfile,
-};
-use timing::{ErrorCurve, VoltageTable};
+use synts::prelude::*;
+use synts::timing::VoltageTable;
 
 #[derive(Debug, Clone)]
 struct Instance {
@@ -18,16 +15,16 @@ struct Instance {
 
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     let thread = (
-        0.2f64..0.8,     // delay band low
-        0.05f64..0.3,    // band width
+        0.2f64..0.8,          // delay band low
+        0.05f64..0.3,         // band width
         1_000.0f64..50_000.0, // N
-        1.0f64..2.5,     // CPI
+        1.0f64..2.5,          // CPI
     );
     (
         prop::collection::vec(thread, 2..4),
-        2usize..4,           // voltage levels
-        2usize..4,           // TSR levels
-        0.0f64..100.0,       // theta scale
+        2usize..4,     // voltage levels
+        2usize..4,     // TSR levels
+        0.0f64..100.0, // theta scale
     )
         .prop_map(|(threads, q, s, theta_raw)| {
             let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.08 * j as f64).collect();
@@ -39,8 +36,9 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             let profiles = threads
                 .into_iter()
                 .map(|(lo, w, n, cpi)| {
-                    let delays: Vec<f64> =
-                        (0..64).map(|i| (lo + w * i as f64 / 64.0).min(1.0)).collect();
+                    let delays: Vec<f64> = (0..64)
+                        .map(|i| (lo + w * i as f64 / 64.0).min(1.0))
+                        .collect();
                     ThreadProfile::new(
                         n,
                         cpi,
@@ -87,13 +85,13 @@ proptest! {
             let points = (0..inst.profiles.len())
                 .map(|_| {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    synts_core::OperatingPoint {
+                    OperatingPoint {
                         voltage_idx: (state >> 33) as usize % inst.cfg.q(),
                         tsr_idx: (state >> 49) as usize % inst.cfg.s(),
                     }
                 })
                 .collect();
-            let a = synts_core::Assignment { points };
+            let a = Assignment { points };
             let c = weighted_cost(&inst.cfg, &inst.profiles, &a, inst.theta);
             prop_assert!(c >= c_opt - 1e-9 * c_opt.abs().max(1.0));
         }
@@ -107,7 +105,7 @@ proptest! {
         prop_assert!(ed.time > 0.0);
         // texec is the max thread time (Eq 4.2).
         for (p, pt) in inst.profiles.iter().zip(&a.points) {
-            let t = synts_core::thread_time(&inst.cfg, p, *pt);
+            let t = thread_time(&inst.cfg, p, *pt);
             prop_assert!(t <= ed.time * (1.0 + 1e-12));
         }
     }

@@ -2,20 +2,14 @@
 //! optimization → evaluation, plus the model-vs-simulator agreement that
 //! justifies optimizing the closed form.
 
-use archsim::{simulate_barrier, CoreSetting, RazorCore};
-use circuits::StageKind;
-use synts_core::experiments::{characterize, HarnessConfig};
-use synts_core::{
-    evaluate, no_ts, nominal, per_core_ts, run_interval, run_interval_offline, synts_poly,
-    theta_equal_weight, weighted_cost, SamplingPlan,
-};
-use workloads::Benchmark;
+use synts::archsim::{simulate_barrier, CoreSetting, RazorCore};
+use synts::prelude::*;
 
 #[test]
 fn full_pipeline_synts_wins_the_weighted_objective() {
     let harness = HarnessConfig::quick();
-    let data = characterize(Benchmark::Cholesky, StageKind::SimpleAlu, &harness)
-        .expect("characterizes");
+    let data =
+        characterize(Benchmark::Cholesky, StageKind::SimpleAlu, &harness).expect("characterizes");
     let cfg = data.system_config();
     for iv in &data.intervals {
         let profiles = iv.profiles();
@@ -41,8 +35,7 @@ fn analytic_model_matches_cycle_level_simulation() {
     // Eq 4.1-4.3 and the instruction-by-instruction Razor simulator must
     // agree exactly when the error curve comes from the same trace.
     let harness = HarnessConfig::quick();
-    let data =
-        characterize(Benchmark::Fmm, StageKind::SimpleAlu, &harness).expect("characterizes");
+    let data = characterize(Benchmark::Fmm, StageKind::SimpleAlu, &harness).expect("characterizes");
     let cfg = data.system_config();
     let iv = &data.intervals[0];
 
@@ -52,15 +45,14 @@ fn analytic_model_matches_cycle_level_simulation() {
         .iter()
         .map(|t| t.normalized_delays.as_slice())
         .collect();
-    let profiles: Vec<synts_core::ThreadProfile<timing::ErrorCurve>> = iv
+    let profiles: Vec<ThreadProfile<ErrorCurve>> = iv
         .threads
         .iter()
         .map(|t| {
-            synts_core::ThreadProfile::new(
+            ThreadProfile::new(
                 t.normalized_delays.len() as f64,
                 t.cpi_base,
-                timing::ErrorCurve::from_normalized_delays(t.normalized_delays.clone())
-                    .expect("non-empty"),
+                ErrorCurve::from_normalized_delays(t.normalized_delays.clone()).expect("non-empty"),
             )
         })
         .collect();
@@ -192,12 +184,10 @@ fn leakage_model_matches_cycle_level_simulation() {
     // cycle-level simulator with static power must agree exactly when the
     // error curve comes from the same trace — the same certification
     // analytic_model_matches_cycle_level_simulation gives Eq 4.1–4.3.
-    use archsim::{simulate_barrier_with_leakage, SleepPolicy};
-    use synts_core::leakage::{evaluate_with_leakage, LeakageModel};
+    use synts::archsim::{simulate_barrier_with_leakage, SleepPolicy};
 
     let harness = HarnessConfig::quick();
-    let data =
-        characterize(Benchmark::Fmm, StageKind::SimpleAlu, &harness).expect("characterizes");
+    let data = characterize(Benchmark::Fmm, StageKind::SimpleAlu, &harness).expect("characterizes");
     let cfg = data.system_config();
     let iv = &data.intervals[0];
     let traces: Vec<&[f64]> = iv
@@ -205,21 +195,19 @@ fn leakage_model_matches_cycle_level_simulation() {
         .iter()
         .map(|t| t.normalized_delays.as_slice())
         .collect();
-    let profiles: Vec<synts_core::ThreadProfile<timing::ErrorCurve>> = iv
+    let profiles: Vec<ThreadProfile<ErrorCurve>> = iv
         .threads
         .iter()
         .map(|t| {
-            synts_core::ThreadProfile::new(
+            ThreadProfile::new(
                 t.normalized_delays.len() as f64,
                 t.cpi_base,
-                timing::ErrorCurve::from_normalized_delays(t.normalized_delays.clone())
-                    .expect("non-empty"),
+                ErrorCurve::from_normalized_delays(t.normalized_delays.clone()).expect("non-empty"),
             )
         })
         .collect();
     let leak = LeakageModel::fraction_of_dynamic(&cfg, 0.3).expect("valid");
-    let assignment = synts_core::leakage::synts_poly_leakage(&cfg, &profiles, 1.0, &leak)
-        .expect("solves");
+    let assignment = synts_poly_leakage(&cfg, &profiles, 1.0, &leak).expect("solves");
     let predicted = evaluate_with_leakage(&cfg, &profiles, &assignment, &leak);
     let settings: Vec<CoreSetting> = assignment
         .points
@@ -264,9 +252,7 @@ fn leakage_model_matches_cycle_level_simulation() {
 #[test]
 fn thrifty_model_matches_cycle_level_simulation() {
     // core::thrifty's closed form against the cycle-level sleep policy.
-    use archsim::{simulate_barrier_with_leakage, SleepPolicy};
-    use synts_core::leakage::LeakageModel;
-    use synts_core::thrifty::{thrifty_barrier, ThriftyConfig};
+    use synts::archsim::{simulate_barrier_with_leakage, SleepPolicy};
 
     let harness = HarnessConfig::quick();
     let data =
@@ -278,15 +264,14 @@ fn thrifty_model_matches_cycle_level_simulation() {
         .iter()
         .map(|t| t.normalized_delays.as_slice())
         .collect();
-    let profiles: Vec<synts_core::ThreadProfile<timing::ErrorCurve>> = iv
+    let profiles: Vec<ThreadProfile<ErrorCurve>> = iv
         .threads
         .iter()
         .map(|t| {
-            synts_core::ThreadProfile::new(
+            ThreadProfile::new(
                 t.normalized_delays.len() as f64,
                 t.cpi_base,
-                timing::ErrorCurve::from_normalized_delays(t.normalized_delays.clone())
-                    .expect("non-empty"),
+                ErrorCurve::from_normalized_delays(t.normalized_delays.clone()).expect("non-empty"),
             )
         })
         .collect();

@@ -1,0 +1,180 @@
+//! Certification of the unified `Solver` API: every solver in the default
+//! registry round-trips (name → lookup → solve → feasible assignment),
+//! exact Eq-4.4 solvers agree with `synts_exhaustive` on small instances,
+//! and no solver ever beats the exhaustive optimum of its shared
+//! objective.
+
+use proptest::prelude::*;
+use synts::prelude::*;
+use synts::timing::VoltageTable;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    cfg: SystemConfig,
+    profiles: Vec<ThreadProfile<ErrorCurve>>,
+    theta: f64,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let thread = (
+        0.2f64..0.8,          // delay band low
+        0.05f64..0.3,         // band width
+        1_000.0f64..50_000.0, // N
+        1.0f64..2.5,          // CPI
+    );
+    (
+        prop::collection::vec(thread, 2..4),
+        2usize..4,     // voltage levels
+        2usize..4,     // TSR levels
+        0.0f64..100.0, // theta scale
+    )
+        .prop_map(|(threads, q, s, theta_raw)| {
+            let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.08 * j as f64).collect();
+            let mut cfg = SystemConfig::paper_default(25.0);
+            cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
+            cfg.tsr_levels = (0..s)
+                .map(|k| 0.6 + 0.4 * k as f64 / (s - 1) as f64)
+                .collect();
+            let profiles = threads
+                .into_iter()
+                .map(|(lo, w, n, cpi)| {
+                    let delays: Vec<f64> = (0..64)
+                        .map(|i| (lo + w * i as f64 / 64.0).min(1.0))
+                        .collect();
+                    ThreadProfile::new(
+                        n,
+                        cpi,
+                        ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
+                    )
+                })
+                .collect();
+            Instance {
+                cfg,
+                profiles,
+                theta: theta_raw,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The registry round-trip: every registered name resolves, solves,
+    /// and returns one in-range operating point per thread.
+    #[test]
+    fn every_registered_solver_round_trips(inst in instance_strategy()) {
+        let registry = SolverRegistry::with_defaults();
+        prop_assert!(registry.len() >= 9, "default registry too small");
+        for name in registry.names() {
+            let solver = registry.get(name).expect("names() entries resolve");
+            prop_assert_eq!(solver.name(), name, "registry key must be the solver's name");
+            let a = solver
+                .solve(&inst.cfg, &inst.profiles, inst.theta)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            prop_assert_eq!(a.len(), inst.profiles.len(), "{}", name);
+            for p in &a.points {
+                prop_assert!(p.voltage_idx < inst.cfg.q(), "{}: voltage index", name);
+                prop_assert!(p.tsr_idx < inst.cfg.s(), "{}: TSR index", name);
+            }
+        }
+    }
+
+    /// Exact solvers of the Eq 4.4 objective agree with exhaustive search;
+    /// everything else is lower-bounded by it (the optimum is an optimum).
+    #[test]
+    fn registered_solvers_agree_with_exhaustive(inst in instance_strategy()) {
+        let registry = SolverRegistry::with_defaults();
+        let exhaustive = registry.get("synts_exhaustive").expect("registered");
+        let optimum = {
+            let a = exhaustive
+                .solve(&inst.cfg, &inst.profiles, inst.theta)
+                .expect("exhaustive");
+            weighted_cost(&inst.cfg, &inst.profiles, &a, inst.theta)
+        };
+        for name in registry.names() {
+            let solver = registry.get(name).expect("resolves");
+            let a = solver
+                .solve(&inst.cfg, &inst.profiles, inst.theta)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            let cost = weighted_cost(&inst.cfg, &inst.profiles, &a, inst.theta);
+            prop_assert!(
+                cost >= optimum * (1.0 - 1e-9),
+                "{} beat the exhaustive optimum: {} vs {}", name, cost, optimum
+            );
+            let caps = solver.capabilities();
+            if caps.exact && caps.objective == Objective::WeightedEnergyTime {
+                prop_assert!(
+                    (cost - optimum).abs() <= 1e-6 * optimum.abs().max(1.0),
+                    "{} is declared exact but missed the optimum: {} vs {}",
+                    name, cost, optimum
+                );
+            }
+        }
+    }
+
+    /// The builder resolves the same solvers the registry holds.
+    #[test]
+    fn builder_matches_registry_dispatch(inst in instance_strategy()) {
+        let registry = SolverRegistry::with_defaults();
+        for scheme in ["synts_poly", "per_core_ts", "no_ts", "nominal"] {
+            let via_builder = Synts::builder()
+                .scheme(scheme)
+                .theta(inst.theta)
+                .build()
+                .expect("known scheme")
+                .solve(&inst.cfg, &inst.profiles)
+                .expect("solves");
+            let via_registry = registry
+                .get(scheme)
+                .expect("registered")
+                .solve(&inst.cfg, &inst.profiles, inst.theta)
+                .expect("solves");
+            prop_assert_eq!(via_builder, via_registry, "{}", scheme);
+        }
+    }
+}
+
+/// Deterministic spot check mirroring the paper's configuration: the three
+/// exact solvers coincide on a paper-shaped (but exhaustively tractable)
+/// instance, through the trait.
+#[test]
+fn exact_solvers_coincide_on_paper_shaped_instance() {
+    let mut cfg = SystemConfig::paper_default(10.0);
+    cfg.voltages = VoltageTable::from_volts([1.0, 0.86, 0.72]).expect("ok");
+    cfg.tsr_levels = vec![0.64, 0.82, 1.0];
+    let curve = |lo: f64, hi: f64| {
+        ErrorCurve::from_normalized_delays(
+            (0..200)
+                .map(|i| lo + (hi - lo) * i as f64 / 200.0)
+                .collect(),
+        )
+        .expect("non-empty")
+    };
+    let profiles = vec![
+        ThreadProfile::new(10_000.0, 1.2, curve(0.70, 1.00)),
+        ThreadProfile::new(9_000.0, 1.1, curve(0.50, 0.85)),
+        ThreadProfile::new(11_000.0, 1.0, curve(0.30, 0.65)),
+        ThreadProfile::new(8_000.0, 1.3, curve(0.45, 0.90)),
+    ];
+    let registry = SolverRegistry::with_defaults();
+    for theta in [0.0, 0.05, 1.0, 50.0] {
+        let costs: Vec<(&str, f64)> = ["synts_poly", "synts_milp", "synts_exhaustive"]
+            .iter()
+            .map(|&name| {
+                let a = registry
+                    .get(name)
+                    .expect("registered")
+                    .solve(&cfg, &profiles, theta)
+                    .expect(name);
+                (name, weighted_cost(&cfg, &profiles, &a, theta))
+            })
+            .collect();
+        let reference = costs[2].1;
+        for (name, cost) in costs {
+            assert!(
+                (cost - reference).abs() <= 1e-6 * reference.abs().max(1.0),
+                "theta {theta}: {name} cost {cost} vs exhaustive {reference}"
+            );
+        }
+    }
+}

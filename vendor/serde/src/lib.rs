@@ -1,0 +1,19 @@
+//! Offline stand-in for the real `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` — no code
+//! path serializes at runtime — so no-op derive macros are a faithful,
+//! dependency-free substitute in the hermetic build environment.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
