@@ -1,0 +1,123 @@
+//! Parallel θ-sweep scaling: `pareto_sweep_pooled` wall clock vs worker
+//! count, on a paper-sized synthetic instance and on the repro corpus.
+//!
+//! Every θ point is an independent solve, so the sweep should scale near
+//! linearly until the machine runs out of cores (target: ≥2× at 4 workers
+//! on a ≥4-core host). The explicit speedup summary at the end exists
+//! because the vendored criterion stand-in reports absolute times only.
+
+use std::time::Instant;
+
+use circuits::StageKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synts_bench::corpus::{Corpus, Effort};
+use synts_core::{
+    default_theta_sweep, pareto_sweep_pooled, Solver, SolverRegistry, SystemConfig, ThreadPool,
+    ThreadProfile,
+};
+use timing::{ErrorCurve, VoltageTable};
+
+const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+fn instance(m: usize, q: usize, s: usize) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
+    let mut cfg = SystemConfig::paper_default(10.0);
+    let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.05 * j as f64).collect();
+    cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
+    cfg.tsr_levels = (0..s)
+        .map(|k| 0.64 + 0.36 * k as f64 / (s - 1) as f64)
+        .collect();
+    let profiles = (0..m)
+        .map(|i| {
+            let lo = 0.3 + 0.02 * i as f64;
+            let delays: Vec<f64> = (0..256)
+                .map(|n| lo + (0.99 - lo) * n as f64 / 256.0)
+                .collect();
+            ThreadProfile::new(
+                5_000.0 + 1_000.0 * i as f64,
+                1.0 + 0.05 * i as f64,
+                ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
+            )
+        })
+        .collect();
+    (cfg, profiles)
+}
+
+fn sweep_seconds(
+    solver: &dyn Solver<ErrorCurve>,
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<ErrorCurve>],
+    thetas: &[f64],
+    pool: ThreadPool,
+) -> f64 {
+    // Warm-up, then a few timed repetitions.
+    pareto_sweep_pooled(solver, cfg, profiles, thetas, pool).expect("sweeps");
+    let iters = 3;
+    let start = Instant::now();
+    for _ in 0..iters {
+        criterion::black_box(
+            pareto_sweep_pooled(solver, cfg, profiles, thetas, pool).expect("sweeps"),
+        );
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn bench_synthetic_sweep(c: &mut Criterion) {
+    let registry: SolverRegistry = SolverRegistry::with_defaults();
+    let solver = registry.get("synts_poly").expect("registered");
+    let (cfg, profiles) = instance(16, 7, 6);
+    let thetas = default_theta_sweep(&cfg, &profiles, 64, 2.0).expect("grid");
+    let mut group = c.benchmark_group("parallel_sweep");
+    for workers in WORKER_GRID {
+        let pool = ThreadPool::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("synts_poly/m16q7s6/theta64", workers),
+            &pool,
+            |b, pool| b.iter(|| pareto_sweep_pooled(&*solver, &cfg, &profiles, &thetas, *pool)),
+        );
+    }
+    group.finish();
+
+    let t1 = sweep_seconds(&*solver, &cfg, &profiles, &thetas, ThreadPool::new(1));
+    println!(
+        "parallel_sweep/speedup (host has {} core(s)):",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    for workers in WORKER_GRID {
+        let tw = sweep_seconds(&*solver, &cfg, &profiles, &thetas, ThreadPool::new(workers));
+        println!(
+            "  {workers} worker(s): {:7.2} ms/sweep  ({:.2}x vs sequential)",
+            tw * 1e3,
+            t1 / tw
+        );
+    }
+}
+
+fn bench_corpus_sweep(c: &mut Criterion) {
+    let corpus = Corpus::build_subset(
+        Effort::Quick,
+        &[workloads::Benchmark::Radix],
+        &[StageKind::SimpleAlu],
+    )
+    .expect("corpus");
+    let data = corpus
+        .get(workloads::Benchmark::Radix, StageKind::SimpleAlu)
+        .expect("characterized");
+    let cfg = data.system_config();
+    let profiles = data.intervals[0].profiles();
+    let thetas = default_theta_sweep(&cfg, &profiles, 48, 2.0).expect("grid");
+    let registry: SolverRegistry = SolverRegistry::with_defaults();
+    let solver = registry.get("synts_poly").expect("registered");
+    let mut group = c.benchmark_group("parallel_sweep_corpus");
+    for workers in WORKER_GRID {
+        let pool = ThreadPool::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("synts_poly/radix-simplealu/theta48", workers),
+            &pool,
+            |b, pool| b.iter(|| pareto_sweep_pooled(&*solver, &cfg, &profiles, &thetas, *pool)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic_sweep, bench_corpus_sweep);
+criterion_main!(benches);

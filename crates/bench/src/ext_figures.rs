@@ -23,6 +23,14 @@ use crate::corpus::Corpus;
 use crate::figures::{Check, Figure};
 use crate::render::{f, table};
 
+/// The display label a registered solver declares for itself
+/// ([`synts_core::Solver::label`]) — the single source figure rows quote.
+fn solver_label(key: &str) -> &'static str {
+    synts_core::solver::default_solver::<ErrorCurve>(key)
+        .expect("default registry key")
+        .label()
+}
+
 /// A deterministic mixed-op operand stream for the corpus-free ablations.
 fn synthetic_events(seed: u64, n: usize) -> Vec<AluEvent> {
     let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Shl];
@@ -215,18 +223,22 @@ pub fn ablation_leakage(corpus: &Corpus) -> Result<Figure, OptError> {
     }
     let edp = |i: usize| totals[2 * i] * totals[2 * i + 1];
     let nominal_edp = edp(3);
+    // Row labels come from the registered solvers' `label()`, so this
+    // figure can't drift from the names `figures.rs` prints; only the
+    // leakage-blind variant (deliberately the plain Eq-4.4 solver charged
+    // under the leakage model) derives its label.
     let names = [
-        "SynTS leak-aware",
-        "SynTS leak-blind",
-        "Thrifty barrier",
-        "Nominal",
+        solver_label("synts_leakage").to_string(),
+        format!("{} (leakage-blind)", solver_label("synts_poly")),
+        solver_label("thrifty").to_string(),
+        solver_label("nominal").to_string(),
     ];
     let rows: Vec<Vec<String>> = names
         .iter()
         .enumerate()
         .map(|(i, name)| {
             vec![
-                (*name).to_string(),
+                name.clone(),
                 f(totals[2 * i], 1),
                 f(totals[2 * i + 1], 1),
                 f(edp(i) / nominal_edp, 4),

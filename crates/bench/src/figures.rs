@@ -9,8 +9,8 @@ use circuits::{AdderKind, SimpleAlu, StageKind};
 use gpgpu::{GpuKernel, SimdConfig, SimdUnit};
 use synts_core::experiments::BenchmarkData;
 use synts_core::{
-    estimate_overhead_defaults, run_interval, run_interval_offline, theta_equal_weight, OptError,
-    SamplingPlan, Scheme, Solver, SolverRegistry, ThreadProfile,
+    estimate_overhead_defaults, evaluate, run_interval, run_interval_offline, theta_equal_weight,
+    OptError, SamplingPlan, SolveRequest, Solver, SolverRegistry, ThreadPool, ThreadProfile,
 };
 use timing::{EnergyDelay, ErrorCurve, ErrorModel, StageCharacterizer, VOLTAGE_TABLE_POINTS};
 use workloads::Benchmark;
@@ -24,11 +24,11 @@ fn registry() -> &'static SolverRegistry {
     REGISTRY.get_or_init(SolverRegistry::with_defaults)
 }
 
-/// Resolves a scheme to its registered solver.
-fn solver_for(scheme: Scheme) -> Arc<dyn Solver<ErrorCurve>> {
-    registry()
-        .get(scheme.key())
-        .expect("every Scheme key is registered by default")
+/// Resolves a registry key to its solver; figure labels come from
+/// [`Solver::label`], so tables and CSVs can never drift from the names
+/// the solvers declare.
+fn solver_for(key: &str) -> Arc<dyn Solver<ErrorCurve>> {
+    registry().get(key).expect("default registry key")
 }
 
 /// One qualitative claim and whether the reproduction satisfies it.
@@ -88,22 +88,46 @@ fn sum_intervals(
     solver: &dyn Solver<ErrorCurve>,
     theta: f64,
 ) -> Result<EnergyDelay, OptError> {
+    Ok(sum_intervals_batched(data, solver, &[theta])?[0])
+}
+
+/// [`sum_intervals`] for a whole θ grid at once: intervals fan out across
+/// the `SYNTS_THREADS` pool, and each interval runs every θ through one
+/// [`Solver::solve_batch`] call — the table-driven solvers build their
+/// time/energy tables once per interval instead of once per (interval, θ).
+fn sum_intervals_batched(
+    data: &BenchmarkData,
+    solver: &dyn Solver<ErrorCurve>,
+    thetas: &[f64],
+) -> Result<Vec<EnergyDelay>, OptError> {
     let cfg = data.system_config();
-    let mut energy = 0.0;
-    let mut time = 0.0;
-    for iv in &data.intervals {
-        let profiles = iv.profiles();
-        let (_, ed) = solver.solve_evaluated(&cfg, &profiles, theta)?;
-        energy += ed.energy;
-        time += ed.time;
+    let profile_sets: Vec<Vec<ThreadProfile<ErrorCurve>>> =
+        data.intervals.iter().map(|iv| iv.profiles()).collect();
+    let per_interval = ThreadPool::from_env().try_map(&profile_sets, |_, profiles| {
+        let requests: Vec<SolveRequest<'_, ErrorCurve>> = thetas
+            .iter()
+            .map(|&theta| SolveRequest::new(&cfg, profiles, theta))
+            .collect();
+        solver
+            .solve_batch(&requests)
+            .into_iter()
+            .map(|result| result.map(|a| evaluate(&cfg, profiles, &a)))
+            .collect::<Result<Vec<EnergyDelay>, OptError>>()
+    })?;
+    let mut sums = vec![EnergyDelay::new(0.0, 0.0); thetas.len()];
+    for interval in &per_interval {
+        for (acc, ed) in sums.iter_mut().zip(interval) {
+            acc.energy += ed.energy;
+            acc.time += ed.time;
+        }
     }
-    Ok(EnergyDelay::new(energy, time))
+    Ok(sums)
 }
 
 /// Equal-weight θ for a whole benchmark (Σ nominal energy / Σ nominal time).
 fn theta_eq(data: &BenchmarkData) -> Result<f64, OptError> {
     let cfg = data.system_config();
-    let nominal = solver_for(Scheme::Nominal);
+    let nominal = solver_for("nominal");
     let mut en = 0.0;
     let mut t = 0.0;
     for iv in &data.intervals {
@@ -535,23 +559,23 @@ pub fn fig_pareto(
     let thetas: Vec<f64> = (0..9)
         .map(|i| center * 10f64.powf(-2.0 + 0.5 * i as f64))
         .collect();
-    let nominal = sum_intervals(data, &*solver_for(Scheme::Nominal), center)?;
+    let nominal = sum_intervals(data, &*solver_for("nominal"), center)?;
 
     let mut rows = Vec::new();
     let mut series: Vec<(&'static str, Vec<EnergyDelay>)> = Vec::new();
-    for scheme in [Scheme::SynTs, Scheme::PerCoreTs, Scheme::NoTs] {
-        let solver = solver_for(scheme);
-        let mut pts = Vec::new();
-        for &theta in &thetas {
-            let ed = sum_intervals(data, &*solver, theta)?;
-            let n = ed.normalized_to(nominal);
+    for key in ["synts_poly", "per_core_ts", "no_ts"] {
+        let solver = solver_for(key);
+        let pts: Vec<EnergyDelay> = sum_intervals_batched(data, &*solver, &thetas)?
+            .into_iter()
+            .map(|ed| ed.normalized_to(nominal))
+            .collect();
+        for (&theta, n) in thetas.iter().zip(&pts) {
             rows.push(vec![
                 solver.label().to_string(),
                 f(theta / center, 3),
                 f(n.time, 4),
                 f(n.energy, 4),
             ]);
-            pts.push(n);
         }
         series.push((solver.label(), pts));
     }
@@ -711,7 +735,7 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
             let mut theta_t = 0.0;
             for iv in &data.intervals {
                 let profiles = trace_profiles(iv)?;
-                let (_, ed) = solver_for(Scheme::Nominal).solve_evaluated(&cfg, &profiles, 1.0)?;
+                let (_, ed) = solver_for("nominal").solve_evaluated(&cfg, &profiles, 1.0)?;
                 theta_en += ed.energy;
                 theta_t += ed.time;
             }
@@ -728,20 +752,15 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
                 continue;
             }
             let theta = theta_en / theta_t;
-            for iv in &data.intervals {
+            // One task per barrier interval: the four schemes of one
+            // interval share trace/profile reconstruction, and intervals
+            // are independent, so they fan out across the pool.
+            let per_interval = ThreadPool::from_env().try_map(&data.intervals, |_, iv| {
                 let profiles = trace_profiles(iv)?;
-                for (scheme, acc) in [
-                    (Scheme::Nominal, &mut nominal_ed),
-                    (Scheme::NoTs, &mut nots_ed),
-                ] {
-                    let (_, ed) = solver_for(scheme).solve_evaluated(&cfg, &profiles, theta)?;
-                    acc.energy += ed.energy;
-                    acc.time += ed.time;
-                }
+                let (_, nom) = solver_for("nominal").solve_evaluated(&cfg, &profiles, theta)?;
+                let (_, nots) = solver_for("no_ts").solve_evaluated(&cfg, &profiles, theta)?;
                 let traces = iv.thread_traces();
                 let (_, off) = run_interval_offline(&cfg, &traces, theta)?;
-                offline_ed.energy += off.energy;
-                offline_ed.time += off.time;
                 let longest = traces
                     .iter()
                     .map(|t| t.normalized_delays.len())
@@ -749,8 +768,17 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
                     .unwrap_or(0);
                 let plan = SamplingPlan::paper_default(longest, cfg.s());
                 let out = run_interval(&cfg, &traces, theta, plan)?;
-                online_ed.energy += out.total.energy;
-                online_ed.time += out.total.time;
+                Ok::<_, OptError>((nom, nots, off, out.total))
+            })?;
+            for (nom, nots, off, online) in per_interval {
+                nominal_ed.energy += nom.energy;
+                nominal_ed.time += nom.time;
+                nots_ed.energy += nots.energy;
+                nots_ed.time += nots.time;
+                offline_ed.energy += off.energy;
+                offline_ed.time += off.time;
+                online_ed.energy += online.energy;
+                online_ed.time += online.time;
             }
             let base = offline_ed.edp();
             let online_n = online_ed.edp() / base;
@@ -813,8 +841,15 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
             true,
         ));
     }
+    let online_label = format!("{}(online)", solver_for("synts_poly").label());
     let text = table(
-        &["stage", "benchmark", "SynTS(online)", "No-TS", "Nominal"],
+        &[
+            "stage",
+            "benchmark",
+            &online_label,
+            solver_for("no_ts").label(),
+            solver_for("nominal").label(),
+        ],
         &rows,
     );
     Ok(Figure {
@@ -896,8 +931,8 @@ pub fn headline(corpus: &Corpus) -> Result<Figure, OptError> {
                 continue;
             };
             let theta = theta_eq(data)?;
-            let synts = sum_intervals(data, &*solver_for(Scheme::SynTs), theta)?;
-            let percore = sum_intervals(data, &*solver_for(Scheme::PerCoreTs), theta)?;
+            let synts = sum_intervals(data, &*solver_for("synts_poly"), theta)?;
+            let percore = sum_intervals(data, &*solver_for("per_core_ts"), theta)?;
             let gain = 100.0 * (1.0 - synts.edp() / percore.edp());
             rows.push(vec![stage.to_string(), bench.to_string(), f(gain, 1)]);
             if gain > best {

@@ -67,7 +67,12 @@
 //! * [`power_cap`] — the Sec 4.1-suggested power-constrained variant;
 //! * [`criticality`] — online `N_i` prediction (the Sec 6.2 assumption);
 //! * [`thrifty`] — the thrifty-barrier baseline (related work, ref \[4\]);
-//! * [`pareto`] — trait-dispatched θ sweeps behind Figs 6.11–6.16;
+//! * [`parallel`] — the scoped thread pool fanning θ sweeps and batched
+//!   interval re-optimization across cores (`SYNTS_THREADS`, or
+//!   `Synts::builder().workers(n)`), with deterministic index-ordered
+//!   collection;
+//! * [`pareto`] — trait-dispatched θ sweeps behind Figs 6.11–6.16, fanned
+//!   out across the pool;
 //! * [`experiments`] — the end-to-end harness tying workloads, circuits and
 //!   the optimizer together to regenerate the paper's figures.
 
@@ -82,6 +87,7 @@ mod milp_formulation;
 mod model;
 pub mod online;
 pub mod overhead;
+pub mod parallel;
 pub mod pareto;
 mod poly;
 pub mod power_cap;
@@ -97,12 +103,17 @@ pub use model::{
     ThreadProfile, RAZOR_PENALTY_CYCLES,
 };
 pub use online::{
-    run_interval, run_interval_full, run_interval_offline, run_interval_with, IntervalOutcome,
-    SamplingPlan, ThreadTrace,
+    run_interval, run_interval_full, run_interval_offline, run_interval_with,
+    run_intervals_batched, IntervalOutcome, SamplingPlan, ThreadTrace,
 };
 pub use overhead::{estimate_overhead, estimate_overhead_defaults, OverheadReport};
+pub use parallel::{worker_count, ThreadPool, THREADS_ENV};
+#[allow(deprecated)] // re-exported until the next major cleanup removes them
+pub use pareto::{assignment_for, Scheme};
 pub use pareto::{
-    assignment_for, default_theta_sweep, pareto_sweep, theta_equal_weight, Scheme, SweepPoint,
+    default_theta_sweep, pareto_sweep, pareto_sweep_pooled, theta_equal_weight, SweepPoint,
 };
 pub use poly::synts_poly;
-pub use solver::{Capabilities, Objective, Solver, SolverRegistry, Synts, SyntsBuilder};
+pub use solver::{
+    Capabilities, Objective, SolveRequest, Solver, SolverRegistry, Synts, SyntsBuilder,
+};

@@ -39,6 +39,12 @@ pub fn synts_milp<M: ErrorModel>(
         return Err(OptError::NoThreads);
     }
     let t = Tables::build(cfg, profiles);
+    solve_on_tables(&t, theta)
+}
+
+/// The MILP lowering over precomputed [`Tables`] — the table build is the
+/// per-benchmark setup `Solver::solve_batch` hoists out of θ loops.
+pub(crate) fn solve_on_tables(t: &Tables, theta: f64) -> Result<Assignment, OptError> {
     let (m, q, s) = (t.m, t.q, t.s);
     let n_points = q * s;
     let n_vars = m * n_points + 1; // + t_exec

@@ -16,6 +16,7 @@ use timing::{EnergyDelay, ErrorCurve, SampledCurve, Voltage};
 
 use crate::error::OptError;
 use crate::model::{evaluate, thread_energy, thread_time, Assignment, SystemConfig, ThreadProfile};
+use crate::parallel::ThreadPool;
 use crate::poly::synts_poly;
 use crate::solver::{Poly, Solver};
 
@@ -331,6 +332,33 @@ fn run_interval_impl(
         assignment,
         sampling,
         total,
+    })
+}
+
+/// Runs a whole sequence of barrier intervals under the online scheme,
+/// fanning the per-interval work (sampling simulation, estimate-driven
+/// optimization, true-curve accounting) out across `pool`.
+///
+/// Intervals are independent: each thread re-samples at its barrier, so
+/// interval `k+1` never depends on interval `k`'s outcome. That makes
+/// this the batched counterpart of calling [`run_interval_with`] in a
+/// loop — and the index-ordered collection guarantees the outcome vector
+/// is identical to that loop at any worker count.
+///
+/// # Errors
+///
+/// As [`run_interval`]; the first failing interval (in input order) wins,
+/// exactly as the sequential loop would report.
+pub fn run_intervals_batched(
+    cfg: &SystemConfig,
+    intervals: &[Vec<ThreadTrace>],
+    theta: f64,
+    plan: SamplingPlan,
+    solver: &dyn Solver<SampledCurve>,
+    pool: ThreadPool,
+) -> Result<Vec<IntervalOutcome>, OptError> {
+    pool.try_map(intervals, |_, traces| {
+        run_interval_impl(cfg, traces, theta, plan, None, solver)
     })
 }
 

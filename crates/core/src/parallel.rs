@@ -1,0 +1,299 @@
+//! A hand-rolled scoped thread pool for θ sweeps and batched interval
+//! re-optimization.
+//!
+//! The synergistic-θ formulation is embarrassingly parallel: every θ point
+//! of a Pareto sweep and every barrier-interval re-optimization is an
+//! independent solve against shared, read-only inputs. [`ThreadPool`] fans
+//! such work out over `std::thread::scope` workers — no external
+//! dependency, no unsafe code, no long-lived threads to manage — and
+//! collects results **in index order**, so the output of a parallel run is
+//! bit-identical to the sequential one regardless of worker count.
+//!
+//! Worker count resolution, in priority order:
+//!
+//! 1. an explicit count ([`ThreadPool::new`], or
+//!    `Synts::builder().workers(n)`);
+//! 2. the `SYNTS_THREADS` environment variable ([`THREADS_ENV`]);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ```
+//! use synts_core::parallel::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "SYNTS_THREADS";
+
+/// Resolves a worker count: `explicit` if given, else [`THREADS_ENV`],
+/// else the machine's available parallelism. Always at least 1.
+#[must_use]
+pub fn worker_count(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            // 0 means "sequential", matching the builder's clamp — never
+            // silently the full machine.
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scoped fork/join pool: `workers` threads are spawned per call inside
+/// `std::thread::scope`, pull item indices from a shared atomic cursor,
+/// and are joined before the call returns.
+///
+/// The pool is a cheap value object (a configured worker count); cloning
+/// or copying it is free. Work items only need to live for the duration
+/// of one `map` call, so borrowed inputs (configs, profile slices, trait
+/// objects) work without `Arc` plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool with exactly `workers` threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> ThreadPool {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized by [`worker_count`]`(None)`: `SYNTS_THREADS` if set,
+    /// otherwise the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> ThreadPool {
+        ThreadPool::new(worker_count(None))
+    }
+
+    /// The single-threaded pool — `map` runs inline on the caller.
+    #[must_use]
+    pub fn sequential() -> ThreadPool {
+        ThreadPool::new(1)
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, returning results in item order.
+    ///
+    /// `f` receives `(index, &item)`. With one worker (or one item) the
+    /// map runs inline on the calling thread — no spawn, identical
+    /// semantics. A panic in `f` is propagated to the caller after all
+    /// workers have been joined.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, f(i, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(bucket) => bucket,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        // Deterministic index-ordered collection: each index was claimed
+        // by exactly one worker.
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        for bucket in buckets {
+            for (i, r) in bucket {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index is claimed exactly once"))
+            .collect()
+    }
+
+    /// [`ThreadPool::map`] for fallible work, surfacing the same error a
+    /// sequential left-to-right loop would — the lowest-index failure —
+    /// independent of worker count and scheduling. With one worker the
+    /// loop short-circuits at that failure; with more, in-flight items
+    /// run to completion first (stopping them would cost coordination
+    /// without changing the result).
+    ///
+    /// # Errors
+    ///
+    /// The first error in item order, if any `f` call fails.
+    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        if self.workers.min(items.len()) <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        self.map(items, f).into_iter().collect()
+    }
+
+    /// Splits `0..len` into at most `workers` contiguous near-equal index
+    /// ranges — the chunking `pareto_sweep` uses so each worker's
+    /// `solve_batch` call amortizes shared setup over its whole chunk.
+    pub(crate) fn chunk_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
+        let workers = self.workers.min(len).max(1);
+        let base = len / workers;
+        let extra = len % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let size = base + usize::from(w < extra);
+            if size == 0 {
+                continue;
+            }
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ranges
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> ThreadPool {
+        ThreadPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..57).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 64] {
+            let got = ThreadPool::new(workers).map(&items, |i, &x| {
+                assert_eq!(i, x, "index matches item position");
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_item() {
+        let pool = ThreadPool::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_returns_the_lowest_index_error() {
+        let items: Vec<usize> = (0..40).collect();
+        let err = ThreadPool::new(8)
+            .try_map(&items, |_, &x| if x % 13 == 12 { Err(x) } else { Ok(x) })
+            .expect_err("items 12, 25, 38 fail");
+        assert_eq!(err, 12, "sequential-order first error wins");
+    }
+
+    #[test]
+    fn worker_count_prefers_explicit_over_env() {
+        assert_eq!(worker_count(Some(3)), 3);
+        assert_eq!(worker_count(Some(0)), 1, "clamped to at least one");
+        assert!(worker_count(None) >= 1);
+    }
+
+    #[test]
+    fn threads_env_zero_means_sequential() {
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(worker_count(None), 1, "0 clamps like workers(0)");
+        std::env::set_var(THREADS_ENV, "6");
+        assert_eq!(worker_count(None), 6);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(worker_count(None) >= 1, "junk falls back, never panics");
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn try_map_short_circuits_sequentially() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..20).collect();
+        let err = ThreadPool::sequential()
+            .try_map(&items, |_, &x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if x == 3 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            })
+            .expect_err("item 3 fails");
+        assert_eq!(err, 3);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            4,
+            "one worker stops at the first failure"
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_cover_all_indices_contiguously() {
+        for len in [0usize, 1, 5, 8, 17] {
+            for workers in [1usize, 2, 4, 8] {
+                let ranges = ThreadPool::new(workers).chunk_ranges(len);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "full coverage: len {len} workers {workers}");
+                assert!(ranges.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            ThreadPool::new(4).map(&[0u32, 1, 2, 3, 4, 5, 6, 7], |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic reaches the caller");
+    }
+}

@@ -1,11 +1,18 @@
 //! θ sweeps and Pareto-curve generation (Figs 6.11–6.16), dispatched
-//! through the [`Solver`] trait.
+//! through the [`Solver`] trait and fanned out across the
+//! [`crate::parallel::ThreadPool`].
 //!
-//! [`Scheme`] survives as a thin, display-friendly key for the four
-//! schemes the paper compares; it resolves into a trait object via
-//! [`Scheme::solver`] and shares the [`crate::SolverRegistry`] names, so
-//! sweeps, experiment harnesses and the online controller all dispatch
-//! through the same interface.
+//! Every θ point is an independent solve against shared read-only inputs,
+//! so [`pareto_sweep`] partitions the θ grid into contiguous chunks, runs
+//! each chunk through [`Solver::solve_batch`] on a pool worker (one table
+//! build per worker for the table-driven solvers), and collects results in
+//! index order — the output is bit-identical to the sequential loop at any
+//! worker count.
+//!
+//! [`Scheme`] is deprecated: it predates the [`Solver`] trait and
+//! duplicated the registry's names and labels. Use registry keys
+//! (`"synts_poly"`, `"nominal"`, …) with [`crate::SolverRegistry`] /
+//! [`solver::default_solver`], and [`Solver::label`] for display.
 
 use std::sync::Arc;
 
@@ -13,9 +20,15 @@ use timing::{EnergyDelay, ErrorModel};
 
 use crate::error::OptError;
 use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
-use crate::solver::{self, Solver};
+use crate::parallel::ThreadPool;
+use crate::solver::{self, SolveRequest, Solver};
 
 /// The four schemes compared throughout the evaluation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SolverRegistry keys (`\"synts_poly\"`, `\"nominal\"`, ...) and `Solver::label()` \
+            for display; `Scheme` duplicated both and drifted"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Highest voltage, no scaling, no speculation.
@@ -28,6 +41,7 @@ pub enum Scheme {
     SynTs,
 }
 
+#[allow(deprecated)]
 impl Scheme {
     /// All schemes, in the paper's reporting order.
     pub const ALL: [Scheme; 4] = [
@@ -58,6 +72,7 @@ impl Scheme {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for Scheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -76,6 +91,12 @@ impl std::fmt::Display for Scheme {
 /// # Errors
 ///
 /// Propagates [`OptError`] from the underlying solver.
+#[deprecated(
+    since = "0.2.0",
+    note = "resolve a registry key via `solver::default_solver(name)` (or a `SolverRegistry`) \
+            and call `solve` directly"
+)]
+#[allow(deprecated)]
 pub fn assignment_for<M: ErrorModel + 'static>(
     scheme: Scheme,
     cfg: &SystemConfig,
@@ -99,27 +120,65 @@ pub struct SweepPoint {
 /// Sweeps `theta` over any [`Solver`], producing the raw points behind
 /// the Pareto plots of Figs 6.11–6.16.
 ///
+/// θ points fan out across a [`ThreadPool::from_env`] pool (worker count
+/// from `SYNTS_THREADS`, else the machine); results are collected in θ
+/// order and are bit-identical to the sequential loop. Use
+/// [`pareto_sweep_pooled`] to pass an explicit pool.
+///
 /// # Errors
 ///
-/// Propagates [`OptError`] from the solver.
-pub fn pareto_sweep<M: ErrorModel>(
+/// Propagates [`OptError`] from the solver — the first failing θ in grid
+/// order, exactly as the sequential loop would report.
+pub fn pareto_sweep<M: ErrorModel + Sync>(
     solver: &dyn Solver<M>,
     cfg: &SystemConfig,
     profiles: &[ThreadProfile<M>],
     thetas: &[f64],
 ) -> Result<Vec<SweepPoint>, OptError> {
-    thetas
-        .iter()
-        .map(|&theta| {
-            let assignment = solver.solve(cfg, profiles, theta)?;
-            let ed = evaluate(cfg, profiles, &assignment);
-            Ok(SweepPoint {
-                theta,
-                assignment,
-                ed,
+    pareto_sweep_pooled(solver, cfg, profiles, thetas, ThreadPool::from_env())
+}
+
+/// [`pareto_sweep`] over an explicit [`ThreadPool`].
+///
+/// The θ grid is split into `pool.workers()` contiguous chunks; each
+/// worker runs its chunk through one [`Solver::solve_batch`] call, so the
+/// table-driven solvers build their time/energy tables once per worker
+/// instead of once per θ. Collection is index-ordered, making the result
+/// independent of worker count and scheduling.
+///
+/// # Errors
+///
+/// As [`pareto_sweep`].
+pub fn pareto_sweep_pooled<M: ErrorModel + Sync>(
+    solver: &dyn Solver<M>,
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+    thetas: &[f64],
+    pool: ThreadPool,
+) -> Result<Vec<SweepPoint>, OptError> {
+    let ranges = pool.chunk_ranges(thetas.len());
+    let chunks = pool.try_map(&ranges, |_, range| {
+        let grid = &thetas[range.clone()];
+        let requests: Vec<SolveRequest<'_, M>> = grid
+            .iter()
+            .map(|&theta| SolveRequest::new(cfg, profiles, theta))
+            .collect();
+        solver
+            .solve_batch(&requests)
+            .into_iter()
+            .zip(grid)
+            .map(|(result, &theta)| {
+                let assignment = result?;
+                let ed = evaluate(cfg, profiles, &assignment);
+                Ok(SweepPoint {
+                    theta,
+                    assignment,
+                    ed,
+                })
             })
-        })
-        .collect()
+            .collect::<Result<Vec<SweepPoint>, OptError>>()
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
 }
 
 /// The θ at which energy and execution time contribute equally to Eq 4.4 at
@@ -163,6 +222,7 @@ pub fn default_theta_sweep<M: ErrorModel>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // `Scheme` coverage stays until the type is removed.
 mod tests {
     use super::*;
     use crate::baselines::nominal;

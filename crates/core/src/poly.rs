@@ -108,6 +108,12 @@ pub fn synts_poly<M: ErrorModel>(
         return Err(OptError::NoThreads);
     }
     let t = Tables::build(cfg, profiles);
+    solve_on_tables(&t, theta)
+}
+
+/// Algorithm 1's search over precomputed [`Tables`] — the table build is
+/// the per-benchmark setup `Solver::solve_batch` hoists out of θ loops.
+pub(crate) fn solve_on_tables(t: &Tables, theta: f64) -> Result<Assignment, OptError> {
     let mut best_cost = f64::INFINITY;
     let mut best: Option<Assignment> = None;
     let mut points = vec![

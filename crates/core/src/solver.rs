@@ -50,11 +50,64 @@ use crate::baselines;
 use crate::error::OptError;
 use crate::exhaustive::synts_exhaustive;
 use crate::leakage::{synts_poly_leakage, LeakageModel};
-use crate::milp_formulation::synts_milp;
+use crate::milp_formulation::{self, synts_milp};
 use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
-use crate::poly::synts_poly;
+use crate::parallel::{worker_count, ThreadPool};
+use crate::poly::{self, synts_poly, Tables};
 use crate::power_cap::synts_poly_power_capped;
 use crate::thrifty::{thrifty_barrier, ThriftyConfig};
+
+/// One instance of the SynTS-OPT problem, by reference: the inputs of one
+/// [`Solver::solve`] call, packaged so batches can be expressed as slices.
+///
+/// Batches commonly share `cfg`/`profiles` across many θ values (a Pareto
+/// sweep) or share `cfg` across many profile sets (per-interval
+/// re-optimization); [`Solver::solve_batch`] overrides exploit that
+/// sharing by pointer identity, so building requests from the *same*
+/// borrowed slices (rather than clones) is what unlocks the amortization.
+#[derive(Debug)]
+pub struct SolveRequest<'a, M: ErrorModel> {
+    /// The platform (voltage table, TSR levels, penalties).
+    pub cfg: &'a SystemConfig,
+    /// Per-thread workload profiles.
+    pub profiles: &'a [ThreadProfile<M>],
+    /// The energy/time weight θ of Eq 4.4.
+    pub theta: f64,
+}
+
+impl<'a, M: ErrorModel> SolveRequest<'a, M> {
+    /// Creates a request.
+    #[must_use]
+    pub fn new(
+        cfg: &'a SystemConfig,
+        profiles: &'a [ThreadProfile<M>],
+        theta: f64,
+    ) -> SolveRequest<'a, M> {
+        SolveRequest {
+            cfg,
+            profiles,
+            theta,
+        }
+    }
+
+    /// Whether `other` poses the same instance (config and profiles are
+    /// the same allocations) at a possibly different θ.
+    fn same_instance(&self, other: &SolveRequest<'_, M>) -> bool {
+        std::ptr::eq(self.cfg, other.cfg)
+            && self.profiles.as_ptr() == other.profiles.as_ptr()
+            && self.profiles.len() == other.profiles.len()
+    }
+}
+
+// Manual impls: the derives would demand `M: Clone`/`M: Copy`, but every
+// field is a reference or an `f64` regardless of `M`.
+impl<M: ErrorModel> Clone for SolveRequest<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M: ErrorModel> Copy for SolveRequest<'_, M> {}
 
 /// What a solver optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +192,48 @@ pub trait Solver<M: ErrorModel>: Send + Sync {
         let ed = evaluate(cfg, profiles, &assignment);
         Ok((assignment, ed))
     }
+
+    /// Solves a batch of requests, one result per request, in order.
+    ///
+    /// The default is the element-wise loop — every implementation MUST
+    /// be observationally identical to it (the batch-equivalence property
+    /// tests enforce this for all registered solvers). Overrides exist to
+    /// amortize per-instance setup: the table-driven solvers
+    /// ([`Poly`], [`Milp`]) build their `(thread, voltage, TSR)`
+    /// time/energy tables once per run of requests sharing the same
+    /// `cfg`/`profiles` borrows, which is what a θ sweep or a
+    /// per-interval re-optimization batch looks like.
+    fn solve_batch(&self, requests: &[SolveRequest<'_, M>]) -> Vec<Result<Assignment, OptError>> {
+        requests
+            .iter()
+            .map(|r| self.solve(r.cfg, r.profiles, r.theta))
+            .collect()
+    }
+}
+
+/// Shared batch driver for table-based solvers: validates each request,
+/// rebuilds [`Tables`] only when the instance changes (by pointer
+/// identity), and runs `solve_tables` per θ.
+fn batch_with_tables<'a, M: ErrorModel>(
+    requests: &[SolveRequest<'a, M>],
+    solve_tables: impl Fn(&Tables, f64) -> Result<Assignment, OptError>,
+) -> Vec<Result<Assignment, OptError>> {
+    let mut cached: Option<(SolveRequest<'a, M>, Tables)> = None;
+    requests
+        .iter()
+        .map(|req| {
+            req.cfg.validate()?;
+            if req.profiles.is_empty() {
+                return Err(OptError::NoThreads);
+            }
+            let rebuild = !matches!(&cached, Some((prev, _)) if prev.same_instance(req));
+            if rebuild {
+                cached = Some((*req, Tables::build(req.cfg, req.profiles)));
+            }
+            let (_, tables) = cached.as_ref().expect("cache was just filled");
+            solve_tables(tables, req.theta)
+        })
+        .collect()
 }
 
 /// Algorithm 1 — the exact polynomial-time SynTS solver (the scheme the
@@ -169,6 +264,10 @@ impl<M: ErrorModel> Solver<M> for Poly {
         theta: f64,
     ) -> Result<Assignment, OptError> {
         synts_poly(cfg, profiles, theta)
+    }
+
+    fn solve_batch(&self, requests: &[SolveRequest<'_, M>]) -> Vec<Result<Assignment, OptError>> {
+        batch_with_tables(requests, poly::solve_on_tables)
     }
 }
 
@@ -201,6 +300,10 @@ impl<M: ErrorModel> Solver<M> for Milp {
         theta: f64,
     ) -> Result<Assignment, OptError> {
         synts_milp(cfg, profiles, theta)
+    }
+
+    fn solve_batch(&self, requests: &[SolveRequest<'_, M>]) -> Vec<Result<Assignment, OptError>> {
+        batch_with_tables(requests, milp_formulation::solve_on_tables)
     }
 }
 
@@ -500,8 +603,8 @@ pub const DEFAULT_SOLVER_NAMES: [&str; 9] = [
 ];
 
 /// The canonical name → solver mapping — the single source of truth
-/// behind both [`SolverRegistry::with_defaults`] and
-/// [`crate::Scheme::solver`]. Extension solvers carry neutral default
+/// behind [`SolverRegistry::with_defaults`] (and the deprecated
+/// `Scheme::solver`). Extension solvers carry neutral default
 /// parameters (uncapped power, zero leakage). Returns `None` for names
 /// outside [`DEFAULT_SOLVER_NAMES`].
 #[must_use]
@@ -597,6 +700,7 @@ impl<M: ErrorModel + 'static> Default for SolverRegistry<M> {
 pub struct Synts<M: ErrorModel = ErrorCurve> {
     solver: Arc<dyn Solver<M>>,
     theta: f64,
+    pool: ThreadPool,
 }
 
 impl<M: ErrorModel> std::fmt::Debug for Synts<M> {
@@ -604,6 +708,7 @@ impl<M: ErrorModel> std::fmt::Debug for Synts<M> {
         f.debug_struct("Synts")
             .field("solver", &self.solver.name())
             .field("theta", &self.theta)
+            .field("workers", &self.pool.workers())
             .finish()
     }
 }
@@ -632,6 +737,13 @@ impl<M: ErrorModel + 'static> Synts<M> {
         self.theta
     }
 
+    /// The sweep thread pool ([`SyntsBuilder::workers`], or
+    /// `SYNTS_THREADS`, or the machine's available parallelism).
+    #[must_use]
+    pub fn pool(&self) -> ThreadPool {
+        self.pool
+    }
+
     /// Solves at the configured θ.
     ///
     /// # Errors
@@ -658,7 +770,9 @@ impl<M: ErrorModel + 'static> Synts<M> {
         self.solver.solve_evaluated(cfg, profiles, self.theta)
     }
 
-    /// Sweeps the configured solver over `thetas` (a Pareto sweep).
+    /// Sweeps the configured solver over `thetas` (a Pareto sweep),
+    /// fanning θ points across the configured [`ThreadPool`]. Results are
+    /// index-ordered and bit-identical at any worker count.
     ///
     /// # Errors
     ///
@@ -668,8 +782,11 @@ impl<M: ErrorModel + 'static> Synts<M> {
         cfg: &SystemConfig,
         profiles: &[ThreadProfile<M>],
         thetas: &[f64],
-    ) -> Result<Vec<crate::pareto::SweepPoint>, OptError> {
-        crate::pareto::pareto_sweep(self.solver.as_ref(), cfg, profiles, thetas)
+    ) -> Result<Vec<crate::pareto::SweepPoint>, OptError>
+    where
+        M: Sync,
+    {
+        crate::pareto::pareto_sweep_pooled(self.solver.as_ref(), cfg, profiles, thetas, self.pool)
     }
 }
 
@@ -678,6 +795,7 @@ pub struct SyntsBuilder<M: ErrorModel = ErrorCurve> {
     registry: SolverRegistry<M>,
     scheme: Option<String>,
     theta: f64,
+    workers: Option<usize>,
     power_budget: Option<f64>,
     leakage: Option<LeakageModel>,
     thrifty: Option<ThriftyConfig>,
@@ -699,6 +817,7 @@ impl<M: ErrorModel + 'static> SyntsBuilder<M> {
             registry: SolverRegistry::with_defaults(),
             scheme: None,
             theta: 1.0,
+            workers: None,
             power_budget: None,
             leakage: None,
             thrifty: None,
@@ -717,6 +836,18 @@ impl<M: ErrorModel + 'static> SyntsBuilder<M> {
     #[must_use]
     pub fn theta(mut self, theta: f64) -> SyntsBuilder<M> {
         self.theta = theta;
+        self
+    }
+
+    /// Sets the sweep worker count (clamped to at least 1). Without an
+    /// explicit count the `SYNTS_THREADS` environment variable, then the
+    /// machine's available parallelism, decide
+    /// ([`crate::parallel::worker_count`]). Sweep results are
+    /// bit-identical at any worker count; this knob only trades wall
+    /// clock for cores.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> SyntsBuilder<M> {
+        self.workers = Some(workers);
         self
     }
 
@@ -771,6 +902,7 @@ impl<M: ErrorModel + 'static> SyntsBuilder<M> {
     ///   the `"power_cap"` scheme chosen without a budget. Silently
     ///   dropping a constraint the caller asked for is never an option.
     pub fn build(mut self) -> Result<Synts<M>, OptError> {
+        let pool = ThreadPool::new(worker_count(self.workers));
         if let Some(solver) = self.custom {
             if self.power_budget.is_some() || self.leakage.is_some() || self.thrifty.is_some() {
                 return Err(OptError::BadConfig(
@@ -780,6 +912,7 @@ impl<M: ErrorModel + 'static> SyntsBuilder<M> {
             return Ok(Synts {
                 solver,
                 theta: self.theta,
+                pool,
             });
         }
         // Fold the extension parameters into the registry entries so a
@@ -838,6 +971,7 @@ impl<M: ErrorModel + 'static> SyntsBuilder<M> {
         Ok(Synts {
             solver,
             theta: self.theta,
+            pool,
         })
     }
 }

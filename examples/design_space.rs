@@ -4,7 +4,10 @@
 //! Sweeps the SimpleALU's adder topology and the multiplier topology,
 //! characterizes each against the same workload trace, and prints the
 //! resulting error-probability curves — the knob a designer would turn to
-//! trade nominal frequency against speculation headroom. Also dumps one
+//! trade nominal frequency against speculation headroom. Each topology is
+//! then pushed through a parallel Pareto θ sweep
+//! (`Synts::builder().workers(..)`, or `SYNTS_THREADS`) to see how the
+//! curve shape translates into the energy/time trade-off. Also dumps one
 //! stage as structural Verilog to show the netlist interchange surface.
 //!
 //! Run with: `cargo run --release --example design_space`
@@ -18,6 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = WorkloadConfig::small(4);
     let trace = Benchmark::Cholesky.run(&cfg);
     let events = &trace.intervals[0].thread(0).events;
+    // SYNTS_THREADS (or the machine) sizes the sweep pool by default.
+    let synts = Synts::builder().build()?;
+    let workers = synts.pool().workers();
 
     println!("== SimpleALU adder topology vs err(r) (Cholesky thread 0) ==");
     for (name, kind) in [
@@ -34,6 +40,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print!("  err({r:.1}) = {:.4}", curve.err(r));
         }
         println!("\n");
+
+        // How the topology's curve translates into the energy/time
+        // trade-off: a θ sweep over all four Cholesky threads, fanned out
+        // across the SYNTS_THREADS pool (bit-identical at any width).
+        let sys = SystemConfig::paper_default(charac.tnom_v1());
+        let profiles: Vec<ThreadProfile<ErrorCurve>> = (0..trace.intervals[0].threads())
+            .map(|t| {
+                let ev = &trace.intervals[0].thread(t).events;
+                Ok(ThreadProfile::new(
+                    ev.len().max(1) as f64,
+                    1.0,
+                    charac.error_curve_sampled(ev, 400)?,
+                ))
+            })
+            .collect::<Result<_, OptError>>()?;
+        let thetas = default_theta_sweep(&sys, &profiles, 16, 2.0)?;
+        let points = synts.sweep(&sys, &profiles, &thetas)?;
+        let eds: Vec<EnergyDelay> = points.iter().map(|p| p.ed).collect();
+        let front = synts::timing::pareto_front(&eds);
+        let fastest = points
+            .iter()
+            .map(|p| p.ed.time)
+            .fold(f64::INFINITY, f64::min);
+        let frugal = points
+            .iter()
+            .map(|p| p.ed.energy)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  {name:>16}: {}-point sweep on {workers} worker(s) -> {} Pareto points, \
+             min time {fastest:.1}, min energy {frugal:.1}\n",
+            points.len(),
+            front.len()
+        );
     }
 
     println!("== multiplier topology (8x8) ==");

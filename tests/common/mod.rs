@@ -1,0 +1,60 @@
+//! Shared randomized-instance generator for the root integration tests
+//! (`solver_registry`, `parallel_sweep`): one definition of the solver
+//! input space, so both suites exercise the same instances.
+
+use proptest::prelude::*;
+use synts::prelude::*;
+use synts::timing::VoltageTable;
+
+/// One randomized SynTS-OPT instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub cfg: SystemConfig,
+    pub profiles: Vec<ThreadProfile<ErrorCurve>>,
+    /// A sweep-scale weight; suites sweeping their own θ grid ignore it.
+    #[allow(dead_code)]
+    pub theta: f64,
+}
+
+/// Small heterogeneous instances every registered solver (including the
+/// exhaustive oracle) can handle: 2–3 threads, 2–3 voltage/TSR levels.
+pub fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let thread = (
+        0.2f64..0.8,          // delay band low
+        0.05f64..0.3,         // band width
+        1_000.0f64..50_000.0, // N
+        1.0f64..2.5,          // CPI
+    );
+    (
+        prop::collection::vec(thread, 2..4),
+        2usize..4,     // voltage levels
+        2usize..4,     // TSR levels
+        0.0f64..100.0, // theta scale
+    )
+        .prop_map(|(threads, q, s, theta_raw)| {
+            let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.08 * j as f64).collect();
+            let mut cfg = SystemConfig::paper_default(25.0);
+            cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
+            cfg.tsr_levels = (0..s)
+                .map(|k| 0.6 + 0.4 * k as f64 / (s - 1) as f64)
+                .collect();
+            let profiles = threads
+                .into_iter()
+                .map(|(lo, w, n, cpi)| {
+                    let delays: Vec<f64> = (0..64)
+                        .map(|i| (lo + w * i as f64 / 64.0).min(1.0))
+                        .collect();
+                    ThreadProfile::new(
+                        n,
+                        cpi,
+                        ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
+                    )
+                })
+                .collect();
+            Instance {
+                cfg,
+                profiles,
+                theta: theta_raw,
+            }
+        })
+}

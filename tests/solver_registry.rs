@@ -4,57 +4,12 @@
 //! and no solver ever beats the exhaustive optimum of its shared
 //! objective.
 
+mod common;
+
+use common::instance_strategy;
 use proptest::prelude::*;
 use synts::prelude::*;
 use synts::timing::VoltageTable;
-
-#[derive(Debug, Clone)]
-struct Instance {
-    cfg: SystemConfig,
-    profiles: Vec<ThreadProfile<ErrorCurve>>,
-    theta: f64,
-}
-
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    let thread = (
-        0.2f64..0.8,          // delay band low
-        0.05f64..0.3,         // band width
-        1_000.0f64..50_000.0, // N
-        1.0f64..2.5,          // CPI
-    );
-    (
-        prop::collection::vec(thread, 2..4),
-        2usize..4,     // voltage levels
-        2usize..4,     // TSR levels
-        0.0f64..100.0, // theta scale
-    )
-        .prop_map(|(threads, q, s, theta_raw)| {
-            let volts: Vec<f64> = (0..q).map(|j| 1.0 - 0.08 * j as f64).collect();
-            let mut cfg = SystemConfig::paper_default(25.0);
-            cfg.voltages = VoltageTable::from_volts(volts).expect("in range");
-            cfg.tsr_levels = (0..s)
-                .map(|k| 0.6 + 0.4 * k as f64 / (s - 1) as f64)
-                .collect();
-            let profiles = threads
-                .into_iter()
-                .map(|(lo, w, n, cpi)| {
-                    let delays: Vec<f64> = (0..64)
-                        .map(|i| (lo + w * i as f64 / 64.0).min(1.0))
-                        .collect();
-                    ThreadProfile::new(
-                        n,
-                        cpi,
-                        ErrorCurve::from_normalized_delays(delays).expect("non-empty"),
-                    )
-                })
-                .collect();
-            Instance {
-                cfg,
-                profiles,
-                theta: theta_raw,
-            }
-        })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -108,6 +63,64 @@ proptest! {
                     "{} is declared exact but missed the optimum: {} vs {}",
                     name, cost, optimum
                 );
+            }
+        }
+    }
+
+    /// Batch-vs-loop equivalence: for every registered solver,
+    /// `solve_batch` over a θ grid sharing one instance equals
+    /// element-wise `solve` — result for result, error for error. This is
+    /// the contract the table-hoisting overrides (Poly, Milp) must keep.
+    #[test]
+    fn solve_batch_matches_elementwise_solve(inst in instance_strategy()) {
+        let registry = SolverRegistry::with_defaults();
+        let thetas = [0.0, 0.3 * inst.theta, inst.theta, 10.0 * inst.theta + 1.0];
+        for name in registry.names() {
+            let solver = registry.get(name).expect("registered");
+            let requests: Vec<SolveRequest<'_, ErrorCurve>> = thetas
+                .iter()
+                .map(|&theta| SolveRequest::new(&inst.cfg, &inst.profiles, theta))
+                .collect();
+            let batch = solver.solve_batch(&requests);
+            prop_assert_eq!(batch.len(), requests.len(), "{}", name);
+            for (result, &theta) in batch.iter().zip(&thetas) {
+                let direct = solver.solve(&inst.cfg, &inst.profiles, theta);
+                match (result, direct) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, &b, "{} at theta {}", name, theta),
+                    (Err(ea), Err(eb)) => prop_assert_eq!(
+                        ea.to_string(), eb.to_string(), "{} at theta {}", name, theta
+                    ),
+                    (a, b) => panic!("{name} at theta {theta}: batch {a:?} vs direct {b:?}"),
+                }
+            }
+        }
+    }
+
+    /// Interleaving two instances in one batch exercises the overrides'
+    /// table-cache invalidation: a stale cache would silently reuse the
+    /// wrong instance's tables.
+    #[test]
+    fn solve_batch_handles_interleaved_instances(
+        a in instance_strategy(),
+        b in instance_strategy(),
+    ) {
+        let registry = SolverRegistry::with_defaults();
+        for name in ["synts_poly", "synts_milp"] {
+            let solver = registry.get(name).expect("registered");
+            let requests = vec![
+                SolveRequest::new(&a.cfg, &a.profiles, a.theta),
+                SolveRequest::new(&a.cfg, &a.profiles, b.theta),
+                SolveRequest::new(&b.cfg, &b.profiles, a.theta),
+                SolveRequest::new(&a.cfg, &a.profiles, a.theta),
+                SolveRequest::new(&b.cfg, &b.profiles, b.theta),
+            ];
+            let batch = solver.solve_batch(&requests);
+            for (result, req) in batch.iter().zip(&requests) {
+                let direct = solver
+                    .solve(req.cfg, req.profiles, req.theta)
+                    .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+                let got = result.as_ref().unwrap_or_else(|e| panic!("{name} failed: {e}"));
+                prop_assert_eq!(got, &direct, "{} (interleaved)", name);
             }
         }
     }
