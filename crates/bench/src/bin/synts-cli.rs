@@ -1,0 +1,194 @@
+//! `synts-cli` — run declarative scenario specs from disk.
+//!
+//! ```text
+//! synts-cli run <spec.json> [--quick|--paper] [--workers N]
+//!                           [--json <out.json>] [--csv <out.csv>] [--quiet]
+//! synts-cli schemes
+//! synts-cli template
+//! ```
+//!
+//! `run` loads a [`ScenarioSpec`] JSON file (e.g. the committed paper
+//! figures under `crates/bench/specs/`), executes it through the single
+//! [`Experiment`] entry point, prints the structured report as a text
+//! table and optionally writes JSON/CSV sinks. The exit status is
+//! non-zero if any report check fails, so a spec file doubles as a CI
+//! assertion. `schemes` lists every registry key a spec may name, and
+//! `template` prints a starter spec to edit.
+
+use std::process::ExitCode;
+
+use synts_bench::render::{report_text, save_csv, write_csv};
+use synts_core::{Experiment, IntervalSelection, Quality, ScenarioSpec, SolverRegistry, ThetaSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: synts-cli run <spec.json> [--quick|--paper] [--workers N] \
+         [--json <out.json>] [--csv <out.csv>] [--quiet]\n\
+         \x20      synts-cli schemes\n\
+         \x20      synts-cli template"
+    );
+    ExitCode::from(2)
+}
+
+fn schemes() -> ExitCode {
+    let registry: SolverRegistry = SolverRegistry::with_defaults();
+    println!("{:<18} {:<22} capabilities", "key", "label");
+    println!("{}", "-".repeat(64));
+    for (name, solver) in registry.iter() {
+        let caps = solver.capabilities();
+        let mut tags = Vec::new();
+        if caps.exact {
+            tags.push("exact");
+        }
+        if caps.polynomial {
+            tags.push("polynomial");
+        }
+        if caps.uses_theta {
+            tags.push("uses-theta");
+        }
+        if caps.speculates {
+            tags.push("speculates");
+        }
+        println!("{:<18} {:<22} {}", name, solver.label(), tags.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn template() -> ExitCode {
+    let spec = ScenarioSpec::new(
+        "my-scenario",
+        workloads::Benchmark::Radix,
+        circuits::StageKind::Decode,
+    )
+    .schemes(["synts_poly", "per_core_ts", "no_ts"])
+    .thetas(ThetaSpec::LogAroundEqualWeight {
+        points: 9,
+        decades: 2.0,
+    })
+    .intervals(IntervalSelection::All)
+    .normalize_to("nominal")
+    .verify_model(true);
+    print!("{}", spec.to_json_string());
+    ExitCode::SUCCESS
+}
+
+struct RunArgs {
+    spec_path: String,
+    quality: Option<Quality>,
+    workers: Option<usize>,
+    json_out: Option<String>,
+    csv_out: Option<String>,
+    quiet: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Option<RunArgs> {
+    let mut out = RunArgs {
+        spec_path: String::new(),
+        quality: None,
+        workers: None,
+        json_out: None,
+        csv_out: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => out.quality = Some(Quality::Quick),
+            "--paper" => out.quality = Some(Quality::Paper),
+            "--quiet" => out.quiet = true,
+            "--workers" => out.workers = Some(it.next()?.parse().ok()?),
+            "--json" => out.json_out = Some(it.next()?.clone()),
+            "--csv" => out.csv_out = Some(it.next()?.clone()),
+            _ if arg.starts_with('-') || !out.spec_path.is_empty() => return None,
+            _ => out.spec_path = arg.clone(),
+        }
+    }
+    (!out.spec_path.is_empty()).then_some(out)
+}
+
+fn run(args: RunArgs) -> ExitCode {
+    let src = match std::fs::read_to_string(&args.spec_path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot read spec '{}': {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match ScenarioSpec::from_json_str(&src) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(quality) = args.quality {
+        spec.quality = quality;
+    }
+    if let Some(workers) = args.workers {
+        spec.workers = Some(workers);
+    }
+    eprintln!(
+        "[synts-cli] running '{}': {} on {} ({} quality)...",
+        spec.name,
+        spec.benchmark,
+        spec.stage,
+        spec.quality.name()
+    );
+    let report = match Experiment::new(spec).run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scenario failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        print!("{}", report_text(&report));
+    }
+    if let Some(path) = &args.json_out {
+        let path = std::path::Path::new(path);
+        if let Err(e) = path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(path, report.to_json_string()))
+        {
+            eprintln!("[json] write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[json] {}", path.display());
+    }
+    if let Some(path) = &args.csv_out {
+        let (header, rows) = report.to_csv();
+        if let Err(e) = write_csv(std::path::Path::new(path), &header, &rows) {
+            eprintln!("[csv] write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[csv] {path}");
+    } else if args.json_out.is_none() && !args.quiet {
+        // Default sink: a CSV under results/, like the repro binary.
+        let (header, rows) = report.to_csv();
+        match save_csv(&report.spec.name, &header, &rows) {
+            Ok(path) => eprintln!("[csv] {}", path.display()),
+            Err(e) => eprintln!("[csv] write failed: {e}"),
+        }
+    }
+    if report.all_checks_pass() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("report check(s) FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match parse_run_args(&args[1..]) {
+            Some(run_args) => run(run_args),
+            None => usage(),
+        },
+        Some("schemes") => schemes(),
+        Some("template") => template(),
+        _ => usage(),
+    }
+}

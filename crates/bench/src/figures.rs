@@ -9,14 +9,14 @@ use circuits::{AdderKind, SimpleAlu, StageKind};
 use gpgpu::{GpuKernel, SimdConfig, SimdUnit};
 use synts_core::experiments::BenchmarkData;
 use synts_core::{
-    estimate_overhead_defaults, evaluate, run_interval, run_interval_offline, theta_equal_weight,
-    OptError, SamplingPlan, SolveRequest, Solver, SolverRegistry, ThreadPool, ThreadProfile,
+    estimate_overhead_defaults, run_interval, run_interval_offline, Experiment, OptError,
+    SamplingPlan, ScenarioSpec, Solver, SolverRegistry, ThreadPool, ThreadProfile,
 };
 use timing::{EnergyDelay, ErrorCurve, ErrorModel, StageCharacterizer, VOLTAGE_TABLE_POINTS};
 use workloads::Benchmark;
 
 use crate::corpus::Corpus;
-use crate::render::{f, table};
+use crate::render::{f, report_rows, table};
 
 /// The shared solver registry every figure dispatches through.
 fn registry() -> &'static SolverRegistry {
@@ -82,65 +82,6 @@ fn corpus_data(
         .ok_or_else(|| missing(bench, stage))
 }
 
-/// Sums a solver's energy/time over all barrier intervals of a benchmark.
-fn sum_intervals(
-    data: &BenchmarkData,
-    solver: &dyn Solver<ErrorCurve>,
-    theta: f64,
-) -> Result<EnergyDelay, OptError> {
-    Ok(sum_intervals_batched(data, solver, &[theta])?[0])
-}
-
-/// [`sum_intervals`] for a whole θ grid at once: intervals fan out across
-/// the `SYNTS_THREADS` pool, and each interval runs every θ through one
-/// [`Solver::solve_batch`] call — the table-driven solvers build their
-/// time/energy tables once per interval instead of once per (interval, θ).
-fn sum_intervals_batched(
-    data: &BenchmarkData,
-    solver: &dyn Solver<ErrorCurve>,
-    thetas: &[f64],
-) -> Result<Vec<EnergyDelay>, OptError> {
-    let cfg = data.system_config();
-    let profile_sets: Vec<Vec<ThreadProfile<ErrorCurve>>> =
-        data.intervals.iter().map(|iv| iv.profiles()).collect();
-    let per_interval = ThreadPool::from_env().try_map(&profile_sets, |_, profiles| {
-        let requests: Vec<SolveRequest<'_, ErrorCurve>> = thetas
-            .iter()
-            .map(|&theta| SolveRequest::new(&cfg, profiles, theta))
-            .collect();
-        solver
-            .solve_batch(&requests)
-            .into_iter()
-            .map(|result| result.map(|a| evaluate(&cfg, profiles, &a)))
-            .collect::<Result<Vec<EnergyDelay>, OptError>>()
-    })?;
-    let mut sums = vec![EnergyDelay::new(0.0, 0.0); thetas.len()];
-    for interval in &per_interval {
-        for (acc, ed) in sums.iter_mut().zip(interval) {
-            acc.energy += ed.energy;
-            acc.time += ed.time;
-        }
-    }
-    Ok(sums)
-}
-
-/// Equal-weight θ for a whole benchmark (Σ nominal energy / Σ nominal time).
-fn theta_eq(data: &BenchmarkData) -> Result<f64, OptError> {
-    let cfg = data.system_config();
-    let nominal = solver_for("nominal");
-    let mut en = 0.0;
-    let mut t = 0.0;
-    for iv in &data.intervals {
-        let profiles = iv.profiles();
-        let theta = theta_equal_weight(&cfg, &profiles)?;
-        // theta_equal_weight is en/t of the interval; recover the sums.
-        let (_, ed) = nominal.solve_evaluated(&cfg, &profiles, theta)?;
-        en += ed.energy;
-        t += ed.time;
-    }
-    Ok(en / t)
-}
-
 /// Profiles over the subsampled trace population (N = trace length), the
 /// common basis for every Fig 6.18 bar.
 fn trace_profiles(
@@ -156,27 +97,6 @@ fn trace_profiles(
             ))
         })
         .collect()
-}
-
-/// Picks the barrier interval with the strongest thread heterogeneity —
-/// the paper's figures show "one barrier interval", naturally the
-/// illustrative one (for Radix, the rank-reduction interval).
-fn most_heterogeneous_interval(data: &BenchmarkData) -> usize {
-    let grid = [0.64, 0.7, 0.78, 0.86];
-    let mut best = (0usize, 0.0f64);
-    for (i, iv) in data.intervals.iter().enumerate() {
-        let mut spread = 0.0f64;
-        for &r in &grid {
-            let errs: Vec<f64> = iv.threads.iter().map(|t| t.curve.err(r)).collect();
-            let max = errs.iter().copied().fold(0.0f64, f64::max);
-            let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
-            spread = spread.max(max - min);
-        }
-        if spread > best.1 {
-            best = (i, spread);
-        }
-    }
-    best.0
 }
 
 /// Table 5.1: voltage vs nominal clock period, via a ring oscillator built
@@ -288,7 +208,7 @@ pub fn fig_1_2(corpus: &Corpus) -> Result<Figure, OptError> {
 /// Propagates [`OptError`] from the corpus.
 pub fn fig_3_5(corpus: &Corpus) -> Result<Figure, OptError> {
     let data = corpus_data(corpus, Benchmark::Radix, StageKind::Decode)?;
-    let iv = &data.intervals[most_heterogeneous_interval(data)];
+    let iv = &data.intervals[data.most_heterogeneous_interval()];
     let grid: Vec<f64> = (0..=9).map(|i| 0.60 + 0.045 * i as f64).collect();
     let mut rows = Vec::new();
     for &r in &grid {
@@ -357,7 +277,7 @@ pub fn fig_3_5(corpus: &Corpus) -> Result<Figure, OptError> {
 pub fn fig_3_6(corpus: &Corpus) -> Result<Figure, OptError> {
     let data = corpus_data(corpus, Benchmark::Radix, StageKind::Decode)?;
     let cfg = data.system_config();
-    let iv = &data.intervals[most_heterogeneous_interval(data)];
+    let iv = &data.intervals[data.most_heterogeneous_interval()];
     let profiles = iv.profiles();
     let m = profiles.len();
 
@@ -541,12 +461,41 @@ pub fn fig_5_10() -> Result<Figure, OptError> {
     })
 }
 
-/// One Pareto figure (Figs 6.11–6.16): energy vs execution time for SynTS,
-/// Per-core TS and No-TS, normalized to Nominal.
+/// The committed scenario specs behind the Pareto figures
+/// (Figs 6.11–6.16) — each figure *is* its spec file; `synts-cli run
+/// crates/bench/specs/<id>.json` executes the identical scenario from
+/// disk.
+pub const PARETO_SPECS: &[(&str, &str)] = &[
+    ("fig-6-11", include_str!("../specs/fig-6-11.json")),
+    ("fig-6-12", include_str!("../specs/fig-6-12.json")),
+    ("fig-6-13", include_str!("../specs/fig-6-13.json")),
+    ("fig-6-14", include_str!("../specs/fig-6-14.json")),
+    ("fig-6-15", include_str!("../specs/fig-6-15.json")),
+    ("fig-6-16", include_str!("../specs/fig-6-16.json")),
+];
+
+/// Parses the committed spec of one Pareto figure.
 ///
 /// # Errors
 ///
-/// Propagates [`OptError`] from the optimizers.
+/// [`OptError::Spec`] for unknown ids or malformed committed specs.
+pub fn pareto_spec(id: &str) -> Result<ScenarioSpec, OptError> {
+    let (_, src) = PARETO_SPECS
+        .iter()
+        .find(|(k, _)| *k == id)
+        .ok_or_else(|| OptError::Spec(format!("no committed spec for figure '{id}'")))?;
+    ScenarioSpec::from_json_str(src)
+}
+
+/// One Pareto figure (Figs 6.11–6.16): energy vs execution time for SynTS,
+/// Per-core TS and No-TS, normalized to Nominal. The data comes entirely
+/// from the committed [`ScenarioSpec`] run through [`Experiment::run_on`];
+/// this function is only the renderer over the structured
+/// [`synts_core::Report`].
+///
+/// # Errors
+///
+/// Propagates [`OptError`] from the scenario runner.
 pub fn fig_pareto(
     corpus: &Corpus,
     id: &'static str,
@@ -554,39 +503,46 @@ pub fn fig_pareto(
     bench: Benchmark,
     stage: StageKind,
 ) -> Result<Figure, OptError> {
-    let data = corpus_data(corpus, bench, stage)?;
-    let center = theta_eq(data)?;
-    let thetas: Vec<f64> = (0..9)
-        .map(|i| center * 10f64.powf(-2.0 + 0.5 * i as f64))
-        .collect();
-    let nominal = sum_intervals(data, &*solver_for("nominal"), center)?;
-
-    let mut rows = Vec::new();
-    let mut series: Vec<(&'static str, Vec<EnergyDelay>)> = Vec::new();
-    for key in ["synts_poly", "per_core_ts", "no_ts"] {
-        let solver = solver_for(key);
-        let pts: Vec<EnergyDelay> = sum_intervals_batched(data, &*solver, &thetas)?
-            .into_iter()
-            .map(|ed| ed.normalized_to(nominal))
-            .collect();
-        for (&theta, n) in thetas.iter().zip(&pts) {
-            rows.push(vec![
-                solver.label().to_string(),
-                f(theta / center, 3),
-                f(n.time, 4),
-                f(n.energy, 4),
-            ]);
-        }
-        series.push((solver.label(), pts));
+    let spec = pareto_spec(id)?;
+    if spec.benchmark != bench || spec.stage != stage {
+        return Err(OptError::BadConfig(
+            "committed figure spec disagrees with the repro target's benchmark/stage",
+        ));
     }
+    let data = corpus_data(corpus, bench, stage)?;
+    let report = Experiment::new(spec).run_on(data)?;
 
-    // Shape checks. SynTS optimizes Eq 4.4 exactly, so at every theta its
-    // weighted cost lower-bounds each baseline's (the pointwise-dominance
-    // picture of the paper's figures, stated in its provable form).
-    let synts = &series[0].1;
-    let percore = &series[1].1;
-    let nots = &series[2].1;
-    let theta_dominant = thetas.iter().enumerate().all(|(i, &theta)| {
+    // Render the report: rows are (label, theta/eq, normalized axes).
+    // The committed spec is hand-editable data, so a spec that dropped
+    // the normalization or a scheme surfaces as an error, not a panic.
+    let (_, rows) = report_rows(&report);
+    let nominal = report.baseline.ok_or(OptError::BadConfig(
+        "a Pareto figure spec must set normalize_to",
+    ))?;
+
+    // Shape checks over the report data. SynTS optimizes Eq 4.4 exactly,
+    // so at every theta its weighted cost lower-bounds each baseline's
+    // (the pointwise-dominance picture of the paper's figures, stated in
+    // its provable form).
+    let normalized = |key: &str| -> Result<Vec<EnergyDelay>, OptError> {
+        report
+            .dataset(key)
+            .ok_or(OptError::BadConfig(
+                "a Pareto figure spec must keep the synts_poly/per_core_ts/no_ts schemes",
+            ))?
+            .records
+            .iter()
+            .map(|r| {
+                r.normalized.ok_or(OptError::BadConfig(
+                    "a Pareto figure spec must normalize its records",
+                ))
+            })
+            .collect()
+    };
+    let synts = normalized("synts_poly")?;
+    let percore = normalized("per_core_ts")?;
+    let nots = normalized("no_ts")?;
+    let theta_dominant = report.theta_grid.iter().enumerate().all(|(i, &theta)| {
         // De-normalize to absolute units before applying Eq 4.4.
         let cost = |p: &EnergyDelay| p.energy * nominal.energy + theta * p.time * nominal.time;
         cost(&synts[i]) <= cost(&percore[i]) * (1.0 + 1e-9)
@@ -633,7 +589,7 @@ pub fn fig_6_17(corpus: &Corpus) -> Result<Figure, OptError> {
     for bench in [Benchmark::Radix, Benchmark::Fmm] {
         let data = corpus_data(corpus, bench, StageKind::SimpleAlu)?;
         let cfg = data.system_config();
-        let iv = &data.intervals[most_heterogeneous_interval(data)];
+        let iv = &data.intervals[data.most_heterogeneous_interval()];
         let traces = iv.thread_traces();
         let longest = traces
             .iter()
@@ -930,9 +886,13 @@ pub fn headline(corpus: &Corpus) -> Result<Figure, OptError> {
             let Some(data) = corpus.get(bench, stage) else {
                 continue;
             };
-            let theta = theta_eq(data)?;
-            let synts = sum_intervals(data, &*solver_for("synts_poly"), theta)?;
-            let percore = sum_intervals(data, &*solver_for("per_core_ts"), theta)?;
+            // One data-driven scenario per cell: both schemes at the
+            // equal-weight θ over all intervals.
+            let spec = ScenarioSpec::new(format!("headline-{bench}-{stage}"), bench, stage)
+                .schemes(["synts_poly", "per_core_ts"]);
+            let report = Experiment::new(spec).run_on(data)?;
+            let synts = report.datasets[0].records[0].ed;
+            let percore = report.datasets[1].records[0].ed;
             let gain = 100.0 * (1.0 - synts.edp() / percore.edp());
             rows.push(vec![stage.to_string(), bench.to_string(), f(gain, 1)]);
             if gain > best {

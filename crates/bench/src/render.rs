@@ -1,8 +1,11 @@
-//! Plain-text table rendering and CSV emission for the repro targets.
+//! Plain-text table rendering and CSV emission for the repro targets,
+//! plus the shared text sink for scenario [`Report`]s.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
+
+use synts_core::Report;
 
 /// Renders a simple aligned text table.
 #[must_use]
@@ -36,6 +39,26 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Writes rows as CSV to an explicit path, creating parent directories
+/// on demand — the single definition of the CSV wire format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory/file creation and writing.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
 /// Writes rows as CSV under `results/` (created on demand).
 ///
 /// # Errors
@@ -46,14 +69,8 @@ pub fn save_csv(
     header: &[&str],
     rows: &[Vec<String>],
 ) -> std::io::Result<std::path::PathBuf> {
-    let dir = Path::new("results");
-    fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path)?;
-    writeln!(f, "{}", header.join(","))?;
-    for row in rows {
-        writeln!(f, "{}", row.join(","))?;
-    }
+    let path = Path::new("results").join(format!("{name}.csv"));
+    write_csv(&path, header, rows)?;
     Ok(path)
 }
 
@@ -61,6 +78,78 @@ pub fn save_csv(
 #[must_use]
 pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
+}
+
+/// Tabulates a scenario report, one row per (scheme, θ) record in
+/// dataset order. With a baseline the axes are normalized (the
+/// Pareto-figure form: `theta/eq`, `time (norm)`, `energy (norm)`);
+/// without, rows carry absolute energy/time/EDP.
+#[must_use]
+pub fn report_rows(report: &Report) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let mut rows = Vec::new();
+    if report.baseline.is_some() {
+        for ds in &report.datasets {
+            for r in &ds.records {
+                let n = r.normalized.expect("baseline implies normalized records");
+                rows.push(vec![
+                    ds.label.clone(),
+                    f(r.theta / report.theta_center, 3),
+                    f(n.time, 4),
+                    f(n.energy, 4),
+                ]);
+            }
+        }
+        (
+            vec!["scheme", "theta/eq", "time (norm)", "energy (norm)"],
+            rows,
+        )
+    } else {
+        for ds in &report.datasets {
+            for r in &ds.records {
+                rows.push(vec![
+                    ds.label.clone(),
+                    f(r.theta / report.theta_center, 3),
+                    f(r.ed.time, 3),
+                    f(r.ed.energy, 3),
+                    f(r.ed.edp(), 3),
+                ]);
+            }
+        }
+        (vec!["scheme", "theta/eq", "time", "energy", "edp"], rows)
+    }
+}
+
+/// The full text sink for a scenario report: data table, Pareto-front
+/// sizes, and the engine's invariant checks.
+#[must_use]
+pub fn report_text(report: &Report) -> String {
+    let (header, rows) = report_rows(report);
+    let mut out = format!(
+        "scenario '{}': {} on {}, {} scheme(s), {} theta point(s), intervals {:?}\n\n",
+        report.spec.name,
+        report.spec.benchmark,
+        report.spec.stage,
+        report.datasets.len(),
+        report.theta_grid.len(),
+        report.intervals_used,
+    );
+    out.push_str(&table(&header, &rows));
+    for ds in &report.datasets {
+        out.push_str(&format!(
+            "{}: {} Pareto-optimal point(s) of {}\n",
+            ds.label,
+            ds.pareto.len(),
+            ds.records.len()
+        ));
+    }
+    for check in &report.checks {
+        out.push_str(&format!(
+            "[{}] {}\n",
+            if check.pass { "PASS" } else { "FAIL" },
+            check.claim
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -25,6 +25,36 @@ impl StageKind {
         StageKind::SimpleAlu,
         StageKind::ComplexAlu,
     ];
+
+    /// Canonical lowercase name, as used in scenario specs and CLIs.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            StageKind::Decode => "decode",
+            StageKind::SimpleAlu => "simple-alu",
+            StageKind::ComplexAlu => "complex-alu",
+        }
+    }
+
+    /// Parses a stage from its name, case-insensitively and ignoring
+    /// `-`/`_` separators (`"simple-alu"`, `"SimpleALU"`, `"simple_alu"`
+    /// all resolve to [`StageKind::SimpleAlu`]) — forgiving enough for
+    /// CLI arguments and hand-written spec files.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<StageKind> {
+        let norm: String = name
+            .trim()
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_'))
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match norm.as_str() {
+            "decode" => Some(StageKind::Decode),
+            "simplealu" => Some(StageKind::SimpleAlu),
+            "complexalu" => Some(StageKind::ComplexAlu),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for StageKind {

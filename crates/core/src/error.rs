@@ -19,8 +19,17 @@ pub enum OptError {
     Infeasible,
     /// The MILP back-end failed.
     Milp(SolveError),
-    /// A solver name that is not in the [`crate::SolverRegistry`].
-    UnknownSolver(String),
+    /// A solver name that is not in the [`crate::SolverRegistry`]; the
+    /// error carries the registered keys so CLIs and spec loaders can
+    /// tell the user what *is* available.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every key the registry holds, sorted.
+        known: Vec<String>,
+    },
+    /// A malformed scenario spec (JSON syntax or an invalid field).
+    Spec(String),
     /// A timing-layer failure while preparing inputs.
     Timing(TimingError),
     /// Problem too large for the exhaustive reference solver.
@@ -39,9 +48,18 @@ impl fmt::Display for OptError {
             OptError::NoThreads => write!(f, "no thread profiles supplied"),
             OptError::Infeasible => write!(f, "no feasible assignment"),
             OptError::Milp(e) => write!(f, "milp solver: {e}"),
-            OptError::UnknownSolver(name) => {
-                write!(f, "unknown solver scheme '{name}' (not in the registry)")
+            OptError::UnknownSolver { name, known } => {
+                if known.is_empty() {
+                    write!(f, "unknown solver scheme '{name}' (the registry is empty)")
+                } else {
+                    write!(
+                        f,
+                        "unknown solver scheme '{name}' (registered: {})",
+                        known.join(", ")
+                    )
+                }
             }
+            OptError::Spec(msg) => write!(f, "scenario: {msg}"),
             OptError::Timing(e) => write!(f, "timing layer: {e}"),
             OptError::TooLarge { candidates, limit } => write!(
                 f,
@@ -90,7 +108,15 @@ mod tests {
     fn display() {
         let e = OptError::BadConfig("no TSR levels");
         assert_eq!(e.to_string(), "bad system config: no TSR levels");
-        let e = OptError::UnknownSolver("annealer".to_string());
-        assert!(e.to_string().contains("annealer"));
+        let e = OptError::UnknownSolver {
+            name: "annealer".to_string(),
+            known: vec!["synts_poly".to_string(), "nominal".to_string()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("annealer"), "{msg}");
+        assert!(
+            msg.contains("synts_poly") && msg.contains("nominal"),
+            "lists the registered keys: {msg}"
+        );
     }
 }

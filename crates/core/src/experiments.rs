@@ -9,7 +9,7 @@
 
 use archsim::{CpiModel, InstrStream};
 use circuits::StageKind;
-use timing::{ErrorCurve, StageCharacterizer};
+use timing::{ErrorCurve, ErrorModel as _, StageCharacterizer};
 use workloads::{Benchmark, ThreadWork, WorkloadConfig, WorkloadTrace};
 
 use crate::error::OptError;
@@ -110,6 +110,29 @@ impl BenchmarkData {
     #[must_use]
     pub fn system_config(&self) -> SystemConfig {
         SystemConfig::paper_default(self.tnom_v1)
+    }
+
+    /// The barrier interval with the widest per-thread error spread —
+    /// the "illustrative barrier interval" the paper's per-interval
+    /// figures show (for Radix, the rank-reduction interval). Returns 0
+    /// when there are no intervals.
+    #[must_use]
+    pub fn most_heterogeneous_interval(&self) -> usize {
+        let grid = [0.64, 0.7, 0.78, 0.86];
+        let mut best = (0usize, 0.0f64);
+        for (i, iv) in self.intervals.iter().enumerate() {
+            let mut spread = 0.0f64;
+            for &r in &grid {
+                let errs: Vec<f64> = iv.threads.iter().map(|t| t.curve.err(r)).collect();
+                let max = errs.iter().copied().fold(0.0f64, f64::max);
+                let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
+                spread = spread.max(max - min);
+            }
+            if spread > best.1 {
+                best = (i, spread);
+            }
+        }
+        best.0
     }
 }
 

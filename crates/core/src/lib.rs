@@ -74,7 +74,11 @@
 //! * [`pareto`] — trait-dispatched θ sweeps behind Figs 6.11–6.16, fanned
 //!   out across the pool;
 //! * [`experiments`] — the end-to-end harness tying workloads, circuits and
-//!   the optimizer together to regenerate the paper's figures.
+//!   the optimizer together to regenerate the paper's figures;
+//! * [`scenario`] — the declarative layer over all of the above: a
+//!   serializable [`scenario::ScenarioSpec`] run by
+//!   [`scenario::Experiment`] into a typed, JSON/CSV-serializable
+//!   [`scenario::Report`] (specs on disk → reproducible figures).
 
 mod baselines;
 pub mod criticality;
@@ -91,6 +95,7 @@ pub mod parallel;
 pub mod pareto;
 mod poly;
 pub mod power_cap;
+pub mod scenario;
 pub mod solver;
 pub mod thrifty;
 
@@ -108,12 +113,15 @@ pub use online::{
 };
 pub use overhead::{estimate_overhead, estimate_overhead_defaults, OverheadReport};
 pub use parallel::{worker_count, ThreadPool, THREADS_ENV};
-#[allow(deprecated)] // re-exported until the next major cleanup removes them
-pub use pareto::{assignment_for, Scheme};
 pub use pareto::{
-    default_theta_sweep, pareto_sweep, pareto_sweep_pooled, theta_equal_weight, SweepPoint,
+    default_theta_sweep, log_theta_grid, pareto_sweep, pareto_sweep_pooled, theta_equal_weight,
+    SweepPoint,
 };
 pub use poly::synts_poly;
+pub use scenario::{
+    Dataset, Experiment, IntervalSelection, Quality, Record, Report, ReportCheck, ScenarioSpec,
+    ThetaSpec,
+};
 pub use solver::{
     Capabilities, Objective, SolveRequest, Solver, SolverRegistry, Synts, SyntsBuilder,
 };

@@ -9,102 +9,17 @@
 //! index order — the output is bit-identical to the sequential loop at any
 //! worker count.
 //!
-//! [`Scheme`] is deprecated: it predates the [`Solver`] trait and
-//! duplicated the registry's names and labels. Use registry keys
-//! (`"synts_poly"`, `"nominal"`, …) with [`crate::SolverRegistry`] /
-//! [`solver::default_solver`], and [`Solver::label`] for display.
-
-use std::sync::Arc;
+//! Schemes are addressed by registry key (`"synts_poly"`, `"nominal"`,
+//! …) through [`crate::SolverRegistry`] /
+//! [`crate::solver::default_solver`], with [`Solver::label`] for
+//! display — the former `Scheme` enum that duplicated both is gone.
 
 use timing::{EnergyDelay, ErrorModel};
 
 use crate::error::OptError;
 use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
 use crate::parallel::ThreadPool;
-use crate::solver::{self, SolveRequest, Solver};
-
-/// The four schemes compared throughout the evaluation.
-#[deprecated(
-    since = "0.2.0",
-    note = "use SolverRegistry keys (`\"synts_poly\"`, `\"nominal\"`, ...) and `Solver::label()` \
-            for display; `Scheme` duplicated both and drifted"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scheme {
-    /// Highest voltage, no scaling, no speculation.
-    Nominal,
-    /// Joint DVFS without speculation (`r = 1`).
-    NoTs,
-    /// Independent per-core timing speculation.
-    PerCoreTs,
-    /// The paper's synergistic scheme.
-    SynTs,
-}
-
-#[allow(deprecated)]
-impl Scheme {
-    /// All schemes, in the paper's reporting order.
-    pub const ALL: [Scheme; 4] = [
-        Scheme::Nominal,
-        Scheme::NoTs,
-        Scheme::PerCoreTs,
-        Scheme::SynTs,
-    ];
-
-    /// The [`crate::SolverRegistry`] key of this scheme.
-    #[must_use]
-    pub fn key(self) -> &'static str {
-        match self {
-            Scheme::Nominal => "nominal",
-            Scheme::NoTs => "no_ts",
-            Scheme::PerCoreTs => "per_core_ts",
-            Scheme::SynTs => "synts_poly",
-        }
-    }
-
-    /// The solver implementing this scheme, resolved through the same
-    /// name→solver mapping [`crate::SolverRegistry::with_defaults`]
-    /// registers ([`solver::default_solver`]), so the dispatch table has
-    /// a single source of truth.
-    #[must_use]
-    pub fn solver<M: ErrorModel + 'static>(self) -> Arc<dyn Solver<M>> {
-        solver::default_solver(self.key()).expect("every Scheme key has a default solver")
-    }
-}
-
-#[allow(deprecated)]
-impl std::fmt::Display for Scheme {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Scheme::Nominal => "Nominal",
-            Scheme::NoTs => "No-TS",
-            Scheme::PerCoreTs => "Per-core TS",
-            Scheme::SynTs => "SynTS",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Computes the assignment a scheme picks at weight `theta`, dispatching
-/// through the [`Solver`] trait.
-///
-/// # Errors
-///
-/// Propagates [`OptError`] from the underlying solver.
-#[deprecated(
-    since = "0.2.0",
-    note = "resolve a registry key via `solver::default_solver(name)` (or a `SolverRegistry`) \
-            and call `solve` directly"
-)]
-#[allow(deprecated)]
-pub fn assignment_for<M: ErrorModel + 'static>(
-    scheme: Scheme,
-    cfg: &SystemConfig,
-    profiles: &[ThreadProfile<M>],
-    theta: f64,
-) -> Result<Assignment, OptError> {
-    scheme.solver().solve(cfg, profiles, theta)
-}
+use crate::solver::{SolveRequest, Solver};
 
 /// One point of a θ sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,6 +112,23 @@ pub fn theta_equal_weight<M: ErrorModel>(
     Ok(ed.energy / ed.time)
 }
 
+/// A log-spaced θ grid around `center`: `n` points spanning
+/// `center·10^-decades ..= center·10^decades`. The shared grid rule
+/// behind [`default_theta_sweep`] and the scenario layer's
+/// `ThetaSpec::LogAroundEqualWeight`.
+#[must_use]
+pub fn log_theta_grid(center: f64, n: usize, decades: f64) -> Vec<f64> {
+    if n <= 1 {
+        return vec![center];
+    }
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64; // 0..1
+            center * 10f64.powf(decades * (2.0 * t - 1.0))
+        })
+        .collect()
+}
+
 /// A log-spaced θ grid centered on [`theta_equal_weight`], spanning
 /// `10^-decades .. 10^decades` around it with `n` points.
 ///
@@ -210,22 +142,14 @@ pub fn default_theta_sweep<M: ErrorModel>(
     decades: f64,
 ) -> Result<Vec<f64>, OptError> {
     let center = theta_equal_weight(cfg, profiles)?;
-    if n <= 1 {
-        return Ok(vec![center]);
-    }
-    Ok((0..n)
-        .map(|i| {
-            let t = i as f64 / (n - 1) as f64; // 0..1
-            center * 10f64.powf(decades * (2.0 * t - 1.0))
-        })
-        .collect())
+    Ok(log_theta_grid(center, n, decades))
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // `Scheme` coverage stays until the type is removed.
 mod tests {
     use super::*;
     use crate::baselines::nominal;
+    use crate::solver;
     use timing::{pareto_front, ErrorCurve};
 
     fn curve(delays: Vec<f64>) -> ErrorCurve {
@@ -272,9 +196,11 @@ mod tests {
     fn synts_weakly_dominates_baselines_on_the_front() {
         let (cfg, profiles) = workload();
         let thetas = default_theta_sweep(&cfg, &profiles, 7, 2.0).expect("ok");
-        let synts = pareto_sweep(&*Scheme::SynTs.solver(), &cfg, &profiles, &thetas).expect("ok");
-        let percore =
-            pareto_sweep(&*Scheme::PerCoreTs.solver(), &cfg, &profiles, &thetas).expect("ok");
+        let poly = solver::default_solver::<ErrorCurve>("synts_poly").expect("registered");
+        let percore_solver =
+            solver::default_solver::<ErrorCurve>("per_core_ts").expect("registered");
+        let synts = pareto_sweep(&*poly, &cfg, &profiles, &thetas).expect("ok");
+        let percore = pareto_sweep(&*percore_solver, &cfg, &profiles, &thetas).expect("ok");
         // For every per-core point, some SynTS point is at least as good on
         // both axes (SynTS solves the joint problem optimally).
         for p in &percore {
@@ -305,38 +231,33 @@ mod tests {
     }
 
     #[test]
-    fn scheme_display_names() {
-        assert_eq!(Scheme::SynTs.to_string(), "SynTS");
-        assert_eq!(Scheme::PerCoreTs.to_string(), "Per-core TS");
-        assert_eq!(Scheme::NoTs.to_string(), "No-TS");
-        assert_eq!(Scheme::Nominal.to_string(), "Nominal");
-    }
-
-    #[test]
-    fn scheme_keys_resolve_in_the_registry() {
+    fn registry_keys_and_labels_cover_the_evaluation_schemes() {
         let reg: crate::SolverRegistry = crate::SolverRegistry::with_defaults();
-        for scheme in Scheme::ALL {
-            let solver = reg.get(scheme.key()).expect("scheme key registered");
-            assert_eq!(solver.name(), scheme.key());
+        for (key, label) in [
+            ("nominal", "Nominal"),
+            ("no_ts", "No-TS"),
+            ("per_core_ts", "Per-core TS"),
+            ("synts_poly", "SynTS"),
+        ] {
+            let from_registry = reg.get(key).expect("registered");
+            assert_eq!(from_registry.name(), key);
+            assert_eq!(from_registry.label(), label);
+            let direct = solver::default_solver::<ErrorCurve>(key).expect("constructible");
             assert_eq!(
-                scheme.solver::<ErrorCurve>().name(),
-                solver.name(),
-                "Scheme::solver and registry must agree"
+                direct.name(),
+                from_registry.name(),
+                "default_solver and registry must agree"
             );
         }
     }
 
     #[test]
-    fn assignment_for_matches_direct_solver_dispatch() {
-        let (cfg, profiles) = workload();
-        let theta = theta_equal_weight(&cfg, &profiles).expect("ok");
-        for scheme in Scheme::ALL {
-            let via_scheme = assignment_for(scheme, &cfg, &profiles, theta).expect("ok");
-            let via_trait = scheme
-                .solver::<ErrorCurve>()
-                .solve(&cfg, &profiles, theta)
-                .expect("ok");
-            assert_eq!(via_scheme, via_trait, "{scheme}");
-        }
+    fn log_theta_grid_is_symmetric_and_centered() {
+        let grid = log_theta_grid(2.0, 9, 2.0);
+        assert_eq!(grid.len(), 9);
+        assert!((grid[4] - 2.0).abs() < 1e-12, "middle point is the center");
+        assert!((grid[0] - 0.02).abs() < 1e-12, "left edge is center/10^2");
+        assert!((grid[8] - 200.0).abs() < 1e-9, "right edge is center*10^2");
+        assert_eq!(log_theta_grid(3.5, 1, 2.0), vec![3.5], "n=1 collapses");
     }
 }

@@ -1,0 +1,241 @@
+//! Typed, serializable experiment results: [`Report`] → [`Dataset`] →
+//! [`Record`].
+//!
+//! A report is the structured product of one [`crate::scenario::Experiment`]
+//! run — per-scheme energy/time records over the θ grid, Pareto-front
+//! indices, optional per-interval assignments and the engine's invariant
+//! checks — with JSON and CSV sinks. Golden fixtures pin the canonical
+//! JSON rendering, not prose, so renderers can evolve freely.
+
+use timing::EnergyDelay;
+
+use crate::model::Assignment;
+use crate::scenario::json::Json;
+use crate::scenario::spec::ScenarioSpec;
+
+/// One (scheme, θ) measurement, aggregated over the selected intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The weight this record was solved at.
+    pub theta: f64,
+    /// Summed energy/time in absolute units.
+    pub ed: EnergyDelay,
+    /// Energy/time normalized to the report baseline, when the spec
+    /// names a `normalize_to` scheme.
+    pub normalized: Option<EnergyDelay>,
+    /// The chosen assignments, one per selected interval, when the spec
+    /// sets `record_assignments`.
+    pub assignments: Option<Vec<Assignment>>,
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .field("theta", Json::num(self.theta))
+            .field("energy", Json::num(self.ed.energy))
+            .field("time", Json::num(self.ed.time))
+            .field("edp", Json::num(self.ed.edp()));
+        if let Some(n) = self.normalized {
+            j = j
+                .field("norm_energy", Json::num(n.energy))
+                .field("norm_time", Json::num(n.time));
+        }
+        if let Some(assignments) = &self.assignments {
+            let per_interval: Vec<Json> = assignments
+                .iter()
+                .map(|a| {
+                    Json::Arr(
+                        a.points
+                            .iter()
+                            .map(|p| {
+                                Json::Arr(vec![
+                                    Json::num(p.voltage_idx as f64),
+                                    Json::num(p.tsr_idx as f64),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            j = j.field("assignments", Json::Arr(per_interval));
+        }
+        j
+    }
+}
+
+/// One scheme's records over the whole θ grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The registry key the scheme was resolved from.
+    pub scheme: String,
+    /// The solver's display label ([`crate::Solver::label`]).
+    pub label: String,
+    /// One record per θ grid point, in grid order.
+    pub records: Vec<Record>,
+    /// Indices (into `records`) of the Pareto-optimal points, sorted by
+    /// ascending time.
+    pub pareto: Vec<usize>,
+}
+
+impl Dataset {
+    /// The records' energy/time points, in grid order.
+    #[must_use]
+    pub fn points(&self) -> Vec<EnergyDelay> {
+        self.records.iter().map(|r| r.ed).collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scheme", Json::str(&self.scheme))
+            .field("label", Json::str(&self.label))
+            .field(
+                "records",
+                Json::Arr(self.records.iter().map(Record::to_json).collect()),
+            )
+            .field(
+                "pareto",
+                Json::Arr(self.pareto.iter().map(|&i| Json::num(i as f64)).collect()),
+            )
+    }
+}
+
+/// One engine-evaluated invariant (e.g. "the exact solver's weighted
+/// cost lower-bounds every baseline at every θ").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportCheck {
+    /// The claim, in words.
+    pub claim: String,
+    /// Whether the data satisfies it.
+    pub pass: bool,
+}
+
+impl ReportCheck {
+    /// Creates a check.
+    pub fn new(claim: impl Into<String>, pass: bool) -> ReportCheck {
+        ReportCheck {
+            claim: claim.into(),
+            pass,
+        }
+    }
+}
+
+/// The structured result of running a [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The spec that produced this report.
+    pub spec: ScenarioSpec,
+    /// Stage nominal period at 1.0 V (characterization output).
+    pub tnom_v1: f64,
+    /// Indices of the intervals the records aggregate over.
+    pub intervals_used: Vec<usize>,
+    /// The equal-weight θ of the selected intervals.
+    pub theta_center: f64,
+    /// The resolved θ grid, in record order.
+    pub theta_grid: Vec<f64>,
+    /// Absolute energy/time of the `normalize_to` scheme at the
+    /// equal-weight θ, when the spec names one.
+    pub baseline: Option<EnergyDelay>,
+    /// One dataset per spec scheme, in spec order.
+    pub datasets: Vec<Dataset>,
+    /// Engine invariant checks.
+    pub checks: Vec<ReportCheck>,
+}
+
+impl Report {
+    /// The dataset of a scheme, by registry key.
+    #[must_use]
+    pub fn dataset(&self, scheme: &str) -> Option<&Dataset> {
+        self.datasets.iter().find(|d| d.scheme == scheme)
+    }
+
+    /// Whether every check passed.
+    #[must_use]
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The JSON tree of the report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .field("spec", self.spec.to_json())
+            .field("tnom_v1", Json::num(self.tnom_v1))
+            .field(
+                "intervals_used",
+                Json::Arr(
+                    self.intervals_used
+                        .iter()
+                        .map(|&i| Json::num(i as f64))
+                        .collect(),
+                ),
+            )
+            .field("theta_center", Json::num(self.theta_center))
+            .field(
+                "theta_grid",
+                Json::Arr(self.theta_grid.iter().map(|&t| Json::num(t)).collect()),
+            );
+        j = j.field(
+            "baseline",
+            match self.baseline {
+                Some(base) => Json::obj()
+                    .field("energy", Json::num(base.energy))
+                    .field("time", Json::num(base.time)),
+                None => Json::Null,
+            },
+        );
+        j.field(
+            "datasets",
+            Json::Arr(self.datasets.iter().map(Dataset::to_json).collect()),
+        )
+        .field(
+            "checks",
+            Json::Arr(
+                self.checks
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .field("claim", Json::str(&c.claim))
+                            .field("pass", Json::Bool(c.pass))
+                    })
+                    .collect(),
+            ),
+        )
+    }
+
+    /// Canonical pretty JSON — the golden-fixture format. Byte-stable
+    /// across worker counts and platforms for a given spec.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// CSV payload: header plus one row per (scheme, θ) record.
+    #[must_use]
+    pub fn to_csv(&self) -> (Vec<&'static str>, Vec<Vec<String>>) {
+        let normalized = self.baseline.is_some();
+        let mut header = vec!["scheme", "label", "theta", "energy", "time", "edp"];
+        if normalized {
+            header.push("norm_energy");
+            header.push("norm_time");
+        }
+        let mut rows = Vec::new();
+        for ds in &self.datasets {
+            for r in &ds.records {
+                let mut row = vec![
+                    ds.scheme.clone(),
+                    ds.label.clone(),
+                    format!("{}", r.theta),
+                    format!("{}", r.ed.energy),
+                    format!("{}", r.ed.time),
+                    format!("{}", r.ed.edp()),
+                ];
+                if let Some(n) = r.normalized {
+                    row.push(format!("{}", n.energy));
+                    row.push(format!("{}", n.time));
+                }
+                rows.push(row);
+            }
+        }
+        (header, rows)
+    }
+}

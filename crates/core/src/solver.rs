@@ -211,6 +211,15 @@ pub trait Solver<M: ErrorModel>: Send + Sync {
     }
 }
 
+// `SolverRegistry::get` returns `Result<Arc<dyn Solver>, _>`; without
+// this, downstream `unwrap_err`/`expect_err` (which require `T: Debug`)
+// would not compile.
+impl<M: ErrorModel> std::fmt::Debug for dyn Solver<M> + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Solver({})", self.name())
+    }
+}
+
 /// Shared batch driver for table-based solvers: validates each request,
 /// rebuilds [`Tables`] only when the instance changes (by pointer
 /// identity), and runs `solve_tables` per θ.
@@ -603,10 +612,9 @@ pub const DEFAULT_SOLVER_NAMES: [&str; 9] = [
 ];
 
 /// The canonical name → solver mapping — the single source of truth
-/// behind [`SolverRegistry::with_defaults`] (and the deprecated
-/// `Scheme::solver`). Extension solvers carry neutral default
-/// parameters (uncapped power, zero leakage). Returns `None` for names
-/// outside [`DEFAULT_SOLVER_NAMES`].
+/// behind [`SolverRegistry::with_defaults`]. Extension solvers carry
+/// neutral default parameters (uncapped power, zero leakage). Returns
+/// `None` for names outside [`DEFAULT_SOLVER_NAMES`].
 #[must_use]
 pub fn default_solver<M: ErrorModel + 'static>(name: &str) -> Option<Arc<dyn Solver<M>>> {
     Some(match name {
@@ -659,9 +667,19 @@ impl<M: ErrorModel + 'static> SolverRegistry<M> {
     }
 
     /// Looks a solver up by name.
-    #[must_use]
-    pub fn get(&self, name: &str) -> Option<Arc<dyn Solver<M>>> {
-        self.solvers.get(name).cloned()
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::UnknownSolver`] listing every registered key, so the
+    /// message tells a CLI/spec user what *is* available.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Solver<M>>, OptError> {
+        self.solvers
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OptError::UnknownSolver {
+                name: name.to_string(),
+                known: self.names().map(str::to_string).collect(),
+            })
     }
 
     /// All registered names, sorted.
@@ -964,10 +982,7 @@ impl<M: ErrorModel + 'static> SyntsBuilder<M> {
                 "a thrifty config is only honored by the 'thrifty' scheme",
             ));
         }
-        let solver = self
-            .registry
-            .get(&scheme)
-            .ok_or(OptError::UnknownSolver(scheme))?;
+        let solver = self.registry.get(&scheme)?;
         Ok(Synts {
             solver,
             theta: self.theta,
@@ -1176,8 +1191,15 @@ mod tests {
             .scheme("simulated_annealing")
             .build()
             .expect_err("unknown");
-        assert!(matches!(err, OptError::UnknownSolver(ref n) if n == "simulated_annealing"));
-        assert!(err.to_string().contains("simulated_annealing"));
+        assert!(
+            matches!(err, OptError::UnknownSolver { ref name, .. } if name == "simulated_annealing")
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("simulated_annealing"), "{msg}");
+        // The error teaches: every registered key is listed.
+        for known in DEFAULT_SOLVER_NAMES {
+            assert!(msg.contains(known), "{msg} should list {known}");
+        }
     }
 
     #[test]

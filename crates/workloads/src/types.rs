@@ -80,10 +80,23 @@ impl Benchmark {
         }
     }
 
-    /// Parses a benchmark from its canonical name.
+    /// Parses a benchmark from its name, case-insensitively and treating
+    /// `_` as `-` (`"Radix"`, `"LU_CONTIG"` both parse) — forgiving
+    /// enough for CLI arguments and hand-written scenario specs.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Benchmark> {
-        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+        let norm: String = name
+            .trim()
+            .chars()
+            .map(|c| {
+                if c == '_' {
+                    '-'
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect();
+        Benchmark::ALL.iter().copied().find(|b| b.name() == norm)
     }
 
     /// Runs the instrumented kernel and returns its trace.
@@ -234,6 +247,10 @@ mod tests {
             assert_eq!(Benchmark::from_name(b.name()), Some(b));
         }
         assert_eq!(Benchmark::from_name("nope"), None);
+        // CLI/spec-friendly parsing: case-insensitive, `_` as `-`.
+        assert_eq!(Benchmark::from_name("Radix"), Some(Benchmark::Radix));
+        assert_eq!(Benchmark::from_name("LU_CONTIG"), Some(Benchmark::LuContig));
+        assert_eq!(Benchmark::from_name(" water-sp "), Some(Benchmark::WaterSp));
     }
 
     #[test]

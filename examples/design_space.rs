@@ -1,18 +1,18 @@
 //! Design-space exploration: how datapath micro-architecture shapes the
 //! timing-speculation headroom.
 //!
-//! Sweeps the SimpleALU's adder topology and the multiplier topology,
-//! characterizes each against the same workload trace, and prints the
-//! resulting error-probability curves — the knob a designer would turn to
-//! trade nominal frequency against speculation headroom. Each topology is
-//! then pushed through a parallel Pareto θ sweep
-//! (`Synts::builder().workers(..)`, or `SYNTS_THREADS`) to see how the
-//! curve shape translates into the energy/time trade-off. Also dumps one
-//! stage as structural Verilog to show the netlist interchange surface.
+//! Sweeps the SimpleALU's adder topology, characterizes each variant
+//! against the same Cholesky trace, and pushes every variant through the
+//! declarative scenario API: the custom characterization is packaged as
+//! a [`BenchmarkData`] and handed to [`Experiment::run_on`], so the θ
+//! sweep, Pareto front and report come from the same single runner the
+//! paper figures use — no hand-rolled sweep loops. Also dumps one stage
+//! as structural Verilog to show the netlist interchange surface.
 //!
 //! Run with: `cargo run --release --example design_space`
 
 use synts::circuits::{array_multiplier, wallace_multiplier, AdderKind, PipeStage, SimpleAlu};
+use synts::core_api::experiments::{IntervalData, ThreadData};
 use synts::gatelib::{export, NetlistBuilder, StaticTiming, Voltage};
 use synts::prelude::*;
 use synts::timing::StageCharacterizer;
@@ -20,10 +20,8 @@ use synts::timing::StageCharacterizer;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = WorkloadConfig::small(4);
     let trace = Benchmark::Cholesky.run(&cfg);
-    let events = &trace.intervals[0].thread(0).events;
-    // SYNTS_THREADS (or the machine) sizes the sweep pool by default.
-    let synts = Synts::builder().build()?;
-    let workers = synts.pool().workers();
+    let interval = &trace.intervals[0];
+    let events = &interval.thread(0).events;
 
     println!("== SimpleALU adder topology vs err(r) (Cholesky thread 0) ==");
     for (name, kind) in [
@@ -41,37 +39,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("\n");
 
-        // How the topology's curve translates into the energy/time
-        // trade-off: a θ sweep over all four Cholesky threads, fanned out
-        // across the SYNTS_THREADS pool (bit-identical at any width).
-        let sys = SystemConfig::paper_default(charac.tnom_v1());
-        let profiles: Vec<ThreadProfile<ErrorCurve>> = (0..trace.intervals[0].threads())
+        // Package the custom characterization as BenchmarkData and run
+        // the *same* declarative scenario over each topology: the spec
+        // is fixed, only the data changes.
+        let threads: Vec<ThreadData> = (0..interval.threads())
             .map(|t| {
-                let ev = &trace.intervals[0].thread(t).events;
-                Ok(ThreadProfile::new(
-                    ev.len().max(1) as f64,
-                    1.0,
-                    charac.error_curve_sampled(ev, 400)?,
-                ))
+                let ev = &interval.thread(t).events;
+                let delays = charac.delay_trace_sampled(ev, 400)?;
+                Ok(ThreadData {
+                    curve: ErrorCurve::from_trace(&delays),
+                    normalized_delays: delays.normalized(),
+                    instructions: ev.len().max(1) as f64,
+                    cpi_base: 1.0,
+                })
             })
             .collect::<Result<_, OptError>>()?;
-        let thetas = default_theta_sweep(&sys, &profiles, 16, 2.0)?;
-        let points = synts.sweep(&sys, &profiles, &thetas)?;
-        let eds: Vec<EnergyDelay> = points.iter().map(|p| p.ed).collect();
-        let front = synts::timing::pareto_front(&eds);
-        let fastest = points
+        let data = BenchmarkData {
+            benchmark: Benchmark::Cholesky,
+            stage: StageKind::SimpleAlu,
+            tnom_v1: charac.tnom_v1(),
+            intervals: vec![IntervalData { threads }],
+        };
+        let spec = ScenarioSpec::new(
+            format!("design-space-{name}"),
+            Benchmark::Cholesky,
+            StageKind::SimpleAlu,
+        )
+        .thetas(ThetaSpec::LogAroundEqualWeight {
+            points: 16,
+            decades: 2.0,
+        });
+        // SYNTS_THREADS (or the machine) sizes the sweep pool; the
+        // report is bit-identical at any width.
+        let report = Experiment::new(spec).run_on(&data)?;
+        let ds = &report.datasets[0];
+        let fastest = ds
+            .records
             .iter()
-            .map(|p| p.ed.time)
+            .map(|r| r.ed.time)
             .fold(f64::INFINITY, f64::min);
-        let frugal = points
+        let frugal = ds
+            .records
             .iter()
-            .map(|p| p.ed.energy)
+            .map(|r| r.ed.energy)
             .fold(f64::INFINITY, f64::min);
         println!(
-            "  {name:>16}: {}-point sweep on {workers} worker(s) -> {} Pareto points, \
+            "  {name:>16}: {}-point sweep -> {} Pareto points, \
              min time {fastest:.1}, min energy {frugal:.1}\n",
-            points.len(),
-            front.len()
+            ds.records.len(),
+            ds.pareto.len()
         );
     }
 

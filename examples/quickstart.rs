@@ -1,45 +1,48 @@
-//! Quickstart: the whole SynTS pipeline on one barrier interval, through
-//! the `synts` facade.
+//! Quickstart: the whole SynTS pipeline on one barrier interval, driven
+//! by the declarative scenario API.
 //!
-//! Characterizes a Radix barrier interval on the Decode stage, then asks
-//! the builder-configured SynTS solver for the jointly optimal per-thread
-//! voltage/frequency/speculation assignment and compares it with the
-//! baselines via the solver registry.
+//! The run is *data*: a [`ScenarioSpec`] names the benchmark, the pipe
+//! stage, the schemes to compare and the θ rule, and the single
+//! [`Experiment`] entry point characterizes, solves and evaluates —
+//! returning a typed [`Report`] instead of preformatted text. The same
+//! spec serialized to JSON (see `crates/bench/specs/quickstart.json`)
+//! runs identically from disk via `synts-cli run`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use synts::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Cross-layer characterization: run the instrumented kernel and
-    //    replay each thread's operand trace through the gate-level stage.
-    let harness = HarnessConfig::quick();
-    let data = characterize(Benchmark::Radix, StageKind::Decode, &harness)?;
-    let cfg = data.system_config();
+    // 1. Describe the run as data: Radix on the Decode stage, the rank
+    //    interval (strongest thread heterogeneity), three schemes at the
+    //    equal-weight θ, normalized to Nominal.
+    let spec = ScenarioSpec::new("quickstart", Benchmark::Radix, StageKind::Decode)
+        .schemes(["nominal", "per_core_ts", "synts_poly"])
+        .thetas(ThetaSpec::EqualWeight)
+        .intervals(IntervalSelection::Index(1))
+        .quality(Quality::Quick)
+        .normalize_to("nominal")
+        .record_assignments(true)
+        .verify_model(true);
+
+    // 2. One entry point does the whole pipeline: instrumented kernel →
+    //    gate-level characterization → registry-dispatched solvers.
+    let report = Experiment::new(spec).run()?;
     println!(
-        "characterized {} on {}: tnom = {:.1} units, {} barrier intervals",
-        data.benchmark,
-        data.stage,
-        data.tnom_v1,
-        data.intervals.len()
+        "characterized {} on {}: tnom = {:.1} units, interval {:?}, theta_eq = {:.3e}",
+        report.spec.benchmark,
+        report.spec.stage,
+        report.tnom_v1,
+        report.intervals_used,
+        report.theta_center,
     );
 
-    // 2. Pick the rank interval (strongest thread heterogeneity for Radix).
-    let iv = &data.intervals[1];
-    let profiles = iv.profiles();
-    for (t, p) in profiles.iter().enumerate() {
-        println!(
-            "  thread {t}: N = {:>8.0}, CPI = {:.2}",
-            p.instructions, p.cpi_base
-        );
-    }
-
-    // 3. Optimize with equal energy/time weighting (Eq 4.4), through the
-    //    fluent facade entry point.
-    let theta = theta_equal_weight(&cfg, &profiles)?;
-    let synts = Synts::builder().scheme("synts_poly").theta(theta).build()?;
-    let assignment = synts.solve(&cfg, &profiles)?;
-    println!("\n{} assignment:", synts.solver().label());
+    // 3. The jointly optimal per-thread assignment, straight from the
+    //    structured report.
+    let cfg = SystemConfig::paper_default(report.tnom_v1);
+    let synts = report.dataset("synts_poly").expect("in spec");
+    let assignment = &synts.records[0].assignments.as_ref().expect("recorded")[0];
+    println!("\n{} assignment:", synts.label);
     for (t, pt) in assignment.points.iter().enumerate() {
         println!(
             "  thread {t}: V = {}, r = {:.2}",
@@ -48,28 +51,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. Compare with the baselines — every scheme behind the same
-    //    `Solver` trait, looked up by name.
-    let registry = SolverRegistry::with_defaults();
-    let base = evaluate(
-        &cfg,
-        &profiles,
-        &registry
-            .get("nominal")
-            .expect("registered")
-            .solve(&cfg, &profiles, theta)?,
-    );
-    for name in ["nominal", "per_core_ts", "synts_poly"] {
-        let solver = registry.get(name).expect("registered");
-        let (assignment, ed) = solver.solve_evaluated(&cfg, &profiles, theta)?;
-        let n = ed.normalized_to(base);
-        let cost = weighted_cost(&cfg, &profiles, &assignment, theta);
+    // 4. Compare the schemes — every record carries absolute and
+    //    normalized energy/time, so rendering is a formatting exercise.
+    println!();
+    for ds in &report.datasets {
+        let r = &ds.records[0];
+        let n = r.normalized.expect("normalized report");
         println!(
-            "{:>12}: time x{:.3}, energy x{:.3}, Eq-4.4 cost {cost:.3e}",
-            solver.label(),
+            "{:>12}: time x{:.3}, energy x{:.3}, Eq-4.4 cost {:.3e}",
+            ds.label,
             n.time,
-            n.energy
+            n.energy,
+            r.ed.energy + r.theta * r.ed.time
         );
     }
+
+    // 5. The engine's own invariants (exact-solver dominance, analytic
+    //    model vs cycle-level Razor simulation) ride along in the report.
+    println!();
+    for check in &report.checks {
+        println!(
+            "[{}] {}",
+            if check.pass { "PASS" } else { "FAIL" },
+            check.claim
+        );
+    }
+
+    // The whole report also serializes to canonical JSON:
+    // `println!("{}", report.to_json_string());`
     Ok(())
 }

@@ -83,16 +83,15 @@ pub use timing;
 pub use workloads;
 
 // The optimization API, flattened to the facade root.
-#[allow(deprecated)] // kept at the facade root until the type is removed
-pub use synts_core::{assignment_for, Scheme};
 pub use synts_core::{
-    default_theta_sweep, evaluate, no_ts, nominal, pareto_sweep, pareto_sweep_pooled, per_core_ts,
-    run_interval, run_interval_full, run_interval_offline, run_interval_with,
-    run_intervals_batched, synts_exhaustive, synts_milp, synts_poly, theta_equal_weight,
-    thread_energy, thread_time, weighted_cost, worker_count, Assignment, Capabilities,
-    IntervalOutcome, Objective, OperatingPoint, OptError, SamplingPlan, SolveRequest, Solver,
-    SolverRegistry, SweepPoint, SyntsBuilder, SystemConfig, ThreadPool, ThreadProfile, ThreadTrace,
-    THREADS_ENV,
+    default_theta_sweep, evaluate, log_theta_grid, no_ts, nominal, pareto_sweep,
+    pareto_sweep_pooled, per_core_ts, run_interval, run_interval_full, run_interval_offline,
+    run_interval_with, run_intervals_batched, synts_exhaustive, synts_milp, synts_poly,
+    theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
+    Capabilities, Dataset, Experiment, IntervalOutcome, IntervalSelection, Objective,
+    OperatingPoint, OptError, Quality, Record, Report, ReportCheck, SamplingPlan, ScenarioSpec,
+    SolveRequest, Solver, SolverRegistry, SweepPoint, SyntsBuilder, SystemConfig, ThetaSpec,
+    ThreadPool, ThreadProfile, ThreadTrace, THREADS_ENV,
 };
 
 // Keep the builder's name free at the root for the facade struct itself.
@@ -110,17 +109,17 @@ pub mod prelude {
     };
     pub use synts_core::online::estimate_curve;
     pub use synts_core::power_cap::{synts_poly_power_capped, PowerCappedSolution};
+    pub use synts_core::scenario::Json;
     pub use synts_core::thrifty::{thrifty_barrier, ThriftyConfig};
-    #[allow(deprecated)] // kept in the prelude until the type is removed
-    pub use synts_core::{assignment_for, Scheme};
     pub use synts_core::{
-        default_theta_sweep, evaluate, no_ts, nominal, pareto_sweep, pareto_sweep_pooled,
-        per_core_ts, run_interval, run_interval_full, run_interval_offline, run_interval_with,
-        run_intervals_batched, synts_exhaustive, synts_milp, synts_poly, theta_equal_weight,
-        thread_energy, thread_time, weighted_cost, worker_count, Assignment, Capabilities,
-        IntervalOutcome, Objective, OperatingPoint, OptError, SamplingPlan, SolveRequest, Solver,
-        SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig, ThreadPool, ThreadProfile,
-        ThreadTrace, THREADS_ENV,
+        default_theta_sweep, evaluate, log_theta_grid, no_ts, nominal, pareto_sweep,
+        pareto_sweep_pooled, per_core_ts, run_interval, run_interval_full, run_interval_offline,
+        run_interval_with, run_intervals_batched, synts_exhaustive, synts_milp, synts_poly,
+        theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
+        Capabilities, Dataset, Experiment, IntervalOutcome, IntervalSelection, Objective,
+        OperatingPoint, OptError, Quality, Record, Report, ReportCheck, SamplingPlan, ScenarioSpec,
+        SolveRequest, Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig,
+        ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace, THREADS_ENV,
     };
 
     pub use circuits::StageKind;
