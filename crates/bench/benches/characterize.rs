@@ -1,7 +1,17 @@
-//! Cost of the trace → error-curve characterization pipeline.
+//! Cost of the trace → error-curve characterization pipeline — the
+//! front-end this PR's fast path attacks. Groups:
+//!
+//! * `characterize` — one stage's error curve at two sample caps (the
+//!   zero-alloc gate-sim inner loop);
+//! * `delay_trace` — the streaming batch entry point vs. the
+//!   `DelayTrace`-wrapping convenience path;
+//! * `corpus` — a 2-benchmark × 2-stage corpus built sequentially, on
+//!   the env pool, and from a warm on-disk cache.
 
 use circuits::StageKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synts_bench::corpus::{Corpus, Effort};
+use synts_core::{CharCache, ThreadPool};
 use timing::StageCharacterizer;
 use workloads::{Benchmark, WorkloadConfig};
 
@@ -24,5 +34,84 @@ fn bench_characterize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_characterize);
+fn bench_delay_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_trace");
+    group.sample_size(10);
+    let cfg = WorkloadConfig::small(4);
+    let trace = Benchmark::Radix.run(&cfg);
+    let events = &trace.intervals[0].thread(0).events;
+    let charac = StageCharacterizer::new(StageKind::SimpleAlu, cfg.width).expect("builds");
+    group.bench_function("sampled/400", |b| {
+        b.iter(|| charac.delay_trace_sampled(events, 400).expect("trace"))
+    });
+    group.bench_function("into/400", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            charac
+                .delay_trace_into(events, 400, &mut buf)
+                .expect("trace");
+            buf.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    let benchmarks = [Benchmark::Radix, Benchmark::Cholesky];
+    let stages = [StageKind::Decode, StageKind::SimpleAlu];
+    group.bench_function("cold/sequential", |b| {
+        b.iter(|| {
+            Corpus::build_subset_with(
+                Effort::Quick,
+                &benchmarks,
+                &stages,
+                &CharCache::disabled(),
+                ThreadPool::sequential(),
+            )
+            .expect("corpus")
+        })
+    });
+    group.bench_function("cold/pooled", |b| {
+        b.iter(|| {
+            Corpus::build_subset_with(
+                Effort::Quick,
+                &benchmarks,
+                &stages,
+                &CharCache::disabled(),
+                ThreadPool::from_env(),
+            )
+            .expect("corpus")
+        })
+    });
+    let dir = std::env::temp_dir().join(format!("synts-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CharCache::at_dir(&dir);
+    // Prime once so the timed passes are pure warm lookups.
+    Corpus::build_subset_with(
+        Effort::Quick,
+        &benchmarks,
+        &stages,
+        &cache,
+        ThreadPool::from_env(),
+    )
+    .expect("prime");
+    group.bench_function("warm/cache", |b| {
+        b.iter(|| {
+            Corpus::build_subset_with(
+                Effort::Quick,
+                &benchmarks,
+                &stages,
+                &cache,
+                ThreadPool::from_env(),
+            )
+            .expect("corpus")
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize, bench_delay_trace, bench_corpus);
 criterion_main!(benches);

@@ -27,6 +27,18 @@ fn bench_gatesim(c: &mut Criterion) {
                 acc
             })
         });
+        // The allocation-free inner loop the characterization pipeline
+        // drives: same transitions, no output vector per vector.
+        group.bench_function(format!("{kind}/step"), |b| {
+            let mut sim = TimingSim::new(stage.netlist(), Voltage::NOMINAL).expect("sim");
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for ev in &events {
+                    acc += sim.step(ev).expect("applies").delay;
+                }
+                acc
+            })
+        });
     }
     group.finish();
 }

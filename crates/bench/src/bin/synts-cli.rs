@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! synts-cli run <spec.json> [--quick|--paper] [--workers N]
-//!                           [--json <out.json>] [--csv <out.csv>] [--quiet]
+//!                           [--json <out.json>] [--csv <out.csv>]
+//!                           [--no-cache] [--cache-dir <dir>] [--quiet]
+//! synts-cli bench [<spec.json>] [--quick|--paper] [--workers N]
+//!                 [--out <bench.json>]
 //! synts-cli schemes
 //! synts-cli template
 //! ```
@@ -10,20 +13,32 @@
 //! `run` loads a [`ScenarioSpec`] JSON file (e.g. the committed paper
 //! figures under `crates/bench/specs/`), executes it through the single
 //! [`Experiment`] entry point, prints the structured report as a text
-//! table and optionally writes JSON/CSV sinks. The exit status is
-//! non-zero if any report check fails, so a spec file doubles as a CI
-//! assertion. `schemes` lists every registry key a spec may name, and
-//! `template` prints a starter spec to edit.
+//! table and optionally writes JSON/CSV sinks. Characterization goes
+//! through the persistent on-disk cache (`SYNTS_CACHE_DIR`, default
+//! `target/synts-cache/`) unless `--no-cache` is given; the exit status
+//! is non-zero if any report check fails, so a spec file doubles as a CI
+//! assertion. `bench` measures the characterization fast path —
+//! cold-cache build, warm-cache build, solve/sweep wall-clock and a
+//! sequential-vs-parallel corpus build — and writes a machine-readable
+//! JSON record (`BENCH_PR4.json` by default). `schemes` lists every
+//! registry key a spec may name, and `template` prints a starter spec.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use synts_bench::render::{report_text, save_csv, write_csv};
-use synts_core::{Experiment, IntervalSelection, Quality, ScenarioSpec, SolverRegistry, ThetaSpec};
+use synts_bench::corpus::{Corpus, Effort};
+use synts_bench::render::{report_text_with_cache, save_csv, write_csv};
+use synts_core::scenario::Json;
+use synts_core::{
+    characterize_cached, worker_count, CacheStats, CharCache, Experiment, IntervalSelection,
+    Quality, ScenarioSpec, SolverRegistry, ThetaSpec, ThreadPool,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: synts-cli run <spec.json> [--quick|--paper] [--workers N] \
-         [--json <out.json>] [--csv <out.csv>] [--quiet]\n\
+         [--json <out.json>] [--csv <out.csv>] [--no-cache] [--cache-dir <dir>] [--quiet]\n\
+         \x20      synts-cli bench [<spec.json>] [--quick|--paper] [--workers N] [--out <bench.json>]\n\
          \x20      synts-cli schemes\n\
          \x20      synts-cli template"
     );
@@ -78,71 +93,108 @@ struct RunArgs {
     workers: Option<usize>,
     json_out: Option<String>,
     csv_out: Option<String>,
+    no_cache: bool,
+    cache_dir: Option<String>,
     quiet: bool,
+    bench_out: Option<String>,
 }
 
-fn parse_run_args(args: &[String]) -> Option<RunArgs> {
+#[derive(Clone, Copy, PartialEq)]
+enum CliMode {
+    Run,
+    Bench,
+}
+
+fn parse_run_args(args: &[String], mode: CliMode, default_spec: Option<&str>) -> Option<RunArgs> {
     let mut out = RunArgs {
         spec_path: String::new(),
         quality: None,
         workers: None,
         json_out: None,
         csv_out: None,
+        no_cache: false,
+        cache_dir: None,
         quiet: false,
+        bench_out: None,
     };
+    let run = mode == CliMode::Run;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => out.quality = Some(Quality::Quick),
             "--paper" => out.quality = Some(Quality::Paper),
-            "--quiet" => out.quiet = true,
             "--workers" => out.workers = Some(it.next()?.parse().ok()?),
-            "--json" => out.json_out = Some(it.next()?.clone()),
-            "--csv" => out.csv_out = Some(it.next()?.clone()),
+            "--quiet" if run => out.quiet = true,
+            "--no-cache" if run => out.no_cache = true,
+            "--cache-dir" if run => out.cache_dir = Some(it.next()?.clone()),
+            "--json" if run => out.json_out = Some(it.next()?.clone()),
+            "--csv" if run => out.csv_out = Some(it.next()?.clone()),
+            "--out" if !run => out.bench_out = Some(it.next()?.clone()),
             _ if arg.starts_with('-') || !out.spec_path.is_empty() => return None,
             _ => out.spec_path = arg.clone(),
         }
     }
-    (!out.spec_path.is_empty()).then_some(out)
+    if out.spec_path.is_empty() {
+        out.spec_path = default_spec?.to_string();
+    }
+    Some(out)
 }
 
-fn run(args: RunArgs) -> ExitCode {
-    let src = match std::fs::read_to_string(&args.spec_path) {
-        Ok(src) => src,
-        Err(e) => {
-            eprintln!("cannot read spec '{}': {e}", args.spec_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut spec = match ScenarioSpec::from_json_str(&src) {
-        Ok(spec) => spec,
-        Err(e) => {
-            eprintln!("{}: {e}", args.spec_path);
-            return ExitCode::FAILURE;
-        }
-    };
+/// The configured characterization cache: `--no-cache` wins, then
+/// `--cache-dir`, then the `SYNTS_CACHE_DIR`/default resolution.
+fn cache_from(args: &RunArgs) -> CharCache {
+    if args.no_cache {
+        CharCache::disabled()
+    } else if let Some(dir) = &args.cache_dir {
+        CharCache::at_dir(dir)
+    } else {
+        CharCache::from_env()
+    }
+}
+
+fn load_spec(args: &RunArgs) -> Result<ScenarioSpec, ExitCode> {
+    let src = std::fs::read_to_string(&args.spec_path).map_err(|e| {
+        eprintln!("cannot read spec '{}': {e}", args.spec_path);
+        ExitCode::FAILURE
+    })?;
+    let mut spec = ScenarioSpec::from_json_str(&src).map_err(|e| {
+        eprintln!("{}: {e}", args.spec_path);
+        ExitCode::FAILURE
+    })?;
     if let Some(quality) = args.quality {
         spec.quality = quality;
     }
     if let Some(workers) = args.workers {
         spec.workers = Some(workers);
     }
+    Ok(spec)
+}
+
+fn run(args: RunArgs) -> ExitCode {
+    let spec = match load_spec(&args) {
+        Ok(spec) => spec,
+        Err(code) => return code,
+    };
+    let cache = cache_from(&args);
     eprintln!(
-        "[synts-cli] running '{}': {} on {} ({} quality)...",
+        "[synts-cli] running '{}': {} on {} ({} quality, cache {})...",
         spec.name,
         spec.benchmark,
         spec.stage,
-        spec.quality.name()
+        spec.quality.name(),
+        if cache.is_enabled() { "on" } else { "off" },
     );
-    let report = match Experiment::new(spec).run() {
+    let before = CacheStats::snapshot();
+    let report = match Experiment::new(spec).with_cache(cache).run() {
         Ok(report) => report,
         Err(e) => {
             eprintln!("scenario failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let cache_stats = CacheStats::snapshot().since(before);
     if !args.quiet {
-        print!("{}", report_text(&report));
+        print!("{}", report_text_with_cache(&report, Some(cache_stats)));
     }
     if let Some(path) = &args.json_out {
         let path = std::path::Path::new(path);
@@ -180,11 +232,143 @@ fn run(args: RunArgs) -> ExitCode {
     }
 }
 
+/// The perf smoke behind `BENCH_PR4.json`: measures the characterization
+/// fast path end to end so the repo carries a wall-clock trajectory.
+fn bench(args: RunArgs) -> ExitCode {
+    let spec = match load_spec(&args) {
+        Ok(spec) => spec,
+        Err(code) => return code,
+    };
+    let out_path = args
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let workers = worker_count(spec.workers);
+    let pool = ThreadPool::new(workers);
+    let harness = spec.quality.harness();
+
+    // A throwaway cache directory guarantees a genuinely cold first pass.
+    let cache_dir = std::env::temp_dir().join(format!("synts-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = CharCache::at_dir(&cache_dir);
+
+    eprintln!(
+        "[synts-cli] bench '{}' ({} quality, {workers} worker(s))...",
+        spec.name,
+        spec.quality.name()
+    );
+    let t0 = Instant::now();
+    let data = match characterize_cached(spec.benchmark, spec.stage, &harness, &cache, pool) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("cold characterization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cold_build_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let warm = match characterize_cached(spec.benchmark, spec.stage, &harness, &cache, pool) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("warm characterization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm_build_s = t1.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    if warm.tnom_v1.to_bits() != data.tnom_v1.to_bits() {
+        eprintln!("warm characterization diverged from cold");
+        return ExitCode::FAILURE;
+    }
+
+    let t2 = Instant::now();
+    let report = match Experiment::new(spec.clone()).run_on(&data) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sweep_s = t2.elapsed().as_secs_f64();
+
+    // Corpus fan-out: the same 3×3 quick subset sequentially (the PR 3
+    // shape: one worker, no cache) and across the pool.
+    let corpus_benchmarks = [
+        workloads::Benchmark::Radix,
+        workloads::Benchmark::Cholesky,
+        workloads::Benchmark::Fmm,
+    ];
+    let corpus_stages = circuits::StageKind::ALL;
+    let time_corpus = |pool: ThreadPool| -> Result<f64, synts_core::OptError> {
+        let t = Instant::now();
+        Corpus::build_subset_with(
+            Effort::Quick,
+            &corpus_benchmarks,
+            &corpus_stages,
+            &CharCache::disabled(),
+            pool,
+        )?;
+        Ok(t.elapsed().as_secs_f64())
+    };
+    let (corpus_seq_s, corpus_par_s) =
+        match (time_corpus(ThreadPool::sequential()), time_corpus(pool)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("corpus build failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    let record = Json::obj()
+        .field("spec", Json::str(&report.spec.name))
+        .field("benchmark", Json::str(report.spec.benchmark.name()))
+        .field("stage", Json::str(report.spec.stage.name()))
+        .field("quality", Json::str(report.spec.quality.name()))
+        .field("workers", Json::num(workers as f64))
+        .field("cold_build_s", Json::num(cold_build_s))
+        .field("warm_build_s", Json::num(warm_build_s))
+        .field("sweep_s", Json::num(sweep_s))
+        .field(
+            "warm_speedup",
+            Json::num(cold_build_s / warm_build_s.max(1e-9)),
+        )
+        .field(
+            "corpus",
+            Json::obj()
+                .field("benchmarks", Json::num(corpus_benchmarks.len() as f64))
+                .field("stages", Json::num(corpus_stages.len() as f64))
+                .field("sequential_s", Json::num(corpus_seq_s))
+                .field("parallel_s", Json::num(corpus_par_s))
+                .field("workers", Json::num(workers as f64))
+                .field(
+                    "parallel_speedup",
+                    Json::num(corpus_seq_s / corpus_par_s.max(1e-9)),
+                ),
+        );
+    let text = record.render_pretty();
+    print!("{text}");
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("[bench] write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench] {out_path}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("run") => match parse_run_args(&args[1..]) {
+        Some("run") => match parse_run_args(&args[1..], CliMode::Run, None) {
             Some(run_args) => run(run_args),
+            None => usage(),
+        },
+        Some("bench") => match parse_run_args(
+            &args[1..],
+            CliMode::Bench,
+            Some("crates/bench/specs/fig-6-12.json"),
+        ) {
+            Some(run_args) => bench(run_args),
             None => usage(),
         },
         Some("schemes") => schemes(),

@@ -1,10 +1,11 @@
-//! The characterized benchmark × stage corpus, built once per process.
+//! The characterized benchmark × stage corpus, built once per process —
+//! and, through the persistent characterization cache, once per machine.
 
 use std::collections::BTreeMap;
 
 use circuits::StageKind;
-use synts_core::experiments::{characterize_workload, BenchmarkData, HarnessConfig};
-use synts_core::OptError;
+use synts_core::experiments::{BenchmarkData, HarnessConfig};
+use synts_core::{characterize_workload_cached, CharCache, OptError, ThreadPool};
 use workloads::Benchmark;
 
 /// How much work the reproduction run does.
@@ -35,7 +36,9 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Characterizes the seven reported benchmarks on all three stages.
+    /// Characterizes the seven reported benchmarks on all three stages,
+    /// fanned across `SYNTS_THREADS` workers and served from the on-disk
+    /// characterization cache where warm (`SYNTS_CACHE_DIR`).
     ///
     /// # Errors
     ///
@@ -45,7 +48,8 @@ impl Corpus {
     }
 
     /// Characterizes an arbitrary subset (each workload runs once and is
-    /// re-characterized per stage).
+    /// re-characterized per stage) with the environment defaults:
+    /// `SYNTS_THREADS` workers, cache at `SYNTS_CACHE_DIR`.
     ///
     /// # Errors
     ///
@@ -55,14 +59,48 @@ impl Corpus {
         benchmarks: &[Benchmark],
         stages: &[StageKind],
     ) -> Result<Corpus, OptError> {
+        Corpus::build_subset_with(
+            effort,
+            benchmarks,
+            stages,
+            &CharCache::from_env(),
+            ThreadPool::from_env(),
+        )
+    }
+
+    /// [`Corpus::build_subset`] with an explicit cache and worker pool
+    /// (`Synts::builder().workers(n)` callers pass `synts.pool()`).
+    ///
+    /// The (benchmark × stage) characterizations fan out across `pool`
+    /// and are collected in index order, so the corpus is bit-identical
+    /// to a sequential build at any worker count, cache warm or cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptError`] from the harness, surfacing the
+    /// lowest-index failure like the sequential loop would.
+    pub fn build_subset_with(
+        effort: Effort,
+        benchmarks: &[Benchmark],
+        stages: &[StageKind],
+        cache: &CharCache,
+        pool: ThreadPool,
+    ) -> Result<Corpus, OptError> {
         let cfg = effort.harness();
+        // Workloads run once per benchmark, in parallel; each trace is
+        // then shared by that benchmark's per-stage characterizations.
+        let traces = pool.map(benchmarks, |_, bench| bench.run(&cfg.workload));
+        let pairs: Vec<(usize, StageKind)> = (0..benchmarks.len())
+            .flat_map(|b| stages.iter().map(move |&s| (b, s)))
+            .collect();
+        // One pool level only: each pair characterizes sequentially
+        // inside, the fan-out is across pairs.
+        let characterized = pool.try_map(&pairs, |_, &(b, stage)| {
+            characterize_workload_cached(&traces[b], stage, &cfg, cache, ThreadPool::sequential())
+        })?;
         let mut data = BTreeMap::new();
-        for &bench in benchmarks {
-            let trace = bench.run(&cfg.workload);
-            for &stage in stages {
-                let d = characterize_workload(&trace, stage, &cfg)?;
-                data.insert((bench, stage), d);
-            }
+        for (&(b, stage), d) in pairs.iter().zip(characterized) {
+            data.insert((benchmarks[b], stage), d);
         }
         Ok(Corpus { effort, data })
     }

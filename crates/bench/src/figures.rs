@@ -686,12 +686,19 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
             let mut nots_ed = EnergyDelay::new(0.0, 0.0);
             let mut offline_ed = EnergyDelay::new(0.0, 0.0);
             let mut online_ed = EnergyDelay::new(0.0, 0.0);
+            // Re-characterize each interval exactly once (profiles and
+            // traces come off the batched characterization products) and
+            // share the result between the equal-weight θ derivation and
+            // all four schemes — intervals fan out across the pool.
+            let prepared = ThreadPool::from_env().try_map(&data.intervals, |_, iv| {
+                let profiles = trace_profiles(iv)?;
+                let (_, ed) = solver_for("nominal").solve_evaluated(&cfg, &profiles, 1.0)?;
+                Ok::<_, OptError>((profiles, iv.thread_traces(), ed))
+            })?;
             // Equal-weight theta over the trace population.
             let mut theta_en = 0.0;
             let mut theta_t = 0.0;
-            for iv in &data.intervals {
-                let profiles = trace_profiles(iv)?;
-                let (_, ed) = solver_for("nominal").solve_evaluated(&cfg, &profiles, 1.0)?;
+            for (_, _, ed) in &prepared {
                 theta_en += ed.energy;
                 theta_t += ed.time;
             }
@@ -709,21 +716,20 @@ pub fn fig_6_18(corpus: &Corpus) -> Result<Figure, OptError> {
             }
             let theta = theta_en / theta_t;
             // One task per barrier interval: the four schemes of one
-            // interval share trace/profile reconstruction, and intervals
-            // are independent, so they fan out across the pool.
-            let per_interval = ThreadPool::from_env().try_map(&data.intervals, |_, iv| {
-                let profiles = trace_profiles(iv)?;
-                let (_, nom) = solver_for("nominal").solve_evaluated(&cfg, &profiles, theta)?;
-                let (_, nots) = solver_for("no_ts").solve_evaluated(&cfg, &profiles, theta)?;
-                let traces = iv.thread_traces();
-                let (_, off) = run_interval_offline(&cfg, &traces, theta)?;
+            // interval reuse the profiles/traces prepared above, and
+            // intervals are independent, so they fan out across the pool.
+            let per_interval = ThreadPool::from_env().try_map(&prepared, |_, item| {
+                let (profiles, traces, _) = item;
+                let (_, nom) = solver_for("nominal").solve_evaluated(&cfg, profiles, theta)?;
+                let (_, nots) = solver_for("no_ts").solve_evaluated(&cfg, profiles, theta)?;
+                let (_, off) = run_interval_offline(&cfg, traces, theta)?;
                 let longest = traces
                     .iter()
                     .map(|t| t.normalized_delays.len())
                     .max()
                     .unwrap_or(0);
                 let plan = SamplingPlan::paper_default(longest, cfg.s());
-                let out = run_interval(&cfg, &traces, theta, plan)?;
+                let out = run_interval(&cfg, traces, theta, plan)?;
                 Ok::<_, OptError>((nom, nots, off, out.total))
             })?;
             for (nom, nots, off, online) in per_interval {

@@ -5,7 +5,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-use synts_core::Report;
+use synts_core::{CacheStats, Report};
 
 /// Renders a simple aligned text table.
 #[must_use]
@@ -117,6 +117,22 @@ pub fn report_rows(report: &Report) -> (Vec<&'static str>, Vec<Vec<String>>) {
         }
         (vec!["scheme", "theta/eq", "time", "energy", "edp"], rows)
     }
+}
+
+/// [`report_text`] plus a characterization-cache summary line when the
+/// run consulted the cache — the `synts-cli` sink. Kept out of
+/// [`report_text`] itself so golden figure fixtures stay byte-stable
+/// whether the cache was warm, cold or disabled.
+#[must_use]
+pub fn report_text_with_cache(report: &Report, cache: Option<CacheStats>) -> String {
+    let mut out = report_text(report);
+    if let Some(stats) = cache.filter(|s| s.lookups() > 0) {
+        out.push_str(&format!(
+            "characterization cache: {} hit(s), {} miss(es)\n",
+            stats.hits, stats.misses
+        ));
+    }
+    out
 }
 
 /// The full text sink for a scenario report: data table, Pareto-front

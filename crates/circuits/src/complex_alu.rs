@@ -94,16 +94,16 @@ impl PipeStage for ComplexAlu {
         op.is_complex()
     }
 
-    fn encode(&self, ev: &AluEvent) -> Vec<bool> {
-        let mut v = Vec::with_capacity(1 + 2 * self.width);
-        v.push(ev.op == AluOp::MulHi);
+    fn encode_into(&self, ev: &AluEvent, buf: &mut Vec<bool>) {
+        buf.clear();
+        buf.reserve(1 + 2 * self.width);
+        buf.push(ev.op == AluOp::MulHi);
         for i in 0..self.width {
-            v.push((ev.a >> i) & 1 == 1);
+            buf.push((ev.a >> i) & 1 == 1);
         }
         for i in 0..self.width {
-            v.push((ev.b >> i) & 1 == 1);
+            buf.push((ev.b >> i) & 1 == 1);
         }
-        v
     }
 }
 

@@ -155,9 +155,10 @@ impl PipeStage for DecodeStage {
         true // every instruction passes through decode
     }
 
-    fn encode(&self, ev: &AluEvent) -> Vec<bool> {
+    fn encode_into(&self, ev: &AluEvent, buf: &mut Vec<bool>) {
         let word = DecodeStage::instruction_word(ev);
-        (0..INSTR_BITS).map(|i| (word >> i) & 1 == 1).collect()
+        buf.clear();
+        buf.extend((0..INSTR_BITS).map(|i| (word >> i) & 1 == 1));
     }
 }
 

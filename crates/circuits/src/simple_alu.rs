@@ -169,21 +169,21 @@ impl PipeStage for SimpleAlu {
         true
     }
 
-    fn encode(&self, ev: &AluEvent) -> Vec<bool> {
+    fn encode_into(&self, ev: &AluEvent, buf: &mut Vec<bool>) {
         // Complex ops never execute here; fall back to Add so the encoding
         // stays total (callers filter with `accepts` first).
         let idx = if ev.op.is_complex() { 0 } else { ev.op.index() };
-        let mut v = Vec::with_capacity(3 + 2 * self.width);
+        buf.clear();
+        buf.reserve(3 + 2 * self.width);
         for i in 0..3 {
-            v.push((idx >> i) & 1 == 1);
+            buf.push((idx >> i) & 1 == 1);
         }
         for i in 0..self.width {
-            v.push((ev.a >> i) & 1 == 1);
+            buf.push((ev.a >> i) & 1 == 1);
         }
         for i in 0..self.width {
-            v.push((ev.b >> i) & 1 == 1);
+            buf.push((ev.b >> i) & 1 == 1);
         }
-        v
     }
 }
 

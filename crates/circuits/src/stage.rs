@@ -88,7 +88,16 @@ pub trait PipeStage: Send + Sync {
     fn accepts(&self, op: AluOp) -> bool;
 
     /// Encodes an event into the stage's primary-input vector.
-    fn encode(&self, ev: &AluEvent) -> Vec<bool>;
+    fn encode(&self, ev: &AluEvent) -> Vec<bool> {
+        let mut buf = Vec::new();
+        self.encode_into(ev, &mut buf);
+        buf
+    }
+
+    /// Encodes an event into a reused buffer (cleared first) — the
+    /// allocation-free form of [`PipeStage::encode`] that the batched
+    /// characterization loop drives.
+    fn encode_into(&self, ev: &AluEvent, buf: &mut Vec<bool>);
 
     /// Convenience: the stage's display name.
     fn name(&self) -> String {

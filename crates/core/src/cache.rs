@@ -1,0 +1,654 @@
+//! Persistent, content-addressed characterization cache.
+//!
+//! Gate-level characterization (Fig 5.8's trace → delay-trace →
+//! error-curve pipeline) dominates the wall-clock of every end-to-end run,
+//! yet its output is a pure function of the workload trace, the stage, the
+//! harness knobs and the cell library. This module memoizes that function
+//! on disk so the cost is paid **once per machine**, not once per process:
+//!
+//! * entries are *content-addressed*: the file name is a stable 64-bit
+//!   FNV-1a hash of the full characterization key — workload-trace
+//!   fingerprint, stage kind and datapath width, every [`HarnessConfig`]
+//!   knob, and a fingerprint of the cell library's delays/energies — so a
+//!   change to any input simply misses and recomputes;
+//! * payloads are serialized through the deterministic
+//!   [`crate::scenario::Json`] tree (shortest-round-trip floats), so a
+//!   cached [`BenchmarkData`] is **bit-identical** to a freshly computed
+//!   one — golden fixtures cannot tell the difference;
+//! * the store is crash- and corruption-safe: writes go through a
+//!   temp-file + rename, and any unreadable, truncated, version- or
+//!   key-mismatched entry falls back to recomputation (never an error);
+//! * hits and misses are counted process-wide ([`CacheStats`]) so CLIs
+//!   and report sinks can surface what the cache did.
+//!
+//! The store lives at [`CACHE_DIR_ENV`] (`SYNTS_CACHE_DIR`), defaulting
+//! to `target/synts-cache/`. Disable it with [`CharCache::disabled`] (the
+//! `synts-cli --no-cache` flag).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use circuits::StageKind;
+use workloads::{Benchmark, WorkloadTrace};
+
+use crate::error::OptError;
+use crate::experiments::{
+    characterize_workload_on, characterize_workload_pooled, BenchmarkData, HarnessConfig,
+    IntervalData, ThreadData,
+};
+use crate::parallel::ThreadPool;
+use crate::scenario::Json;
+use timing::{ErrorCurve, StageCharacterizer, TimingError};
+
+/// Environment variable naming the on-disk cache directory.
+pub const CACHE_DIR_ENV: &str = "SYNTS_CACHE_DIR";
+
+/// Default cache directory, relative to the working directory.
+pub const CACHE_DIR_DEFAULT: &str = "target/synts-cache";
+
+/// Bump when the entry format or the characterization pipeline changes
+/// in a result-affecting way: old entries then miss instead of lying.
+const CACHE_FORMAT_VERSION: f64 = 1.0;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cache hit/miss counters (monotonic snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Characterizations served from disk.
+    pub hits: u64,
+    /// Characterizations recomputed (and stored).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// The counters as of now.
+    #[must_use]
+    pub fn snapshot() -> CacheStats {
+        CacheStats {
+            hits: HITS.load(Ordering::Relaxed),
+            misses: MISSES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hits + misses.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// The counters accumulated since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// Configuration of the on-disk characterization cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharCache {
+    enabled: bool,
+    dir: PathBuf,
+}
+
+impl CharCache {
+    /// The environment-resolved cache: enabled, rooted at
+    /// [`CACHE_DIR_ENV`] or [`CACHE_DIR_DEFAULT`].
+    #[must_use]
+    pub fn from_env() -> CharCache {
+        let dir = std::env::var(CACHE_DIR_ENV)
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .map_or_else(|| PathBuf::from(CACHE_DIR_DEFAULT), PathBuf::from);
+        CharCache { enabled: true, dir }
+    }
+
+    /// An enabled cache rooted at an explicit directory.
+    #[must_use]
+    pub fn at_dir(dir: impl Into<PathBuf>) -> CharCache {
+        CharCache {
+            enabled: true,
+            dir: dir.into(),
+        }
+    }
+
+    /// A cache that never reads or writes disk — every characterization
+    /// recomputes (and the hit/miss counters are untouched).
+    #[must_use]
+    pub fn disabled() -> CharCache {
+        CharCache {
+            enabled: false,
+            dir: PathBuf::new(),
+        }
+    }
+
+    /// Whether lookups touch disk at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key_hash: u64) -> PathBuf {
+        self.dir.join(format!("{key_hash:016x}.json"))
+    }
+}
+
+impl Default for CharCache {
+    fn default() -> CharCache {
+        CharCache::from_env()
+    }
+}
+
+/// 64-bit FNV-1a — tiny, stable across platforms and Rust versions
+/// (unlike `DefaultHasher`), and collisions are additionally guarded by
+/// storing and comparing the full key in every entry.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of everything the characterized circuit contributes: the
+/// full netlist structure (cell kinds, connectivity, primary I/O order)
+/// plus per-cell nominal delays and switch energies. A cell-library
+/// retune *or* a stage rewiring changes this and invalidates exactly
+/// the affected entries.
+fn library_fingerprint(netlist: &gatelib::Netlist) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(gatelib::CELL_LIBRARY_NAME);
+    h.write_u64(netlist.cell_count() as u64);
+    h.write_u64(netlist.net_count() as u64);
+    h.write_u64(netlist.primary_inputs().len() as u64);
+    for pi in netlist.primary_inputs() {
+        h.write_u64(pi.index() as u64);
+    }
+    h.write_u64(netlist.primary_outputs().len() as u64);
+    for po in netlist.primary_outputs() {
+        h.write_u64(po.index() as u64);
+    }
+    for (cell, &delay) in netlist.cells().iter().zip(netlist.cell_delays_v1()) {
+        h.write_u64(cell.kind() as u64);
+        h.write_u64(cell.inputs().len() as u64);
+        for n in cell.inputs() {
+            h.write_u64(n.index() as u64);
+        }
+        h.write_u64(cell.output().index() as u64);
+        h.write_f64(delay);
+        h.write_f64(cell.kind().params().switch_energy);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the full workload trace: every event, memory
+/// reference and branch count of every thread in every interval.
+fn trace_fingerprint(trace: &WorkloadTrace) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(trace.benchmark.name());
+    h.write_u64(trace.intervals.len() as u64);
+    for interval in &trace.intervals {
+        h.write_u64(interval.threads() as u64);
+        for work in interval {
+            h.write_u64(work.events.len() as u64);
+            for ev in &work.events {
+                h.write_u64(ev.op.index() as u64);
+                h.write_u64(ev.a);
+                h.write_u64(ev.b);
+            }
+            h.write_u64(work.mem_refs.len() as u64);
+            for m in &work.mem_refs {
+                h.write_u64(m.addr);
+                h.write_u64(u64::from(m.is_store));
+            }
+            h.write_u64(work.branches);
+        }
+    }
+    h.finish()
+}
+
+/// The full characterization key as a JSON object — stored inside every
+/// entry and compared verbatim on load, so a 64-bit hash collision can
+/// never alias two different characterizations.
+fn cache_key(
+    trace: &WorkloadTrace,
+    stage: StageKind,
+    cfg: &HarnessConfig,
+    netlist: &gatelib::Netlist,
+) -> Json {
+    let w = &cfg.workload;
+    let cpi = &cfg.cpi_model;
+    Json::obj()
+        .field("version", Json::num(CACHE_FORMAT_VERSION))
+        .field("benchmark", Json::str(trace.benchmark.name()))
+        .field("stage", Json::str(stage.name()))
+        .field(
+            "workload",
+            Json::obj()
+                .field("threads", Json::num(w.threads as f64))
+                .field("scale", Json::num(w.scale as f64))
+                .field("intervals", Json::num(w.intervals as f64))
+                .field("width", Json::num(w.width as f64))
+                .field("seed", Json::num(w.seed as f64)),
+        )
+        .field("max_samples", Json::num(cfg.max_samples as f64))
+        .field(
+            "cpi",
+            Json::obj()
+                .field("sets", Json::num(cpi.cache.sets as f64))
+                .field("ways", Json::num(cpi.cache.ways as f64))
+                .field("line_bytes", Json::num(cpi.cache.line_bytes as f64))
+                .field("miss_penalty", Json::num(cpi.cache.miss_penalty as f64))
+                .field("mul_extra", Json::num(cpi.mul_extra as f64))
+                .field("taken_rate", Json::num(cpi.taken_rate))
+                .field("redirect_penalty", Json::num(cpi.redirect_penalty as f64)),
+        )
+        .field(
+            "library",
+            Json::str(format!("{:016x}", library_fingerprint(netlist))),
+        )
+        .field(
+            "trace",
+            Json::str(format!("{:016x}", trace_fingerprint(trace))),
+        )
+}
+
+/// Serializes a [`BenchmarkData`] to the cache payload tree.
+///
+/// Error curves are *not* stored: they are rebuilt from the normalized
+/// delays on load ([`ErrorCurve::from_normalized_delays`] sorts the same
+/// multiset [`ErrorCurve::from_trace`] sorts), which keeps the entry
+/// small and the round-trip exact.
+#[must_use]
+pub fn benchmark_data_to_json(data: &BenchmarkData) -> Json {
+    Json::obj()
+        .field("benchmark", Json::str(data.benchmark.name()))
+        .field("stage", Json::str(data.stage.name()))
+        .field("tnom_v1", Json::num(data.tnom_v1))
+        .field(
+            "intervals",
+            Json::Arr(
+                data.intervals
+                    .iter()
+                    .map(|iv| {
+                        Json::obj().field(
+                            "threads",
+                            Json::Arr(
+                                iv.threads
+                                    .iter()
+                                    .map(|t| {
+                                        Json::obj()
+                                            .field(
+                                                "normalized_delays",
+                                                Json::Arr(
+                                                    t.normalized_delays
+                                                        .iter()
+                                                        .map(|&d| Json::num(d))
+                                                        .collect(),
+                                                ),
+                                            )
+                                            .field("instructions", Json::num(t.instructions))
+                                            .field("cpi_base", Json::num(t.cpi_base))
+                                    })
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Rebuilds a [`BenchmarkData`] from a cache payload tree.
+///
+/// # Errors
+///
+/// [`OptError::Spec`] on any structural mismatch (the caller treats this
+/// as a cache miss).
+pub fn benchmark_data_from_json(json: &Json) -> Result<BenchmarkData, OptError> {
+    let bad = |msg: &str| OptError::Spec(format!("cache entry: {msg}"));
+    let benchmark = json
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .and_then(Benchmark::from_name)
+        .ok_or_else(|| bad("bad 'benchmark'"))?;
+    let stage = json
+        .get("stage")
+        .and_then(Json::as_str)
+        .and_then(StageKind::from_name)
+        .ok_or_else(|| bad("bad 'stage'"))?;
+    let tnom_v1 = json
+        .get("tnom_v1")
+        .and_then(Json::as_f64)
+        .filter(|t| *t > 0.0)
+        .ok_or_else(|| bad("bad 'tnom_v1'"))?;
+    let intervals = json
+        .get("intervals")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing 'intervals'"))?
+        .iter()
+        .map(|iv| {
+            let threads = iv
+                .get("threads")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("missing 'threads'"))?
+                .iter()
+                .map(|t| {
+                    let normalized_delays = t
+                        .get("normalized_delays")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| bad("missing 'normalized_delays'"))?
+                        .iter()
+                        .map(|d| {
+                            d.as_f64()
+                                .filter(|x| x.is_finite())
+                                .ok_or_else(|| bad("non-finite delay"))
+                        })
+                        .collect::<Result<Vec<f64>, OptError>>()?;
+                    let instructions = t
+                        .get("instructions")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("missing 'instructions'"))?;
+                    let cpi_base = t
+                        .get("cpi_base")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("missing 'cpi_base'"))?;
+                    // Mirror `thread_data`: a stage-idle thread carries an
+                    // empty trace and the zero-delay activity curve.
+                    let curve = if normalized_delays.is_empty() {
+                        ErrorCurve::from_normalized_delays(vec![0.0])?
+                    } else {
+                        ErrorCurve::from_normalized_delays(normalized_delays.clone())?
+                    };
+                    Ok(ThreadData {
+                        curve,
+                        normalized_delays,
+                        instructions,
+                        cpi_base,
+                    })
+                })
+                .collect::<Result<Vec<ThreadData>, OptError>>()?;
+            Ok(IntervalData { threads })
+        })
+        .collect::<Result<Vec<IntervalData>, OptError>>()?;
+    Ok(BenchmarkData {
+        benchmark,
+        stage,
+        tnom_v1,
+        intervals,
+    })
+}
+
+fn load_entry(path: &Path, key: &Json) -> Option<BenchmarkData> {
+    let src = std::fs::read_to_string(path).ok()?;
+    let entry = Json::parse(&src).ok()?;
+    // Full-key comparison: version drift, hash collisions and truncated
+    // rewrites all land here and read as a miss.
+    if entry.get("key")?.render() != key.render() {
+        return None;
+    }
+    benchmark_data_from_json(entry.get("data")?).ok()
+}
+
+fn store_entry(path: &Path, key: &Json, data: &BenchmarkData) {
+    // Best-effort: a read-only or full disk must never fail the run.
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let entry = Json::obj()
+        .field("key", key.clone())
+        .field("data", benchmark_data_to_json(data));
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, entry.render_pretty()).is_ok() {
+        // Atomic within one filesystem: concurrent writers of the same
+        // entry race benignly (identical content).
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Characterizes a workload trace on one stage through the cache: a warm
+/// entry skips gate simulation entirely; a miss recomputes on `pool`
+/// and persists the result.
+///
+/// # Errors
+///
+/// Propagates characterization failures; cache I/O failures are
+/// swallowed (they only cost a recompute).
+pub fn characterize_workload_cached(
+    trace: &WorkloadTrace,
+    stage: StageKind,
+    cfg: &HarnessConfig,
+    cache: &CharCache,
+    pool: ThreadPool,
+) -> Result<BenchmarkData, OptError> {
+    if !cache.enabled {
+        return characterize_workload_pooled(trace, stage, cfg, pool);
+    }
+    // Build the stage once: its netlist feeds the key's library
+    // fingerprint, and on a miss the same instance is characterized
+    // (no STA runs on the hit path).
+    let circuit = circuits::build_stage(stage, cfg.workload.width).map_err(TimingError::from)?;
+    let key = cache_key(trace, stage, cfg, circuit.netlist());
+    let mut h = Fnv::new();
+    h.write_str(&key.render());
+    let path = cache.entry_path(h.finish());
+    if let Some(data) = load_entry(&path, &key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(data);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let charac = StageCharacterizer::from_stage(circuit)?;
+    let data = characterize_workload_on(&charac, trace, cfg, pool)?;
+    store_entry(&path, &key, &data);
+    Ok(data)
+}
+
+/// Runs and characterizes a benchmark through the cache — the cached,
+/// pooled form of [`crate::experiments::characterize`]. The workload
+/// still runs (its trace is the cache key's fingerprint); only the
+/// dominant gate-simulation phase is skipped on a hit.
+///
+/// # Errors
+///
+/// As [`characterize_workload_cached`].
+pub fn characterize_cached(
+    benchmark: Benchmark,
+    stage: StageKind,
+    cfg: &HarnessConfig,
+    cache: &CharCache,
+    pool: ThreadPool,
+) -> Result<BenchmarkData, OptError> {
+    let trace = benchmark.run(&cfg.workload);
+    characterize_workload_cached(&trace, stage, cfg, cache, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::characterize;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synts-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_same(a: &BenchmarkData, b: &BenchmarkData) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.stage, b.stage);
+        assert_eq!(a.tnom_v1.to_bits(), b.tnom_v1.to_bits());
+        assert_eq!(a.intervals.len(), b.intervals.len());
+        for (ia, ib) in a.intervals.iter().zip(&b.intervals) {
+            assert_eq!(ia.threads.len(), ib.threads.len());
+            for (ta, tb) in ia.threads.iter().zip(&ib.threads) {
+                assert_eq!(ta.curve, tb.curve);
+                let da: Vec<u64> = ta.normalized_delays.iter().map(|d| d.to_bits()).collect();
+                let db: Vec<u64> = tb.normalized_delays.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(da, db);
+                assert_eq!(ta.instructions.to_bits(), tb.instructions.to_bits());
+                assert_eq!(ta.cpi_base.to_bits(), tb.cpi_base.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn payload_json_round_trips_bit_identically() {
+        let cfg = HarnessConfig::quick();
+        let fresh = characterize(Benchmark::Radix, StageKind::SimpleAlu, &cfg).expect("ok");
+        let back = benchmark_data_from_json(&benchmark_data_to_json(&fresh)).expect("round-trips");
+        assert_same(&fresh, &back);
+        // And through the rendered text, as on disk.
+        let text = benchmark_data_to_json(&fresh).render_pretty();
+        let reparsed = benchmark_data_from_json(&Json::parse(&text).expect("valid")).expect("ok");
+        assert_same(&fresh, &reparsed);
+    }
+
+    #[test]
+    fn cold_then_warm_yields_identical_data_and_counts() {
+        let dir = tmp_dir("warm");
+        let cache = CharCache::at_dir(&dir);
+        let cfg = HarnessConfig::quick();
+        let before = CacheStats::snapshot();
+        let cold = characterize_cached(
+            Benchmark::Fmm,
+            StageKind::Decode,
+            &cfg,
+            &cache,
+            ThreadPool::sequential(),
+        )
+        .expect("cold");
+        let mid = CacheStats::snapshot().since(before);
+        assert_eq!(mid.misses, 1, "cold run misses");
+        let warm = characterize_cached(
+            Benchmark::Fmm,
+            StageKind::Decode,
+            &cfg,
+            &cache,
+            ThreadPool::sequential(),
+        )
+        .expect("warm");
+        let after = CacheStats::snapshot().since(before);
+        assert_eq!(after.hits, 1, "warm run hits");
+        assert_same(&cold, &warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_or_truncated_entries_recompute() {
+        let dir = tmp_dir("corrupt");
+        let cache = CharCache::at_dir(&dir);
+        let cfg = HarnessConfig::quick();
+        let cold = characterize_cached(
+            Benchmark::Radix,
+            StageKind::Decode,
+            &cfg,
+            &cache,
+            ThreadPool::sequential(),
+        )
+        .expect("cold");
+        let entry = std::fs::read_dir(&dir)
+            .expect("dir")
+            .next()
+            .expect("one entry")
+            .expect("entry")
+            .path();
+        for garbage in ["", "{", "{\"key\": 1, \"data\": 2}", "not json at all"] {
+            std::fs::write(&entry, garbage).expect("write");
+            let again = characterize_cached(
+                Benchmark::Radix,
+                StageKind::Decode,
+                &cfg,
+                &cache,
+                ThreadPool::sequential(),
+            )
+            .unwrap_or_else(|e| panic!("garbage {garbage:?} must recompute, got {e}"));
+            assert_same(&cold, &again);
+        }
+        // A truncated valid entry (half the bytes) also recomputes.
+        let full = std::fs::read_to_string(&entry).expect("read");
+        std::fs::write(&entry, &full[..full.len() / 2]).expect("write");
+        let again = characterize_cached(
+            Benchmark::Radix,
+            StageKind::Decode,
+            &cfg,
+            &cache,
+            ThreadPool::sequential(),
+        )
+        .expect("truncated entry recomputes");
+        assert_same(&cold, &again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_configs_and_disabled_cache_touches_nothing() {
+        let cfg = HarnessConfig::quick();
+        let trace = Benchmark::Radix.run(&cfg.workload);
+        let netlist_for = |stage: StageKind| {
+            circuits::build_stage(stage, cfg.workload.width)
+                .expect("stage")
+                .netlist()
+                .clone()
+        };
+        let decode = netlist_for(StageKind::Decode);
+        let k1 = cache_key(&trace, StageKind::Decode, &cfg, &decode).render();
+        let k2 = cache_key(
+            &trace,
+            StageKind::SimpleAlu,
+            &cfg,
+            &netlist_for(StageKind::SimpleAlu),
+        )
+        .render();
+        assert_ne!(k1, k2, "stage is part of the key");
+        let mut other = cfg.clone();
+        other.max_samples += 1;
+        let k3 = cache_key(&trace, StageKind::Decode, &other, &decode).render();
+        assert_ne!(k1, k3, "harness knobs are part of the key");
+
+        let before = CacheStats::snapshot();
+        let _ = characterize_cached(
+            Benchmark::Radix,
+            StageKind::Decode,
+            &cfg,
+            &CharCache::disabled(),
+            ThreadPool::sequential(),
+        )
+        .expect("ok");
+        let after = CacheStats::snapshot().since(before);
+        assert_eq!(after.lookups(), 0, "disabled cache never counts");
+    }
+}

@@ -170,7 +170,12 @@ fn thread_data(
     })
 }
 
-/// Characterizes an already-generated workload trace on one stage.
+/// Characterizes an already-generated workload trace on one stage,
+/// sequentially on the calling thread.
+///
+/// Every (interval, thread) pair is characterized through its own
+/// simulator, so [`characterize_workload_pooled`] produces bit-identical
+/// output at any worker count — use it when cores are available.
 ///
 /// # Errors
 ///
@@ -180,18 +185,62 @@ pub fn characterize_workload(
     stage: StageKind,
     cfg: &HarnessConfig,
 ) -> Result<BenchmarkData, OptError> {
+    characterize_workload_pooled(trace, stage, cfg, crate::parallel::ThreadPool::sequential())
+}
+
+/// Characterizes a workload trace on one stage with the (interval ×
+/// thread) gate simulations fanned out across `pool`.
+///
+/// Each pair drives an independent [`gatelib::TimingSim`] and results are
+/// collected in index order, so the output is bit-identical to the
+/// sequential loop at any worker count.
+///
+/// # Errors
+///
+/// Propagates characterization failures ([`OptError::Timing`]),
+/// surfacing the lowest-index failure like a sequential loop would.
+pub fn characterize_workload_pooled(
+    trace: &WorkloadTrace,
+    stage: StageKind,
+    cfg: &HarnessConfig,
+    pool: crate::parallel::ThreadPool,
+) -> Result<BenchmarkData, OptError> {
     let charac = StageCharacterizer::new(stage, cfg.workload.width)?;
-    let mut intervals = Vec::with_capacity(trace.intervals.len());
-    for interval in &trace.intervals {
-        let threads = interval
-            .iter()
-            .map(|work| thread_data(&charac, work, cfg))
-            .collect::<Result<Vec<_>, _>>()?;
-        intervals.push(IntervalData { threads });
-    }
+    characterize_workload_on(&charac, trace, cfg, pool)
+}
+
+/// [`characterize_workload_pooled`] over an already-built characterizer —
+/// callers that have the stage in hand (e.g. the cache, which fingerprints
+/// the netlist first) avoid rebuilding it.
+///
+/// # Errors
+///
+/// As [`characterize_workload_pooled`].
+pub fn characterize_workload_on(
+    charac: &StageCharacterizer,
+    trace: &WorkloadTrace,
+    cfg: &HarnessConfig,
+    pool: crate::parallel::ThreadPool,
+) -> Result<BenchmarkData, OptError> {
+    // Flatten (interval, thread) into one work list: intervals are few
+    // (the paper uses 3) but threads × intervals fills a pool.
+    let works: Vec<&ThreadWork> = trace
+        .intervals
+        .iter()
+        .flat_map(|interval| interval.iter())
+        .collect();
+    let data = pool.try_map(&works, |_, work| thread_data(charac, work, cfg))?;
+    let mut data = data.into_iter();
+    let intervals = trace
+        .intervals
+        .iter()
+        .map(|interval| IntervalData {
+            threads: data.by_ref().take(interval.threads()).collect(),
+        })
+        .collect();
     Ok(BenchmarkData {
         benchmark: trace.benchmark,
-        stage,
+        stage: charac.stage().kind(),
         tnom_v1: charac.tnom_v1(),
         intervals,
     })

@@ -67,10 +67,13 @@
 //! * [`power_cap`] — the Sec 4.1-suggested power-constrained variant;
 //! * [`criticality`] — online `N_i` prediction (the Sec 6.2 assumption);
 //! * [`thrifty`] — the thrifty-barrier baseline (related work, ref \[4\]);
-//! * [`parallel`] — the scoped thread pool fanning θ sweeps and batched
-//!   interval re-optimization across cores (`SYNTS_THREADS`, or
-//!   `Synts::builder().workers(n)`), with deterministic index-ordered
-//!   collection;
+//! * [`parallel`] — the scoped thread pool fanning θ sweeps, batched
+//!   interval re-optimization and gate-level characterization across
+//!   cores (`SYNTS_THREADS`, or `Synts::builder().workers(n)`), with
+//!   deterministic index-ordered collection;
+//! * [`cache`] — the persistent, content-addressed characterization
+//!   cache (`SYNTS_CACHE_DIR`): a warm run skips gate simulation
+//!   entirely, bit-identically;
 //! * [`pareto`] — trait-dispatched θ sweeps behind Figs 6.11–6.16, fanned
 //!   out across the pool;
 //! * [`experiments`] — the end-to-end harness tying workloads, circuits and
@@ -81,6 +84,7 @@
 //!   [`scenario::Report`] (specs on disk → reproducible figures).
 
 mod baselines;
+pub mod cache;
 pub mod criticality;
 mod error;
 mod exhaustive;
@@ -100,6 +104,9 @@ pub mod solver;
 pub mod thrifty;
 
 pub use baselines::{no_ts, nominal, per_core_ts};
+pub use cache::{
+    characterize_cached, characterize_workload_cached, CacheStats, CharCache, CACHE_DIR_ENV,
+};
 pub use error::OptError;
 pub use exhaustive::{synts_exhaustive, EXHAUSTIVE_LIMIT};
 pub use milp_formulation::synts_milp;

@@ -16,8 +16,9 @@ use std::sync::Arc;
 use archsim::{simulate_barrier, CoreSetting, RazorCore};
 use timing::{pareto_front, EnergyDelay, ErrorCurve};
 
+use crate::cache::{characterize_cached, CharCache};
 use crate::error::OptError;
-use crate::experiments::{characterize, BenchmarkData};
+use crate::experiments::BenchmarkData;
 use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
 use crate::parallel::{worker_count, ThreadPool};
 use crate::scenario::report::{Dataset, Record, Report, ReportCheck};
@@ -29,16 +30,19 @@ use crate::solver::{Objective, SolveRequest, Solver, SolverRegistry};
 pub struct Experiment {
     spec: ScenarioSpec,
     registry: SolverRegistry<ErrorCurve>,
+    cache: CharCache,
 }
 
 impl Experiment {
     /// An experiment over the default registry
-    /// ([`SolverRegistry::with_defaults`]).
+    /// ([`SolverRegistry::with_defaults`]) and the environment-resolved
+    /// characterization cache (`SYNTS_CACHE_DIR`).
     #[must_use]
     pub fn new(spec: ScenarioSpec) -> Experiment {
         Experiment {
             spec,
             registry: SolverRegistry::with_defaults(),
+            cache: CharCache::from_env(),
         }
     }
 
@@ -47,6 +51,14 @@ impl Experiment {
     #[must_use]
     pub fn with_registry(mut self, registry: SolverRegistry<ErrorCurve>) -> Experiment {
         self.registry = registry;
+        self
+    }
+
+    /// Replaces the characterization cache ([`CharCache::disabled`] to
+    /// force a fresh gate-level characterization on every run).
+    #[must_use]
+    pub fn with_cache(mut self, cache: CharCache) -> Experiment {
+        self.cache = cache;
         self
     }
 
@@ -59,6 +71,10 @@ impl Experiment {
     /// Characterizes the spec's benchmark/stage at the spec's quality
     /// and runs the scenario.
     ///
+    /// Characterization consults the on-disk cache (a warm entry skips
+    /// gate simulation, bit-identically) and fans a cold one across the
+    /// spec's worker pool — the same pool the solve phase uses.
+    ///
     /// # Errors
     ///
     /// Characterization failures, unknown scheme keys (listing the
@@ -69,10 +85,12 @@ impl Experiment {
         for key in self.spec.schemes.iter().chain(&self.spec.normalize_to) {
             self.registry.get(key)?;
         }
-        let data = characterize(
+        let data = characterize_cached(
             self.spec.benchmark,
             self.spec.stage,
             &self.spec.quality.harness(),
+            &self.cache,
+            ThreadPool::new(worker_count(self.spec.workers)),
         )?;
         self.run_on(&data)
     }

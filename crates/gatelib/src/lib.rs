@@ -51,7 +51,7 @@ mod voltage;
 pub use cell::{CellKind, CellParams, CELL_LIBRARY_NAME};
 pub use error::NetlistError;
 pub use netlist::{Cell, CellId, NetId, Netlist, NetlistBuilder};
-pub use sim::{TimingSim, Transition};
+pub use sim::{Step, TimingSim, Transition};
 pub use sta::{CriticalPath, StaticTiming};
 pub use stats::{NetlistStats, PowerEstimate};
 pub use voltage::{Voltage, VoltageTable, VOLTAGE_TABLE_POINTS};

@@ -171,7 +171,10 @@ impl Netlist {
         self.cell_delay_v1[id.index()]
     }
 
-    pub(crate) fn cell_delays_v1(&self) -> &[f64] {
+    /// All per-cell nominal delays at 1.0 V, cell id order — the library
+    /// data callers fingerprint (e.g. the characterization cache key).
+    #[must_use]
+    pub fn cell_delays_v1(&self) -> &[f64] {
         &self.cell_delay_v1
     }
 

@@ -11,6 +11,12 @@
 //! re-evaluated. Because [`crate::NetlistBuilder`] guarantees that cell ids
 //! are a topological order, processing dirty cells in ascending id order
 //! evaluates every cell at most once per cycle with all inputs settled.
+//!
+//! The inner loop is allocation-free: net values live in a bit-packed word
+//! array, the dirty set is a reused bitset consumed in ascending cell-id
+//! order, and [`TimingSim::step`] reports a transition without
+//! materializing the output vector. [`TimingSim::apply`] layers the
+//! output-carrying [`Transition`] on top for callers that want it.
 
 use crate::error::NetlistError;
 use crate::netlist::Netlist;
@@ -44,6 +50,16 @@ impl Transition {
     }
 }
 
+/// Allocation-free summary of one input vector: what [`TimingSim::step`]
+/// returns when the caller does not need the output values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Step {
+    /// Sensitized path delay of the transition (see [`Transition::delay`]).
+    pub delay: f64,
+    /// Number of nets that toggled during this transition.
+    pub toggles: u32,
+}
+
 /// Event-driven timing simulator bound to one netlist and voltage.
 ///
 /// The first [`TimingSim::apply`] establishes the electrical state and
@@ -58,13 +74,16 @@ pub struct TimingSim {
     voltage: Voltage,
     /// Per-cell propagation delay at the current voltage.
     delay: Vec<f64>,
-    /// Per-net logic value.
-    values: Vec<bool>,
+    /// Per-net logic value, bit-packed (net `i` → word `i / 64`, bit
+    /// `i % 64`).
+    values: Vec<u64>,
     /// Per-net arrival time, meaningful when `net_stamp[net] == cycle`.
     arrival: Vec<f64>,
     /// Cycle at which the net last toggled.
     net_stamp: Vec<u64>,
-    /// Cycle at which the cell was marked dirty.
+    /// Reusable dirty set: cell is dirty this cycle iff
+    /// `cell_stamp[cell] == cycle`. Stamping makes clearing free (no
+    /// per-cycle reset) and marking idempotent without a read-modify-write.
     cell_stamp: Vec<u64>,
     /// First and last dirty cell id of the current cycle (scan window).
     dirty_lo: usize,
@@ -130,7 +149,7 @@ impl TimingSim {
         Ok(TimingSim {
             voltage,
             delay,
-            values: vec![false; netlist.net_count()],
+            values: vec![0; netlist.net_count().div_ceil(64).max(1)],
             arrival: vec![0.0; netlist.net_count()],
             net_stamp: vec![0; netlist.net_count()],
             cell_stamp: vec![0; netlist.cell_count()],
@@ -188,14 +207,48 @@ impl TimingSim {
         self.applies
     }
 
+    #[inline]
+    fn value(&self, net: usize) -> bool {
+        (self.values[net >> 6] >> (net & 63)) & 1 == 1
+    }
+
+    #[inline]
+    fn flip_value(&mut self, net: usize) {
+        self.values[net >> 6] ^= 1 << (net & 63);
+    }
+
     /// Current primary output values.
     #[must_use]
     pub fn outputs(&self) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.outputs_into(&mut out);
+        out
+    }
+
+    /// Writes the current primary output values into `out` (cleared
+    /// first) — the reusable-buffer form of [`TimingSim::outputs`].
+    pub fn outputs_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(
+            self.netlist
+                .primary_outputs()
+                .iter()
+                .map(|n| self.value(n.index())),
+        );
+    }
+
+    /// Packs up to 64 primary outputs into a word, output 0 in bit 0 —
+    /// the allocation-free form of [`Transition::output_bits`].
+    #[must_use]
+    pub fn output_word(&self) -> u64 {
         self.netlist
             .primary_outputs()
             .iter()
-            .map(|n| self.values[n.index()])
-            .collect()
+            .take(64)
+            .enumerate()
+            .fold(0u64, |acc, (i, n)| {
+                acc | u64::from(self.value(n.index())) << i
+            })
     }
 
     /// Applies one input vector; returns the transition's sensitized delay,
@@ -203,11 +256,34 @@ impl TimingSim {
     ///
     /// The first call initializes state and reports `delay == 0.0`.
     ///
+    /// Hot loops that do not need the output values should call
+    /// [`TimingSim::step`], which performs no allocation.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
     /// supply one value per primary input.
     pub fn apply(&mut self, inputs: &[bool]) -> Result<Transition, NetlistError> {
+        let step = self.step(inputs)?;
+        Ok(Transition {
+            delay: step.delay,
+            toggles: step.toggles,
+            outputs: self.outputs(),
+        })
+    }
+
+    /// Applies one input vector without materializing outputs — the
+    /// zero-allocation inner loop of the characterization pipeline.
+    ///
+    /// Semantically identical to [`TimingSim::apply`] (same delays, same
+    /// toggle counts, same state evolution); read outputs afterwards with
+    /// [`TimingSim::output_word`] or [`TimingSim::outputs_into`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
+    /// supply one value per primary input.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<Step, NetlistError> {
         let n_pi = self.netlist.primary_inputs().len();
         if inputs.len() != n_pi {
             return Err(NetlistError::InputWidthMismatch {
@@ -218,10 +294,9 @@ impl TimingSim {
         self.applies += 1;
         if !self.initialized {
             self.initialize(inputs);
-            return Ok(Transition {
+            return Ok(Step {
                 delay: 0.0,
                 toggles: 0,
-                outputs: self.outputs(),
             });
         }
 
@@ -234,13 +309,13 @@ impl TimingSim {
 
         // Stage 1: primary input transitions.
         for i in 0..n_pi {
-            let pi = self.netlist.primary_inputs()[i];
-            if self.values[pi.index()] != inputs[i] {
-                self.values[pi.index()] = inputs[i];
-                self.arrival[pi.index()] = 0.0;
-                self.net_stamp[pi.index()] = cycle;
+            let pi = self.netlist.primary_inputs()[i].index();
+            if self.value(pi) != inputs[i] {
+                self.flip_value(pi);
+                self.arrival[pi] = 0.0;
+                self.net_stamp[pi] = cycle;
                 toggles += 1;
-                self.mark_fanout(pi.index(), cycle);
+                self.mark_fanout(pi, cycle);
             }
         }
 
@@ -250,16 +325,18 @@ impl TimingSim {
         if self.dirty_lo != usize::MAX {
             let mut pins: [bool; 3] = [false; 3];
             let mut idx = self.dirty_lo;
+            // `dirty_hi` can grow while the sweep runs (fanout marking);
+            // re-read it every iteration.
             while idx <= self.dirty_hi {
                 if self.cell_stamp[idx] == cycle {
                     let cell = &self.netlist.cells()[idx];
                     let n_in = cell.inputs().len();
                     for (slot, n) in pins.iter_mut().zip(cell.inputs()) {
-                        *slot = self.values[n.index()];
+                        *slot = self.value(n.index());
                     }
                     let new_val = cell.kind().eval(&pins[..n_in]);
                     let out = cell.output().index();
-                    if new_val != self.values[out] {
+                    if new_val != self.value(out) {
                         // Arrival = gate delay + latest *changed* input.
                         let worst_in = cell
                             .inputs()
@@ -267,12 +344,12 @@ impl TimingSim {
                             .filter(|n| self.net_stamp[n.index()] == cycle)
                             .map(|n| self.arrival[n.index()])
                             .fold(0.0f64, f64::max);
-                        self.values[out] = new_val;
+                        let switch_energy = cell.kind().params().switch_energy;
+                        self.flip_value(out);
                         self.arrival[out] = worst_in + self.delay[idx];
                         self.net_stamp[out] = cycle;
                         toggles += 1;
-                        self.total_switch_energy +=
-                            cell.kind().params().switch_energy * energy_scale;
+                        self.total_switch_energy += switch_energy * energy_scale;
                         self.mark_fanout(out, cycle);
                     }
                 }
@@ -290,13 +367,10 @@ impl TimingSim {
             .map(|n| self.arrival[n.index()])
             .fold(0.0f64, f64::max);
 
-        Ok(Transition {
-            delay,
-            toggles,
-            outputs: self.outputs(),
-        })
+        Ok(Step { delay, toggles })
     }
 
+    #[inline]
     fn mark_fanout(&mut self, net: usize, cycle: u64) {
         for &cid in self.netlist.fanout_of(crate::netlist::NetId(net as u32)) {
             let idx = cid.index();
@@ -309,15 +383,24 @@ impl TimingSim {
     }
 
     fn initialize(&mut self, inputs: &[bool]) {
-        for (i, &pi) in self.netlist.primary_inputs().iter().enumerate() {
-            self.values[pi.index()] = inputs[i];
+        for i in 0..inputs.len() {
+            let pi = self.netlist.primary_inputs()[i].index();
+            if self.value(pi) != inputs[i] {
+                self.flip_value(pi);
+            }
         }
-        let mut pins: Vec<bool> = Vec::with_capacity(3);
+        let mut pins: [bool; 3] = [false; 3];
         for idx in 0..self.netlist.cell_count() {
             let cell = &self.netlist.cells()[idx];
-            pins.clear();
-            pins.extend(cell.inputs().iter().map(|n| self.values[n.index()]));
-            self.values[cell.output().index()] = cell.kind().eval(&pins);
+            let n_in = cell.inputs().len();
+            for (slot, n) in pins.iter_mut().zip(cell.inputs()) {
+                *slot = self.value(n.index());
+            }
+            let v = cell.kind().eval(&pins[..n_in]);
+            let out = cell.output().index();
+            if self.value(out) != v {
+                self.flip_value(out);
+            }
         }
         self.initialized = true;
     }
@@ -399,6 +482,33 @@ mod tests {
             let sum = (a + b) & 0x7F;
             assert_eq!(t.output_bits() & 0x7F, sum, "bad sum at step {step}");
         }
+    }
+
+    #[test]
+    fn step_matches_apply_bit_for_bit() {
+        let n = ripple_adder(8);
+        let mut via_apply = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        let mut via_step = TimingSim::new(&n, Voltage::NOMINAL).expect("sim");
+        let mut state: u64 = 99;
+        let mut buf = Vec::new();
+        for _ in 0..300 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let inputs = adder_inputs(8, state & 0xFF, (state >> 8) & 0xFF);
+            let t = via_apply.apply(&inputs).expect("apply");
+            let s = via_step.step(&inputs).expect("step");
+            assert_eq!(t.delay.to_bits(), s.delay.to_bits());
+            assert_eq!(t.toggles, s.toggles);
+            assert_eq!(t.output_bits(), via_step.output_word());
+            via_step.outputs_into(&mut buf);
+            assert_eq!(t.outputs, buf);
+        }
+        assert_eq!(via_apply.total_toggles(), via_step.total_toggles());
+        assert_eq!(
+            via_apply.total_switch_energy().to_bits(),
+            via_step.total_switch_energy().to_bits()
+        );
     }
 
     #[test]

@@ -145,8 +145,34 @@ impl StageCharacterizer {
         events: &[AluEvent],
         max_samples: usize,
     ) -> Result<DelayTrace, TimingError> {
-        let accepted: Vec<&AluEvent> = events.iter().filter(|e| self.stage.accepts(e.op)).collect();
-        if accepted.len() < 2 {
+        let mut delays = Vec::new();
+        self.delay_trace_into(events, max_samples, &mut delays)?;
+        DelayTrace::new(delays, self.tnom_v1)
+    }
+
+    /// The batched characterization entry point: streams `events` through
+    /// one simulator and appends the sensitized delay of every recorded
+    /// instruction to `delays` — no intermediate event collection, no
+    /// per-vector allocation (the input vector and the simulator's net
+    /// state are reused buffers). `delays` is cleared first, so a caller
+    /// characterizing many intervals can recycle one buffer.
+    ///
+    /// [`Self::delay_trace_sampled`] is this plus a [`DelayTrace`]
+    /// wrapper; the recorded delays are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::EmptyTrace`] if fewer than two events reach
+    /// the stage.
+    pub fn delay_trace_into(
+        &self,
+        events: &[AluEvent],
+        max_samples: usize,
+        delays: &mut Vec<f64>,
+    ) -> Result<(), TimingError> {
+        delays.clear();
+        let accepted_len = events.iter().filter(|e| self.stage.accepts(e.op)).count();
+        if accepted_len < 2 {
             return Err(TimingError::EmptyTrace);
         }
         // Striding keeps consecutive pairs (the delay of instruction k
@@ -156,34 +182,52 @@ impl StageCharacterizer {
         // mul/mulhi pairs over the same operands) don't alias: an even
         // stride would sample only one phase of such a stream.
         let wanted = max_samples.max(1);
-        let stride = ((accepted.len() / wanted.saturating_add(1)).max(1)) | 1;
+        let stride = ((accepted_len / wanted.saturating_add(1)).max(1)) | 1;
         let mut sim = match &self.die {
             Some(f) => TimingSim::with_factors(self.stage.netlist(), Voltage::NOMINAL, f)?,
             None => TimingSim::new(self.stage.netlist(), Voltage::NOMINAL)?,
         };
-        let mut delays = Vec::with_capacity(accepted.len().min(wanted));
+        delays.reserve(accepted_len.saturating_sub(1).min(wanted));
+        let mut buf: Vec<bool> = Vec::new();
+        let mut accepted = events.iter().filter(|e| self.stage.accepts(e.op));
         if stride == 1 {
-            sim.apply(&self.stage.encode(accepted[0]))?;
-            for ev in &accepted[1..] {
-                let t = sim.apply(&self.stage.encode(ev))?;
+            let first = accepted.next().expect("accepted_len >= 2");
+            self.stage.encode_into(first, &mut buf);
+            sim.step(&buf)?;
+            for ev in accepted {
+                self.stage.encode_into(ev, &mut buf);
+                let t = sim.step(&buf)?;
                 delays.push(t.delay);
                 if delays.len() >= wanted {
                     break;
                 }
             }
         } else {
-            let mut idx = 0;
-            while idx + 1 < accepted.len() && delays.len() < wanted {
-                sim.apply(&self.stage.encode(accepted[idx]))?;
-                let t = sim.apply(&self.stage.encode(accepted[idx + 1]))?;
-                delays.push(t.delay);
-                idx += stride;
+            // Positions k ≡ 0 (mod stride) seed the circuit state; the
+            // following event is the one whose transition is recorded.
+            // stride is odd and > 1, so sampled pairs never overlap.
+            for (k, ev) in accepted.enumerate() {
+                if delays.len() >= wanted {
+                    break;
+                }
+                match k % stride {
+                    0 if k + 1 < accepted_len => {
+                        self.stage.encode_into(ev, &mut buf);
+                        sim.step(&buf)?;
+                    }
+                    1 => {
+                        self.stage.encode_into(ev, &mut buf);
+                        let t = sim.step(&buf)?;
+                        delays.push(t.delay);
+                    }
+                    _ => {}
+                }
             }
         }
         if delays.is_empty() {
             return Err(TimingError::EmptyTrace);
         }
-        DelayTrace::new(delays, self.tnom_v1)
+        Ok(())
     }
 
     /// One-shot characterization: events → error-probability curve.

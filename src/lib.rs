@@ -84,14 +84,15 @@ pub use workloads;
 
 // The optimization API, flattened to the facade root.
 pub use synts_core::{
-    default_theta_sweep, evaluate, log_theta_grid, no_ts, nominal, pareto_sweep,
-    pareto_sweep_pooled, per_core_ts, run_interval, run_interval_full, run_interval_offline,
-    run_interval_with, run_intervals_batched, synts_exhaustive, synts_milp, synts_poly,
-    theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
-    Capabilities, Dataset, Experiment, IntervalOutcome, IntervalSelection, Objective,
-    OperatingPoint, OptError, Quality, Record, Report, ReportCheck, SamplingPlan, ScenarioSpec,
-    SolveRequest, Solver, SolverRegistry, SweepPoint, SyntsBuilder, SystemConfig, ThetaSpec,
-    ThreadPool, ThreadProfile, ThreadTrace, THREADS_ENV,
+    characterize_cached, characterize_workload_cached, default_theta_sweep, evaluate,
+    log_theta_grid, no_ts, nominal, pareto_sweep, pareto_sweep_pooled, per_core_ts, run_interval,
+    run_interval_full, run_interval_offline, run_interval_with, run_intervals_batched,
+    synts_exhaustive, synts_milp, synts_poly, theta_equal_weight, thread_energy, thread_time,
+    weighted_cost, worker_count, Assignment, CacheStats, Capabilities, CharCache, Dataset,
+    Experiment, IntervalOutcome, IntervalSelection, Objective, OperatingPoint, OptError, Quality,
+    Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver, SolverRegistry,
+    SweepPoint, SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace,
+    CACHE_DIR_ENV, THREADS_ENV,
 };
 
 // Keep the builder's name free at the root for the facade struct itself.
@@ -102,7 +103,8 @@ pub use synts_core::Synts;
 /// it produces and consumes.
 pub mod prelude {
     pub use synts_core::experiments::{
-        characterize, characterize_workload, BenchmarkData, HarnessConfig, IntervalData, ThreadData,
+        characterize, characterize_workload, characterize_workload_pooled, BenchmarkData,
+        HarnessConfig, IntervalData, ThreadData,
     };
     pub use synts_core::leakage::{
         evaluate_with_leakage, synts_poly_leakage, weighted_cost_with_leakage, LeakageModel,
@@ -112,14 +114,16 @@ pub mod prelude {
     pub use synts_core::scenario::Json;
     pub use synts_core::thrifty::{thrifty_barrier, ThriftyConfig};
     pub use synts_core::{
-        default_theta_sweep, evaluate, log_theta_grid, no_ts, nominal, pareto_sweep,
-        pareto_sweep_pooled, per_core_ts, run_interval, run_interval_full, run_interval_offline,
-        run_interval_with, run_intervals_batched, synts_exhaustive, synts_milp, synts_poly,
-        theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
-        Capabilities, Dataset, Experiment, IntervalOutcome, IntervalSelection, Objective,
-        OperatingPoint, OptError, Quality, Record, Report, ReportCheck, SamplingPlan, ScenarioSpec,
-        SolveRequest, Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig,
-        ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace, THREADS_ENV,
+        characterize_cached, characterize_workload_cached, default_theta_sweep, evaluate,
+        log_theta_grid, no_ts, nominal, pareto_sweep, pareto_sweep_pooled, per_core_ts,
+        run_interval, run_interval_full, run_interval_offline, run_interval_with,
+        run_intervals_batched, synts_exhaustive, synts_milp, synts_poly, theta_equal_weight,
+        thread_energy, thread_time, weighted_cost, worker_count, Assignment, CacheStats,
+        Capabilities, CharCache, Dataset, Experiment, IntervalOutcome, IntervalSelection,
+        Objective, OperatingPoint, OptError, Quality, Record, Report, ReportCheck, SamplingPlan,
+        ScenarioSpec, SolveRequest, Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder,
+        SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV,
+        THREADS_ENV,
     };
 
     pub use circuits::StageKind;
