@@ -1,10 +1,19 @@
-//! Solver scaling: SynTS-Poly vs SynTS-MILP vs exhaustive search.
+//! Solver scaling: SynTS-Poly vs SynTS-MILP vs exhaustive search, and
+//! the PR 5 sweep-scale engine vs the naive pre-engine paths.
 //!
 //! The paper's argument for Algorithm 1 is that MILP runtimes scale poorly
 //! for online use; this bench quantifies the gap on identical instances.
+//! The `sweep` group measures what `BENCH_PR5.json` records: a whole θ
+//! grid per solver through `synts::reference` (tables hoisted, naive
+//! inner loops) against the engine (sorted tables, dominance pruning,
+//! warm-started MILP) on paper-default sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use synts_core::{synts_poly, SolverRegistry, SystemConfig, ThreadProfile};
+use synts_core::solver::{Milp, Poly};
+use synts_core::{
+    log_theta_grid, reference, synts_exhaustive, synts_poly, SolveRequest, Solver, SolverRegistry,
+    SystemConfig, ThreadProfile,
+};
 use timing::{ErrorCurve, VoltageTable};
 
 fn instance(m: usize, q: usize, s: usize) -> (SystemConfig, Vec<ThreadProfile<ErrorCurve>>) {
@@ -58,5 +67,46 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
+/// θ-sweep solve phase on the paper-default size (`m4 q7 s6`, 42 points
+/// per thread): naive reference paths vs the sweep-scale engine.
+fn bench_sweep_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    let (cfg, profiles) = instance(4, 7, 6);
+    let thetas = log_theta_grid(1.0, 17, 2.0);
+    let requests: Vec<SolveRequest<'_, ErrorCurve>> = thetas
+        .iter()
+        .map(|&theta| SolveRequest::new(&cfg, &profiles, theta))
+        .collect();
+
+    group.bench_function("poly/naive/m4q7s6x17", |b| {
+        b.iter(|| reference::poly_sweep_naive(&cfg, &profiles, &thetas).expect("solves"))
+    });
+    group.bench_function("poly/engine/m4q7s6x17", |b| {
+        b.iter(|| {
+            for r in Poly.solve_batch(&requests) {
+                r.expect("solves");
+            }
+        })
+    });
+    group.bench_function("milp/naive/m4q7s6x17", |b| {
+        b.iter(|| reference::milp_sweep_naive(&cfg, &profiles, &thetas).expect("solves"))
+    });
+    group.bench_function("milp/engine/m4q7s6x17", |b| {
+        b.iter(|| {
+            for r in Milp::default().solve_batch(&requests) {
+                r.expect("solves");
+            }
+        })
+    });
+    // Exhaustive: one θ (the raw odometer is 42^4 ≈ 3.1 M combinations).
+    group.bench_function("exhaustive/naive/m4q7s6", |b| {
+        b.iter(|| reference::synts_exhaustive_naive(&cfg, &profiles, 1.0).expect("solves"))
+    });
+    group.bench_function("exhaustive/engine/m4q7s6", |b| {
+        b.iter(|| synts_exhaustive(&cfg, &profiles, 1.0).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_sweep_engine);
 criterion_main!(benches);

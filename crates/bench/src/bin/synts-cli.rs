@@ -30,8 +30,9 @@ use synts_bench::corpus::{Corpus, Effort};
 use synts_bench::render::{report_text_with_cache, save_csv, write_csv};
 use synts_core::scenario::Json;
 use synts_core::{
-    characterize_cached, worker_count, CacheStats, CharCache, Experiment, IntervalSelection,
-    Quality, ScenarioSpec, SolverRegistry, ThetaSpec, ThreadPool,
+    characterize_cached, default_theta_sweep, reference, worker_count, CacheStats, CharCache,
+    Experiment, IntervalSelection, Quality, ScenarioSpec, SolveRequest, Solver, SolverRegistry,
+    ThetaSpec, ThreadPool,
 };
 
 fn usage() -> ExitCode {
@@ -232,8 +233,121 @@ fn run(args: RunArgs) -> ExitCode {
     }
 }
 
-/// The perf smoke behind `BENCH_PR4.json`: measures the characterization
-/// fast path end to end so the repo carries a wall-clock trajectory.
+/// Times `runs` repetitions of `f` and returns seconds per repetition
+/// (minimum over repetitions, to shed scheduler noise).
+fn time_best(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The solve-phase leg behind `BENCH_PR5.json`: a θ sweep per solver
+/// through the naive pre-engine path (tables hoisted, naive inner loops —
+/// `synts::reference`) and through the sweep-scale engine, on the same
+/// instance. Returns `(baseline_s, engine_s)` per solver key.
+fn solve_phase_leg(
+    cfg: &synts_core::SystemConfig,
+    profiles: &[synts_core::ThreadProfile<timing::ErrorCurve>],
+    thetas: &[f64],
+) -> Result<Json, synts_core::OptError> {
+    use synts_core::solver::{Milp, Poly};
+
+    let requests: Vec<SolveRequest<'_, timing::ErrorCurve>> = thetas
+        .iter()
+        .map(|&theta| SolveRequest::new(cfg, profiles, theta))
+        .collect();
+    // Warm up every timed path once (and surface errors before timing —
+    // the warm and cold MILP explore different trees, so each must prove
+    // itself here rather than panic inside a timing closure).
+    reference::poly_sweep_naive(cfg, profiles, thetas)?;
+    reference::milp_sweep_naive(cfg, profiles, thetas)?;
+    for r in Poly
+        .solve_batch(&requests)
+        .into_iter()
+        .chain(Milp::default().solve_batch(&requests))
+    {
+        r?;
+    }
+
+    const RUNS: usize = 5;
+    let poly_naive_s = time_best(RUNS, || {
+        reference::poly_sweep_naive(cfg, profiles, thetas).expect("warmed up");
+    });
+    let poly_engine_s = time_best(RUNS, || {
+        for r in Poly.solve_batch(&requests) {
+            r.expect("warmed up");
+        }
+    });
+    let milp_naive_s = time_best(RUNS, || {
+        reference::milp_sweep_naive(cfg, profiles, thetas).expect("warmed up");
+    });
+    let milp_engine_s = time_best(RUNS, || {
+        for r in Milp::default().solve_batch(&requests) {
+            r.expect("warmed up");
+        }
+    });
+    // Exhaustive: the raw (Q·S)^M odometer vs the dominance-pruned one,
+    // on a single θ (the naive grid is 3.1 M combinations for 4
+    // threads). The record always carries every key: when a leg cannot
+    // run within EXHAUSTIVE_LIMIT its timing is null, never absent.
+    let stats = synts_core::pruning_stats(cfg, profiles)?;
+    let theta_mid = thetas[thetas.len() / 2];
+    let engine_s = if stats.pruned_combinations <= synts_core::EXHAUSTIVE_LIMIT {
+        synts_core::synts_exhaustive(cfg, profiles, theta_mid)?;
+        Some(time_best(2, || {
+            synts_core::synts_exhaustive(cfg, profiles, theta_mid).expect("warmed up");
+        }))
+    } else {
+        None
+    };
+    let naive_s = if stats.raw_combinations <= synts_core::EXHAUSTIVE_LIMIT {
+        reference::synts_exhaustive_naive(cfg, profiles, theta_mid)?;
+        Some(time_best(2, || {
+            reference::synts_exhaustive_naive(cfg, profiles, theta_mid).expect("warmed up");
+        }))
+    } else {
+        None
+    };
+    let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::num);
+    let exhaustive = Json::obj()
+        .field("baseline_s", opt_num(naive_s))
+        .field("engine_s", opt_num(engine_s))
+        .field(
+            "speedup",
+            opt_num(match (naive_s, engine_s) {
+                (Some(n), Some(e)) => Some(n / e.max(1e-12)),
+                _ => None,
+            }),
+        )
+        .field("raw_combinations", Json::num(stats.raw_combinations as f64))
+        .field(
+            "pruned_combinations",
+            Json::num(stats.pruned_combinations as f64),
+        );
+    let solver_obj = |baseline: f64, engine: f64| {
+        Json::obj()
+            .field("baseline_s", Json::num(baseline))
+            .field("engine_s", Json::num(engine))
+            .field("speedup", Json::num(baseline / engine.max(1e-12)))
+    };
+    Ok(Json::obj()
+        .field("threads", Json::num(profiles.len() as f64))
+        .field("theta_points", Json::num(thetas.len() as f64))
+        .field("points_total", Json::num(stats.total_points as f64))
+        .field("points_pruned", Json::num(stats.pruned_points as f64))
+        .field("poly", solver_obj(poly_naive_s, poly_engine_s))
+        .field("milp", solver_obj(milp_naive_s, milp_engine_s))
+        .field("exhaustive", exhaustive))
+}
+
+/// The perf smoke behind `BENCH_PR5.json`: characterization fast path
+/// (cold/warm cache), the spec's end-to-end sweep, the solve-phase
+/// engine-vs-naive comparison per solver, and a corpus worker-count
+/// series — so the repo carries a wall-clock trajectory.
 fn bench(args: RunArgs) -> ExitCode {
     let spec = match load_spec(&args) {
         Ok(spec) => spec,
@@ -242,7 +356,7 @@ fn bench(args: RunArgs) -> ExitCode {
     let out_path = args
         .bench_out
         .clone()
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let workers = worker_count(spec.workers);
     let pool = ThreadPool::new(workers);
     let harness = spec.quality.harness();
@@ -292,8 +406,24 @@ fn bench(args: RunArgs) -> ExitCode {
     };
     let sweep_s = t2.elapsed().as_secs_f64();
 
-    // Corpus fan-out: the same 3×3 quick subset sequentially (the PR 3
-    // shape: one worker, no cache) and across the pool.
+    // Solve-phase leg: naive vs engine on the spec's most heterogeneous
+    // interval over a dense θ grid (PR 5's hot path).
+    let cfg = data.system_config();
+    let profiles = data.intervals[data.most_heterogeneous_interval()].profiles();
+    let solvers = default_theta_sweep(&cfg, &profiles, 33, 2.0)
+        .and_then(|thetas| solve_phase_leg(&cfg, &profiles, &thetas));
+    let solvers = match solvers {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("solve-phase bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Corpus fan-out: the same 3×3 quick subset across a worker-count
+    // series (1 worker is the sequential baseline; prior records pinned
+    // the pool to the spec's single worker and reported a misleading
+    // 0.9× "speedup").
     let corpus_benchmarks = [
         workloads::Benchmark::Radix,
         workloads::Benchmark::Cholesky,
@@ -311,14 +441,27 @@ fn bench(args: RunArgs) -> ExitCode {
         )?;
         Ok(t.elapsed().as_secs_f64())
     };
-    let (corpus_seq_s, corpus_par_s) =
-        match (time_corpus(ThreadPool::sequential()), time_corpus(pool)) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(e), _) | (_, Err(e)) => {
-                eprintln!("corpus build failed: {e}");
+    let mut corpus_rows = Vec::new();
+    let mut corpus_seq_s = f64::NAN;
+    for w in [1usize, 2, 4] {
+        match time_corpus(ThreadPool::new(w)) {
+            Ok(secs) => {
+                if w == 1 {
+                    corpus_seq_s = secs;
+                }
+                corpus_rows.push(
+                    Json::obj()
+                        .field("workers", Json::num(w as f64))
+                        .field("seconds", Json::num(secs))
+                        .field("speedup", Json::num(corpus_seq_s / secs.max(1e-9))),
+                );
+            }
+            Err(e) => {
+                eprintln!("corpus build failed at {w} workers: {e}");
                 return ExitCode::FAILURE;
             }
-        };
+        }
+    }
 
     let record = Json::obj()
         .field("spec", Json::str(&report.spec.name))
@@ -326,25 +469,24 @@ fn bench(args: RunArgs) -> ExitCode {
         .field("stage", Json::str(report.spec.stage.name()))
         .field("quality", Json::str(report.spec.quality.name()))
         .field("workers", Json::num(workers as f64))
-        .field("cold_build_s", Json::num(cold_build_s))
-        .field("warm_build_s", Json::num(warm_build_s))
-        .field("sweep_s", Json::num(sweep_s))
         .field(
-            "warm_speedup",
-            Json::num(cold_build_s / warm_build_s.max(1e-9)),
+            "characterization",
+            Json::obj()
+                .field("cold_build_s", Json::num(cold_build_s))
+                .field("warm_build_s", Json::num(warm_build_s))
+                .field(
+                    "warm_speedup",
+                    Json::num(cold_build_s / warm_build_s.max(1e-9)),
+                ),
         )
+        .field("sweep_s", Json::num(sweep_s))
+        .field("solve_phase", solvers)
         .field(
             "corpus",
             Json::obj()
                 .field("benchmarks", Json::num(corpus_benchmarks.len() as f64))
                 .field("stages", Json::num(corpus_stages.len() as f64))
-                .field("sequential_s", Json::num(corpus_seq_s))
-                .field("parallel_s", Json::num(corpus_par_s))
-                .field("workers", Json::num(workers as f64))
-                .field(
-                    "parallel_speedup",
-                    Json::num(corpus_seq_s / corpus_par_s.max(1e-9)),
-                ),
+                .field("workers", Json::arr(corpus_rows)),
         );
     let text = record.render_pretty();
     print!("{text}");

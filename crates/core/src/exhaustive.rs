@@ -1,23 +1,38 @@
-//! Exhaustive reference solver: enumerates every `(Q·S)^M` assignment.
+//! Exhaustive reference solver: enumerates every combination of
+//! *dominance-pruned* per-thread operating points.
 //!
 //! Exists purely to certify the optimality of [`crate::synts_poly`] and
 //! [`crate::synts_milp`] on small instances (Lemma 4.2.1's empirical
-//! counterpart). Refuses instances beyond a hard candidate cap.
+//! counterpart). Since PR 5 the odometer runs over each thread's
+//! [`SortedTables`] candidate list instead of the full `(Q·S)^M` grid: a
+//! point that is no faster and no cheaper than another can never improve
+//! any assignment (replace it with its dominator — `t_exec` and every
+//! energy term weakly drop), so pruning provably preserves the optimum
+//! while collapsing the search space by orders of magnitude. The
+//! [`EXHAUSTIVE_LIMIT`] cap therefore now bounds the *pruned* candidate
+//! product. Because the candidate lists come from the same
+//! [`SortedTables`] the poly and MILP solvers use, this solver is no
+//! longer a *fully* independent oracle against a pruning bug — that
+//! role belongs to [`crate::reference::synts_exhaustive_naive`], the
+//! pre-pruning enumeration, which the engine's property tests compare
+//! against.
 
 use timing::ErrorModel;
 
 use crate::error::OptError;
-use crate::model::{Assignment, OperatingPoint, SystemConfig, ThreadProfile};
-use crate::poly::Tables;
+use crate::model::{Assignment, SystemConfig, ThreadProfile};
+use crate::poly::{SortedTables, Tables};
 
-/// Hard cap on the number of enumerated assignments.
+/// Hard cap on the number of enumerated assignments (after per-thread
+/// dominance pruning).
 pub const EXHAUSTIVE_LIMIT: u128 = 5_000_000;
 
-/// Finds the optimal assignment by brute force.
+/// Finds the optimal assignment by brute force over the pruned grid.
 ///
 /// # Errors
 ///
-/// * [`OptError::TooLarge`] if `(Q·S)^M` exceeds [`EXHAUSTIVE_LIMIT`].
+/// * [`OptError::TooLarge`] if the product of pruned per-thread candidate
+///   counts exceeds [`EXHAUSTIVE_LIMIT`].
 /// * [`OptError::BadConfig`] / [`OptError::NoThreads`] as for the other
 ///   solvers.
 pub fn synts_exhaustive<M: ErrorModel>(
@@ -26,30 +41,84 @@ pub fn synts_exhaustive<M: ErrorModel>(
     theta: f64,
 ) -> Result<Assignment, OptError> {
     cfg.validate()?;
+    crate::poly::validate_theta(theta)?;
     if profiles.is_empty() {
         return Err(OptError::NoThreads);
     }
+    let t = Tables::build(cfg, profiles);
+    let st = SortedTables::build(&t);
+    solve_pruned(&t, &st, theta)
+}
+
+/// How much per-thread dominance pruning shrinks an instance: total and
+/// surviving operating points (summed over threads), and the raw vs
+/// pruned combination counts the exhaustive solver would enumerate
+/// (both saturating at `u128::MAX`). Diagnostics for benches and logs.
+///
+/// # Errors
+///
+/// [`OptError::BadConfig`] / [`OptError::NoThreads`] for malformed input.
+pub fn pruning_stats<M: ErrorModel>(
+    cfg: &SystemConfig,
+    profiles: &[ThreadProfile<M>],
+) -> Result<PruningStats, OptError> {
+    cfg.validate()?;
+    if profiles.is_empty() {
+        return Err(OptError::NoThreads);
+    }
+    let t = Tables::build(cfg, profiles);
+    let st = SortedTables::build(&t);
     let per_thread = (cfg.q() * cfg.s()) as u128;
-    let m = profiles.len();
-    let candidates = per_thread.checked_pow(m as u32).unwrap_or(u128::MAX);
+    Ok(PruningStats {
+        total_points: cfg.q() * cfg.s() * profiles.len(),
+        pruned_points: st.pruned_points(),
+        raw_combinations: per_thread
+            .checked_pow(profiles.len() as u32)
+            .unwrap_or(u128::MAX),
+        pruned_combinations: st.pruned_combinations(),
+    })
+}
+
+/// The result of [`pruning_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruningStats {
+    /// Operating points across all threads before pruning (`M·Q·S`).
+    pub total_points: usize,
+    /// Points surviving per-thread dominance pruning, summed.
+    pub pruned_points: usize,
+    /// `(Q·S)^M` — what the unpruned odometer would enumerate.
+    pub raw_combinations: u128,
+    /// Product of per-thread survivor counts — what
+    /// [`synts_exhaustive`] actually enumerates.
+    pub pruned_combinations: u128,
+}
+
+/// The pruned odometer over prebuilt tables — shared with the batch path.
+pub(crate) fn solve_pruned(
+    t: &Tables,
+    st: &SortedTables,
+    theta: f64,
+) -> Result<Assignment, OptError> {
+    let m = t.m;
+    let candidates = st.pruned_combinations();
     if candidates > EXHAUSTIVE_LIMIT {
         return Err(OptError::TooLarge {
             candidates,
             limit: EXHAUSTIVE_LIMIT,
         });
     }
-    let t = Tables::build(cfg, profiles);
-    let s = cfg.s();
-    let n_points = cfg.q() * s;
 
     let mut best_cost = f64::INFINITY;
     let mut best_combo = vec![0usize; m];
     let mut combo = vec![0usize; m];
     loop {
-        // Evaluate this combination.
+        // Evaluate this combination (combo holds positions into each
+        // thread's ascending candidate list, so combinations are visited
+        // in the same relative order as the unpruned odometer).
         let mut energy = 0.0;
         let mut texec = 0.0f64;
-        for (i, &idx) in combo.iter().enumerate() {
+        for (i, &pos) in combo.iter().enumerate() {
+            let idx = st.candidates(i)[pos] as usize;
             energy += t.energy[i][idx];
             texec = texec.max(t.time[i][idx]);
         }
@@ -64,15 +133,13 @@ pub fn synts_exhaustive<M: ErrorModel>(
             if pos == m {
                 let points = best_combo
                     .iter()
-                    .map(|&idx| OperatingPoint {
-                        voltage_idx: idx / s,
-                        tsr_idx: idx % s,
-                    })
+                    .enumerate()
+                    .map(|(i, &p)| t.point(st.candidates(i)[p] as usize))
                     .collect();
                 return Ok(Assignment { points });
             }
             combo[pos] += 1;
-            if combo[pos] < n_points {
+            if combo[pos] < st.candidates(pos).len() {
                 break;
             }
             combo[pos] = 0;
@@ -114,13 +181,41 @@ mod tests {
     #[test]
     fn rejects_oversized_instances() {
         let cfg = SystemConfig::paper_default(10.0); // 42 points per thread
-        let profiles: Vec<ThreadProfile<ErrorCurve>> = (0..5)
+        let profiles: Vec<ThreadProfile<ErrorCurve>> = (0..12)
             .map(|_| ThreadProfile::new(10.0, 1.0, curve(vec![0.5; 4])))
             .collect();
-        // 42^5 = 130 million > cap.
+        // Even pruned to the 7-point voltage frontier per thread,
+        // 7^12 ≈ 1.4e10 dwarfs the cap.
         assert!(matches!(
             synts_exhaustive(&cfg, &profiles, 1.0).expect_err("too large"),
             OptError::TooLarge { .. }
         ));
+    }
+
+    /// Dominance pruning is what makes paper-sized multi-thread instances
+    /// tractable at all: 5 threads × 42 points is 130 M raw combinations
+    /// (rejected before PR 5), but only the per-voltage frontier survives
+    /// pruning and the solve matches Algorithm 1.
+    #[test]
+    fn pruning_unlocks_previously_oversized_instances() {
+        let cfg = SystemConfig::paper_default(10.0);
+        let profiles: Vec<ThreadProfile<ErrorCurve>> = (0..5)
+            .map(|i| {
+                let lo = 0.3 + 0.08 * i as f64;
+                let delays: Vec<f64> = (0..64)
+                    .map(|n| (lo + (0.99 - lo) * n as f64 / 64.0).min(1.0))
+                    .collect();
+                ThreadProfile::new(1_000.0 + 500.0 * i as f64, 1.0, curve(delays))
+            })
+            .collect();
+        let theta = 1.0;
+        let ex = synts_exhaustive(&cfg, &profiles, theta).expect("pruned fits");
+        let poly = crate::poly::synts_poly(&cfg, &profiles, theta).expect("poly");
+        let ce = crate::model::weighted_cost(&cfg, &profiles, &ex, theta);
+        let cp = crate::model::weighted_cost(&cfg, &profiles, &poly, theta);
+        assert!(
+            (ce - cp).abs() <= 1e-9 * cp.abs().max(1.0),
+            "exhaustive {ce} vs poly {cp}"
+        );
     }
 }

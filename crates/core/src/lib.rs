@@ -99,6 +99,7 @@ pub mod parallel;
 pub mod pareto;
 mod poly;
 pub mod power_cap;
+pub mod reference;
 pub mod scenario;
 pub mod solver;
 pub mod thrifty;
@@ -108,8 +109,8 @@ pub use cache::{
     characterize_cached, characterize_workload_cached, CacheStats, CharCache, CACHE_DIR_ENV,
 };
 pub use error::OptError;
-pub use exhaustive::{synts_exhaustive, EXHAUSTIVE_LIMIT};
-pub use milp_formulation::synts_milp;
+pub use exhaustive::{pruning_stats, synts_exhaustive, PruningStats, EXHAUSTIVE_LIMIT};
+pub use milp_formulation::{synts_milp, synts_milp_with, MilpTuning};
 pub use model::{
     evaluate, thread_energy, thread_time, weighted_cost, Assignment, OperatingPoint, SystemConfig,
     ThreadProfile, RAZOR_PENALTY_CYCLES,

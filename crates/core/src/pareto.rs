@@ -4,10 +4,12 @@
 //!
 //! Every θ point is an independent solve against shared read-only inputs,
 //! so [`pareto_sweep`] partitions the θ grid into contiguous chunks, runs
-//! each chunk through [`Solver::solve_batch`] on a pool worker (one table
-//! build per worker for the table-driven solvers), and collects results in
-//! index order — the output is bit-identical to the sequential loop at any
-//! worker count.
+//! each chunk through [`Solver::solve_batch`] on a pool worker (the
+//! table-driven solvers build their θ-independent state — time/energy
+//! tables plus the sorted/dominance-pruned companion — once per worker
+//! and dedupe repeated θ values), and collects results in index order —
+//! the output is bit-identical to the sequential loop at any worker
+//! count.
 //!
 //! Schemes are addressed by registry key (`"synts_poly"`, `"nominal"`,
 //! …) through [`crate::SolverRegistry`] /

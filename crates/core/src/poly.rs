@@ -11,7 +11,15 @@
 //! enumerated; non-critical threads affect only the energy term, for which
 //! the greedy per-thread minimum subject to the deadline is exact.
 //!
-//! Runtime: `O(M²Q²S²)` — quadratic in threads, voltage and TSR levels.
+//! Runtime: `O(M²Q²S²)` naïvely. The sweep-scale engine below cuts the
+//! inner `minEnergy` query to a binary search over [`SortedTables`] —
+//! per-thread operating points sorted by time with prefix-minimum energy
+//! arrays — and enumerates only dominance-pruned critical candidates, for
+//! `O(M²·QS·log QS)` per θ. Both structures are θ-independent, so
+//! [`crate::Solver::solve_batch`] builds them once and shares them across
+//! a whole θ chunk. The pre-engine scan survives as
+//! [`crate::reference::synts_poly_naive`], the executable spec the fast
+//! path is property-tested against.
 
 use timing::ErrorModel;
 
@@ -63,14 +71,23 @@ impl Tables {
         }
     }
 
+    /// The operating point behind flat table index `idx`.
+    pub(crate) fn point(&self, idx: usize) -> OperatingPoint {
+        OperatingPoint {
+            voltage_idx: idx / self.s,
+            tsr_idx: idx % self.s,
+        }
+    }
+
     /// `minEnergy(l, texec)` from Algorithm 1: the cheapest point of thread
     /// `l` finishing by `texec`, or `None` if no point meets the deadline.
     pub(crate) fn min_energy(&self, l: usize, texec: f64) -> Option<(f64, OperatingPoint)> {
         let mut best: Option<(f64, OperatingPoint)> = None;
+        let bound = deadline(texec);
         for j in 0..self.q {
             for k in 0..self.s {
                 let idx = j * self.s + k;
-                if self.time[l][idx] <= texec * (1.0 + 1e-12) + 1e-12 {
+                if self.time[l][idx] <= bound {
                     let en = self.energy[l][idx];
                     if best.is_none_or(|(b, _)| en < b) {
                         best = Some((
@@ -88,13 +105,202 @@ impl Tables {
     }
 }
 
+/// Deadline slack used by every feasibility test: a point meets `texec`
+/// iff `time <= texec·(1 + 1e-12) + 1e-12`.
+#[inline]
+fn deadline(texec: f64) -> f64 {
+    texec * (1.0 + 1e-12) + 1e-12
+}
+
+/// Rejects weights outside Eq 4.4's domain. θ < 0 rewards a *larger*
+/// barrier time, where dominance pruning no longer preserves the
+/// optimum (a slower-and-costlier point can win); the engine refuses
+/// loudly instead of answering wrong. `!(θ ≥ 0)` also catches NaN.
+// `!(θ ≥ 0)` rather than `θ < 0`: must also reject NaN.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub(crate) fn validate_theta(theta: f64) -> Result<(), OptError> {
+    if !(theta >= 0.0) {
+        return Err(OptError::BadConfig(
+            "theta must be non-negative (Eq 4.4 weights execution time)",
+        ));
+    }
+    Ok(())
+}
+
+/// θ-independent companion to [`Tables`]: per-thread operating points
+/// sorted by time with prefix-minimum-energy arrays, plus the per-thread
+/// dominance-pruned candidate lists.
+///
+/// Everything here depends only on `(cfg, profiles)` — never on θ — so
+/// one build serves a whole θ sweep:
+///
+/// * [`SortedTables::min_energy`] answers Algorithm 1's
+///   minEnergy-subject-to-deadline query in `O(log QS)` (binary search +
+///   prefix-min lookup) instead of the naive `O(QS)` rescan, returning
+///   exactly the point the naive scan would pick (ties broken toward the
+///   smallest flat index).
+/// * [`SortedTables::candidates`] lists the points that survive
+///   per-thread dominance pruning — a point that is no faster *and* no
+///   cheaper than another can never improve any assignment, so dropping
+///   it provably preserves the optimal cost for every solver that
+///   enumerates candidates (poly's critical-thread loop, the exhaustive
+///   odometer, the MILP seed).
+pub(crate) struct SortedTables {
+    /// Number of TSR levels (to decode flat indices into points).
+    s: usize,
+    /// `time_sorted[i][pos]`: per-thread point times ascending by
+    /// `(time, energy, idx)` — the binary-search key.
+    time_sorted: Vec<Vec<f64>>,
+    /// `prefix_min[i][pos]`: `(energy, idx)` of the cheapest point among
+    /// the first `pos + 1` time-sorted points, ties toward the smallest
+    /// `idx` — exactly what the naive minEnergy scan returns for a
+    /// deadline admitting that prefix.
+    prefix_min: Vec<Vec<(f64, u32)>>,
+    /// `candidates[i]`: dominance-pruned flat indices of thread `i`,
+    /// ascending — the naive enumeration order restricted to survivors.
+    candidates: Vec<Vec<u32>>,
+}
+
+impl SortedTables {
+    /// Sorts and prunes `t` once; `O(M·QS·log QS)`.
+    pub(crate) fn build(t: &Tables) -> SortedTables {
+        let n_points = t.q * t.s;
+        let mut time_sorted = Vec::with_capacity(t.m);
+        let mut prefix_min = Vec::with_capacity(t.m);
+        let mut candidates = Vec::with_capacity(t.m);
+        for i in 0..t.m {
+            let (time, energy) = (&t.time[i], &t.energy[i]);
+            let mut by_time: Vec<u32> = (0..n_points as u32).collect();
+            by_time.sort_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                time[a]
+                    .partial_cmp(&time[b])
+                    .expect("finite times")
+                    .then(energy[a].partial_cmp(&energy[b]).expect("finite energies"))
+                    .then(a.cmp(&b))
+            });
+            let times: Vec<f64> = by_time.iter().map(|&idx| time[idx as usize]).collect();
+            // Running minimum of (energy, idx) over the sorted prefix.
+            let mut best = (f64::INFINITY, u32::MAX);
+            let mins: Vec<(f64, u32)> = by_time
+                .iter()
+                .map(|&idx| {
+                    let en = energy[idx as usize];
+                    if en < best.0 || (en == best.0 && idx < best.1) {
+                        best = (en, idx);
+                    }
+                    best
+                })
+                .collect();
+            // Dominance pruning: in (time, energy, idx) order every earlier
+            // point is no slower, so a point survives iff it is strictly
+            // cheaper than everything before it (equal-cost duplicates keep
+            // the earliest, i.e. smallest-index, copy).
+            let mut cheapest = f64::INFINITY;
+            let mut keep: Vec<u32> = by_time
+                .iter()
+                .filter(|&&idx| {
+                    let en = energy[idx as usize];
+                    let dominant = en < cheapest;
+                    if dominant {
+                        cheapest = en;
+                    }
+                    dominant
+                })
+                .copied()
+                .collect();
+            keep.sort_unstable();
+            time_sorted.push(times);
+            prefix_min.push(mins);
+            candidates.push(keep);
+        }
+        SortedTables {
+            s: t.s,
+            time_sorted,
+            prefix_min,
+            candidates,
+        }
+    }
+
+    /// `minEnergy(l, texec)` in `O(log QS)` — result-identical to
+    /// [`Tables::min_energy`], including tie-breaking.
+    pub(crate) fn min_energy(&self, l: usize, texec: f64) -> Option<(f64, OperatingPoint)> {
+        let bound = deadline(texec);
+        let feasible = self.time_sorted[l].partition_point(|&time| time <= bound);
+        if feasible == 0 {
+            return None;
+        }
+        let (en, idx) = self.prefix_min[l][feasible - 1];
+        let idx = idx as usize;
+        Some((
+            en,
+            OperatingPoint {
+                voltage_idx: idx / self.s,
+                tsr_idx: idx % self.s,
+            },
+        ))
+    }
+
+    /// Thread `i`'s dominance-pruned candidate indices, ascending.
+    pub(crate) fn candidates(&self, i: usize) -> &[u32] {
+        &self.candidates[i]
+    }
+
+    /// A surviving candidate of thread `i` that dominates point `idx`
+    /// (no slower and no cheaper) — `idx` itself when it survived
+    /// pruning. Exists for every point by the pruning invariant; used to
+    /// remap assignments produced over the full table (e.g. minEnergy
+    /// ties) onto the pruned space without raising their cost.
+    pub(crate) fn dominating_candidate(&self, t: &Tables, i: usize, idx: usize) -> usize {
+        let (time, energy) = (t.time[i][idx], t.energy[i][idx]);
+        self.candidates[i]
+            .iter()
+            .map(|&c| c as usize)
+            .find(|&c| t.time[i][c] <= time && t.energy[i][c] <= energy)
+            .expect("every point has a surviving dominator")
+    }
+
+    /// Product of per-thread pruned candidate counts, saturating — the
+    /// size of the exhaustive solver's search space after pruning.
+    pub(crate) fn pruned_combinations(&self) -> u128 {
+        self.candidates
+            .iter()
+            .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128))
+    }
+
+    /// Number of points that survived pruning, summed over threads.
+    pub(crate) fn pruned_points(&self) -> usize {
+        self.candidates.iter().map(Vec::len).sum()
+    }
+}
+
+/// [`Tables`] plus its θ-independent [`SortedTables`] companion — the
+/// unit of per-instance state [`crate::Solver::solve_batch`] caches and
+/// shares across a θ chunk.
+pub(crate) struct PreparedTables {
+    pub(crate) tables: Tables,
+    pub(crate) sorted: SortedTables,
+}
+
+impl PreparedTables {
+    pub(crate) fn build<M: ErrorModel>(
+        cfg: &SystemConfig,
+        profiles: &[ThreadProfile<M>],
+    ) -> PreparedTables {
+        let tables = Tables::build(cfg, profiles);
+        let sorted = SortedTables::build(&tables);
+        PreparedTables { tables, sorted }
+    }
+}
+
 /// Solves SynTS-OPT exactly in polynomial time (Algorithm 1).
 ///
 /// Returns the optimal per-thread assignment for weight `theta`.
 ///
 /// # Errors
 ///
-/// * [`OptError::BadConfig`] if `cfg` is malformed.
+/// * [`OptError::BadConfig`] if `cfg` is malformed or `theta` is
+///   negative/NaN (Eq 4.4's weight domain).
 /// * [`OptError::NoThreads`] if `profiles` is empty.
 /// * [`OptError::Infeasible`] cannot occur for a valid config (the all-
 ///   nominal assignment is always feasible) but is kept for robustness.
@@ -104,15 +310,19 @@ pub fn synts_poly<M: ErrorModel>(
     theta: f64,
 ) -> Result<Assignment, OptError> {
     cfg.validate()?;
+    validate_theta(theta)?;
     if profiles.is_empty() {
         return Err(OptError::NoThreads);
     }
-    let t = Tables::build(cfg, profiles);
-    solve_on_tables(&t, theta)
+    let p = PreparedTables::build(cfg, profiles);
+    solve_prepared(&p, theta)
 }
 
-/// Algorithm 1's search over precomputed [`Tables`] — the table build is
-/// the per-benchmark setup `Solver::solve_batch` hoists out of θ loops.
+/// Algorithm 1's search over precomputed [`Tables`], exactly as the paper
+/// states it: full `Q·S` rescan per minEnergy query, every point a
+/// critical candidate. This is the reference path
+/// ([`crate::reference::synts_poly_naive`]) the sweep-scale engine is
+/// tested against; production solving goes through [`solve_prepared`].
 pub(crate) fn solve_on_tables(t: &Tables, theta: f64) -> Result<Assignment, OptError> {
     let mut best_cost = f64::INFINITY;
     let mut best: Option<Assignment> = None;
@@ -159,6 +369,66 @@ pub(crate) fn solve_on_tables(t: &Tables, theta: f64) -> Result<Assignment, OptE
                         points: points.clone(),
                     });
                 }
+            }
+        }
+    }
+    best.ok_or(OptError::Infeasible)
+}
+
+/// Algorithm 1 on the sweep-scale engine: critical candidates come from
+/// the dominance-pruned per-thread lists and every minEnergy query is a
+/// binary search — `O(M²·QS·log QS)` per θ against shared θ-independent
+/// [`PreparedTables`].
+///
+/// Produces the same optimal cost as [`solve_on_tables`] always (pruning
+/// cannot remove every optimal critical candidate — replacing each
+/// dominated point of an optimal assignment by a dominator yields an
+/// equally good assignment using only survivors), and the identical
+/// assignment away from exact cost ties, since candidates are visited in
+/// the same ascending index order and minEnergy tie-breaking is
+/// preserved bit-for-bit.
+pub(crate) fn solve_prepared(p: &PreparedTables, theta: f64) -> Result<Assignment, OptError> {
+    let (t, st) = (&p.tables, &p.sorted);
+    let mut best_cost = f64::INFINITY;
+    let mut best: Option<Assignment> = None;
+    let mut points = vec![
+        OperatingPoint {
+            voltage_idx: 0,
+            tsr_idx: 0
+        };
+        t.m
+    ];
+    for i in 0..t.m {
+        for &cand in st.candidates(i) {
+            let idx = cand as usize;
+            let texec = t.time[i][idx];
+            let mut en = t.energy[i][idx];
+            points[i] = t.point(idx);
+            let mut feasible = true;
+            for l in 0..t.m {
+                if l == i {
+                    continue;
+                }
+                match st.min_energy(l, texec) {
+                    Some((e, p)) => {
+                        en += e;
+                        points[l] = p;
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let cost = en + theta * texec;
+            if cost < best_cost {
+                best_cost = cost;
+                best = Some(Assignment {
+                    points: points.clone(),
+                });
             }
         }
     }

@@ -62,6 +62,12 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// An array value from any collection of elements.
+    #[must_use]
+    pub fn arr(items: impl Into<Vec<Json>>) -> Json {
+        Json::Arr(items.into())
+    }
+
     /// A number value.
     #[must_use]
     pub fn num(x: f64) -> Json {

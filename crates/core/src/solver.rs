@@ -48,12 +48,12 @@ use timing::{EnergyDelay, ErrorCurve, ErrorModel};
 
 use crate::baselines;
 use crate::error::OptError;
-use crate::exhaustive::synts_exhaustive;
+use crate::exhaustive::{self, synts_exhaustive};
 use crate::leakage::{synts_poly_leakage, LeakageModel};
-use crate::milp_formulation::{self, synts_milp};
+use crate::milp_formulation::{self, synts_milp_with, MilpTuning};
 use crate::model::{evaluate, Assignment, SystemConfig, ThreadProfile};
 use crate::parallel::{worker_count, ThreadPool};
-use crate::poly::{self, synts_poly, Tables};
+use crate::poly::{self, synts_poly, PreparedTables};
 use crate::power_cap::synts_poly_power_capped;
 use crate::thrifty::{thrifty_barrier, ThriftyConfig};
 
@@ -221,26 +221,44 @@ impl<M: ErrorModel> std::fmt::Debug for dyn Solver<M> + '_ {
 }
 
 /// Shared batch driver for table-based solvers: validates each request,
-/// rebuilds [`Tables`] only when the instance changes (by pointer
-/// identity), and runs `solve_tables` per θ.
+/// rebuilds the θ-independent [`PreparedTables`] (time/energy tables plus
+/// their sorted/dominance-pruned companion) only when the instance
+/// changes (by pointer identity), dedupes repeated θ values within an
+/// instance, and runs `solve_prepared` per distinct θ.
+///
+/// The θ-dedup matters in practice: log-spaced grids round-trip
+/// duplicate values (a one-point grid, spec files with repeated entries),
+/// and the solvers are deterministic, so a repeated θ must — and now
+/// does — reuse the already-solved assignment instead of solving again.
 fn batch_with_tables<'a, M: ErrorModel>(
     requests: &[SolveRequest<'a, M>],
-    solve_tables: impl Fn(&Tables, f64) -> Result<Assignment, OptError>,
+    solve_prepared: impl Fn(&PreparedTables, f64) -> Result<Assignment, OptError>,
 ) -> Vec<Result<Assignment, OptError>> {
-    let mut cached: Option<(SolveRequest<'a, M>, Tables)> = None;
+    let mut cached: Option<(SolveRequest<'a, M>, PreparedTables)> = None;
+    // (θ bits → result) for the *current* instance; grids are small, so a
+    // linear scan beats hashing and keeps iteration deterministic.
+    let mut solved: Vec<(u64, Result<Assignment, OptError>)> = Vec::new();
     requests
         .iter()
         .map(|req| {
             req.cfg.validate()?;
+            poly::validate_theta(req.theta)?;
             if req.profiles.is_empty() {
                 return Err(OptError::NoThreads);
             }
             let rebuild = !matches!(&cached, Some((prev, _)) if prev.same_instance(req));
             if rebuild {
-                cached = Some((*req, Tables::build(req.cfg, req.profiles)));
+                cached = Some((*req, PreparedTables::build(req.cfg, req.profiles)));
+                solved.clear();
             }
-            let (_, tables) = cached.as_ref().expect("cache was just filled");
-            solve_tables(tables, req.theta)
+            let bits = req.theta.to_bits();
+            if let Some((_, result)) = solved.iter().find(|(b, _)| *b == bits) {
+                return result.clone();
+            }
+            let (_, prepared) = cached.as_ref().expect("cache was just filled");
+            let result = solve_prepared(prepared, req.theta);
+            solved.push((bits, result.clone()));
+            result
         })
         .collect()
 }
@@ -276,15 +294,40 @@ impl<M: ErrorModel> Solver<M> for Poly {
     }
 
     fn solve_batch(&self, requests: &[SolveRequest<'_, M>]) -> Vec<Result<Assignment, OptError>> {
-        batch_with_tables(requests, poly::solve_on_tables)
+        batch_with_tables(requests, poly::solve_prepared)
     }
 }
 
 /// The SynTS-MILP formulation (Sec 4.2.1), via the in-workspace
 /// branch-and-bound solver. Same optima as [`Poly`]; exponential worst
-/// case — kept as an independent correctness oracle.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Milp;
+/// case — kept as an independent correctness oracle. The search is
+/// warm-started from Algorithm 1's optimum on the shared θ-independent
+/// tables (see [`crate::milp_formulation`]), so the branch-and-bound
+/// mostly just *certifies* the incumbent — which is exactly what an
+/// oracle is for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Milp {
+    /// Branch-and-bound node budget per θ; `None` uses
+    /// [`milp::DEFAULT_NODE_LIMIT`]. An exhausted budget surfaces as
+    /// [`OptError::Milp`] reporting the nodes explored.
+    pub node_limit: Option<usize>,
+}
+
+impl Milp {
+    /// A MILP solver with an explicit branch-and-bound node budget.
+    #[must_use]
+    pub fn with_node_limit(node_limit: usize) -> Milp {
+        Milp {
+            node_limit: Some(node_limit),
+        }
+    }
+
+    fn tuning(&self) -> MilpTuning {
+        MilpTuning {
+            node_limit: self.node_limit,
+        }
+    }
+}
 
 impl<M: ErrorModel> Solver<M> for Milp {
     fn name(&self) -> &'static str {
@@ -308,16 +351,25 @@ impl<M: ErrorModel> Solver<M> for Milp {
         profiles: &[ThreadProfile<M>],
         theta: f64,
     ) -> Result<Assignment, OptError> {
-        synts_milp(cfg, profiles, theta)
+        synts_milp_with(cfg, profiles, theta, &self.tuning())
     }
 
     fn solve_batch(&self, requests: &[SolveRequest<'_, M>]) -> Vec<Result<Assignment, OptError>> {
-        batch_with_tables(requests, milp_formulation::solve_on_tables)
+        let tuning = self.tuning();
+        batch_with_tables(requests, |prepared, theta| {
+            milp_formulation::solve_prepared(prepared, theta, &tuning)
+        })
     }
 }
 
-/// Brute-force enumeration of every `(Q·S)^M` assignment; refuses
-/// instances beyond [`crate::EXHAUSTIVE_LIMIT`]. Certification only.
+/// Brute-force enumeration over the dominance-pruned per-thread
+/// candidate grid; refuses instances whose pruned product exceeds
+/// [`crate::EXHAUSTIVE_LIMIT`]. Certification only — but note it now
+/// shares [`crate::poly`]'s pruning with the solvers it certifies, so
+/// a pruning bug would be common-mode across all three; *fully*
+/// independent certification is [`crate::reference::synts_exhaustive_naive`]
+/// (the unpruned odometer), which the engine is property-tested
+/// against.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Exhaustive;
 
@@ -344,6 +396,12 @@ impl<M: ErrorModel> Solver<M> for Exhaustive {
         theta: f64,
     ) -> Result<Assignment, OptError> {
         synts_exhaustive(cfg, profiles, theta)
+    }
+
+    fn solve_batch(&self, requests: &[SolveRequest<'_, M>]) -> Vec<Result<Assignment, OptError>> {
+        batch_with_tables(requests, |prepared, theta| {
+            exhaustive::solve_pruned(&prepared.tables, &prepared.sorted, theta)
+        })
     }
 }
 
@@ -619,7 +677,7 @@ pub const DEFAULT_SOLVER_NAMES: [&str; 9] = [
 pub fn default_solver<M: ErrorModel + 'static>(name: &str) -> Option<Arc<dyn Solver<M>>> {
     Some(match name {
         "synts_poly" => Arc::new(Poly),
-        "synts_milp" => Arc::new(Milp),
+        "synts_milp" => Arc::new(Milp::default()),
         "synts_exhaustive" => Arc::new(Exhaustive),
         "nominal" => Arc::new(Nominal),
         "no_ts" => Arc::new(NoTs),
@@ -1206,7 +1264,7 @@ mod tests {
     fn capabilities_distinguish_solver_classes() {
         let poly = <Poly as Solver<ErrorCurve>>::capabilities(&Poly);
         assert!(poly.exact && poly.polynomial && poly.uses_theta && poly.speculates);
-        let milp = <Milp as Solver<ErrorCurve>>::capabilities(&Milp);
+        let milp = <Milp as Solver<ErrorCurve>>::capabilities(&Milp::default());
         assert!(milp.exact && !milp.polynomial);
         let nominal = <Nominal as Solver<ErrorCurve>>::capabilities(&Nominal);
         assert_eq!(nominal.objective, Objective::Policy);

@@ -1,26 +1,130 @@
-//! Depth-first branch-and-bound over the simplex relaxation.
+//! Branch-and-bound over the simplex relaxation.
+//!
+//! The default configuration ([`MilpOptions::default`]) reproduces the
+//! classic cold solve: depth-first, no incumbent, 100 K-node budget. The
+//! θ-sweep hot path in `synts-core` instead *warm-starts* the search
+//! ([`MilpOptions::incumbent`]): a known feasible solution seeds the
+//! incumbent, so its objective bounds the tree from the first node and
+//! subtrees whose relaxation cannot beat it are pruned before they are
+//! ever expanded. Combined with best-first node ordering
+//! ([`MilpOptions::best_first`]) a tight seed collapses the search to a
+//! handful of nodes — the seed is returned verbatim unless the tree
+//! proves something strictly better exists.
 
-use crate::problem::{Problem, Relation, Solution, SolveError};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::problem::{MilpOptions, Problem, Relation, Solution, SolveError};
 
 const INT_TOL: f64 = 1e-6;
-const MAX_NODES: usize = 100_000;
 
-/// Solves `problem` to integral optimality.
+/// Default branch-and-bound node budget.
+pub const DEFAULT_NODE_LIMIT: usize = 100_000;
+
+/// Solves `problem` to integral optimality with the default options.
 pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    solve_with(problem, &MilpOptions::default())
+}
+
+/// One open node: the subproblem, the LP bound inherited from its
+/// parent's relaxation (a valid lower bound on every solution in the
+/// subtree; the root starts unbounded), and a push sequence number for
+/// deterministic tie-breaking.
+struct Node {
+    bound: f64,
+    seq: u64,
+    problem: Problem,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    /// Max-heap priority: the next node to pop is the one with the
+    /// *smallest* lower bound, ties to the most recently pushed
+    /// (largest `seq`) — deterministic and DFS-like among equals.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The open-node container: a LIFO stack for depth-first search, a
+/// binary heap (O(log n) push/pop) for best-first.
+enum OpenList {
+    Dfs(Vec<Node>),
+    BestFirst(BinaryHeap<Node>),
+}
+
+impl OpenList {
+    fn new(best_first: bool, root: Node) -> OpenList {
+        if best_first {
+            OpenList::BestFirst(BinaryHeap::from([root]))
+        } else {
+            OpenList::Dfs(vec![root])
+        }
+    }
+
+    fn push(&mut self, node: Node) {
+        match self {
+            OpenList::Dfs(stack) => stack.push(node),
+            OpenList::BestFirst(heap) => heap.push(node),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Node> {
+        match self {
+            OpenList::Dfs(stack) => stack.pop(),
+            OpenList::BestFirst(heap) => heap.pop(),
+        }
+    }
+}
+
+/// Solves `problem` to integral optimality under explicit [`MilpOptions`].
+pub(crate) fn solve_with(problem: &Problem, options: &MilpOptions) -> Result<Solution, SolveError> {
     // Fast path: nothing integral.
     if !problem.integer.iter().any(|&b| b) {
         return problem.solve_lp();
     }
-    let mut best: Option<Solution> = None;
-    let mut stack: Vec<Problem> = vec![problem.clone()];
+    // The incumbent is trusted feasible (the caller derived it from a
+    // companion solver or a previous solve); it is only ever *replaced*
+    // by something strictly better, so a suboptimal seed cannot worsen
+    // the result — it just prunes less.
+    let mut best: Option<Solution> = options.incumbent.clone();
+    let mut open = OpenList::new(
+        options.best_first,
+        Node {
+            bound: f64::NEG_INFINITY,
+            seq: 0,
+            problem: problem.clone(),
+        },
+    );
+    let mut seq = 0u64;
+    let node_limit = options.effective_node_limit();
     let mut nodes = 0usize;
 
-    while let Some(node) = stack.pop() {
+    while let Some(node) = open.pop() {
         nodes += 1;
-        if nodes > MAX_NODES {
-            return Err(SolveError::IterationLimit);
+        if nodes > node_limit {
+            return Err(SolveError::IterationLimit { nodes });
         }
-        let relaxed = match node.solve_lp() {
+        // Bound from the parent relaxation: prune without solving the LP.
+        if let Some(ref inc) = best {
+            if node.bound >= inc.objective - 1e-9 {
+                continue;
+            }
+        }
+        let relaxed = match node.problem.solve_lp() {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),
@@ -66,13 +170,23 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
                 let val = relaxed.x[v];
                 let floor = val.floor();
                 // Down branch: x_v <= floor.
-                let mut down = node.clone();
+                let mut down = node.problem.clone();
                 down.constraint(&[(v, 1.0)], Relation::Le, floor);
                 // Up branch: x_v >= floor + 1.
-                let mut up = node;
+                let mut up = node.problem;
                 up.constraint(&[(v, 1.0)], Relation::Ge, floor + 1.0);
-                stack.push(down);
-                stack.push(up);
+                seq += 1;
+                open.push(Node {
+                    bound: relaxed.objective,
+                    seq,
+                    problem: down,
+                });
+                seq += 1;
+                open.push(Node {
+                    bound: relaxed.objective,
+                    seq,
+                    problem: up,
+                });
             }
         }
     }
@@ -82,7 +196,7 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
 
 #[cfg(test)]
 mod tests {
-    use crate::{Problem, Relation, SolveError};
+    use crate::{MilpOptions, Problem, Relation, Solution, SolveError};
 
     #[test]
     fn knapsack_0_1() {
@@ -214,6 +328,88 @@ mod tests {
                 "case {case}: milp {} vs brute {best}",
                 milp.objective
             );
+            // Best-first ordering finds the same optimum.
+            let bf = p
+                .solve_milp_with(&MilpOptions {
+                    best_first: true,
+                    ..MilpOptions::default()
+                })
+                .expect("feasible");
+            assert!(
+                (bf.objective - best).abs() < 1e-6,
+                "case {case}: best-first {} vs brute {best}",
+                bf.objective
+            );
         }
+    }
+
+    /// An optimal incumbent is returned verbatim: nothing in the tree can
+    /// beat it, so the warm start short-circuits the whole search.
+    #[test]
+    fn optimal_incumbent_survives_and_is_returned() {
+        let mut p = Problem::minimize(3);
+        p.set_objective(0, -10.0);
+        p.set_objective(1, -13.0);
+        p.set_objective(2, -7.0);
+        p.constraint(&[(0, 3.0), (1, 4.0), (2, 2.0)], Relation::Le, 6.0);
+        for v in 0..3 {
+            p.set_binary(v);
+        }
+        let seed = Solution {
+            x: vec![0.0, 1.0, 1.0],
+            objective: -20.0,
+        };
+        let s = p
+            .solve_milp_with(&MilpOptions {
+                incumbent: Some(seed.clone()),
+                best_first: true,
+                ..MilpOptions::default()
+            })
+            .expect("feasible");
+        assert_eq!(s, seed, "nothing beats the optimum: the seed comes back");
+    }
+
+    /// A deliberately suboptimal incumbent is *replaced*, not returned: the
+    /// warm start is an upper bound, never a blindfold.
+    #[test]
+    fn suboptimal_incumbent_is_improved() {
+        let mut p = Problem::minimize(3);
+        p.set_objective(0, -10.0);
+        p.set_objective(1, -13.0);
+        p.set_objective(2, -7.0);
+        p.constraint(&[(0, 3.0), (1, 4.0), (2, 2.0)], Relation::Le, 6.0);
+        for v in 0..3 {
+            p.set_binary(v);
+        }
+        // a + c: weight 5, value 17 — feasible but not optimal.
+        let seed = Solution {
+            x: vec![1.0, 0.0, 1.0],
+            objective: -17.0,
+        };
+        let s = p
+            .solve_milp_with(&MilpOptions {
+                incumbent: Some(seed),
+                ..MilpOptions::default()
+            })
+            .expect("feasible");
+        assert!((s.objective + 20.0).abs() < 1e-6, "got {}", s.objective);
+    }
+
+    /// The node budget is enforced and the error reports how many nodes
+    /// were actually explored before giving up.
+    #[test]
+    fn node_limit_reports_nodes_explored() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -1.0);
+        p.set_objective(1, -1.0);
+        p.constraint(&[(0, 2.0), (1, 2.0)], Relation::Le, 3.0);
+        p.set_binary(0);
+        p.set_binary(1);
+        let err = p
+            .solve_milp_with(&MilpOptions::default().with_node_limit(0))
+            .expect_err("zero budget");
+        assert_eq!(err, SolveError::IterationLimit { nodes: 1 });
+        let msg = err.to_string();
+        assert!(msg.contains('1'), "nodes surface in the message: {msg}");
     }
 }

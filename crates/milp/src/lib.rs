@@ -33,4 +33,5 @@ mod bb;
 mod problem;
 mod simplex;
 
-pub use problem::{Problem, Relation, Solution, SolveError};
+pub use bb::DEFAULT_NODE_LIMIT;
+pub use problem::{MilpOptions, Problem, Relation, Solution, SolveError};

@@ -29,8 +29,22 @@ pub enum SolveError {
     Infeasible,
     /// The objective is unbounded below on the feasible region.
     Unbounded,
-    /// The simplex or branch-and-bound iteration budget was exhausted.
-    IterationLimit,
+    /// The branch-and-bound node budget was exhausted after exploring
+    /// `nodes` nodes — the count tells the caller how far the search got
+    /// before giving up, so a budget ([`MilpOptions::node_limit`]) can
+    /// be sized from evidence.
+    IterationLimit {
+        /// Branch-and-bound nodes explored.
+        nodes: usize,
+    },
+    /// One LP solve exhausted the simplex pivot budget — a numerical
+    /// conditioning problem (e.g. an enormous objective coefficient),
+    /// *not* a tree-size problem: raising
+    /// [`MilpOptions::node_limit`] will not help.
+    PivotLimit {
+        /// Simplex pivots performed before giving up.
+        pivots: usize,
+    },
     /// A constraint referenced a variable index outside the problem.
     BadVariable(usize),
 }
@@ -40,7 +54,12 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Infeasible => write!(f, "problem is infeasible"),
             SolveError::Unbounded => write!(f, "objective is unbounded"),
-            SolveError::IterationLimit => write!(f, "iteration limit exhausted"),
+            SolveError::IterationLimit { nodes } => {
+                write!(f, "iteration limit exhausted after {nodes} nodes")
+            }
+            SolveError::PivotLimit { pivots } => {
+                write!(f, "simplex pivot limit exhausted after {pivots} pivots")
+            }
             SolveError::BadVariable(i) => write!(f, "unknown variable index {i}"),
         }
     }
@@ -55,6 +74,48 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Objective value at `x`.
     pub objective: f64,
+}
+
+/// Tuning for [`Problem::solve_milp_with`]: warm start, node budget and
+/// exploration order.
+///
+/// [`MilpOptions::default`] reproduces [`Problem::solve_milp`] exactly
+/// (cold depth-first search, 100 K-node budget).
+#[derive(Debug, Clone, Default)]
+pub struct MilpOptions {
+    /// A known feasible solution used as the initial incumbent. Its
+    /// objective bounds the branch-and-bound tree from the very first
+    /// node, so subtrees that cannot beat it are pruned without being
+    /// expanded. The seed is trusted feasible (callers derive it from a
+    /// previous solve or a companion exact solver) and is returned
+    /// unchanged unless the search finds something strictly better —
+    /// a suboptimal seed can only cost pruning power, never optimality.
+    pub incumbent: Option<Solution>,
+    /// Maximum branch-and-bound nodes to explore before giving up with
+    /// [`SolveError::IterationLimit`]; `None` means the built-in budget
+    /// ([`crate::DEFAULT_NODE_LIMIT`]).
+    pub node_limit: Option<usize>,
+    /// Pop the open node with the smallest LP lower bound first instead
+    /// of depth-first. With a tight incumbent this prunes most of the
+    /// tree immediately; without one it trades stack discipline for
+    /// earlier bound improvements.
+    pub best_first: bool,
+}
+
+impl MilpOptions {
+    /// This configuration with an explicit node budget.
+    #[must_use]
+    pub fn with_node_limit(mut self, node_limit: usize) -> MilpOptions {
+        self.node_limit = Some(node_limit);
+        self
+    }
+
+    /// The effective node budget (`node_limit`, or the crate default
+    /// when unset).
+    #[must_use]
+    pub fn effective_node_limit(&self) -> usize {
+        self.node_limit.unwrap_or(crate::DEFAULT_NODE_LIMIT)
+    }
 }
 
 /// A linear program / mixed-integer linear program in minimization form:
@@ -167,6 +228,18 @@ impl Problem {
     /// [`SolveError::IterationLimit`] if the node budget is exhausted.
     pub fn solve_milp(&self) -> Result<Solution, SolveError> {
         crate::bb::solve(self)
+    }
+
+    /// [`Problem::solve_milp`] under explicit [`MilpOptions`]: an
+    /// optional warm-start incumbent, a configurable node budget, and
+    /// best-first node ordering.
+    ///
+    /// # Errors
+    ///
+    /// As [`Problem::solve_milp`]; [`SolveError::IterationLimit`] reports
+    /// the nodes explored when the budget runs out.
+    pub fn solve_milp_with(&self, options: &MilpOptions) -> Result<Solution, SolveError> {
+        crate::bb::solve_with(self, options)
     }
 }
 

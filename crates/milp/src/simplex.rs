@@ -105,7 +105,7 @@ impl Tableau {
             };
             self.pivot(p, q);
         }
-        Err(SolveError::IterationLimit)
+        Err(SolveError::PivotLimit { pivots: MAX_ITERS })
     }
 }
 

@@ -82,17 +82,22 @@ pub use synts_core as core_api;
 pub use timing;
 pub use workloads;
 
+// The naive pre-engine solver paths — the executable spec the sweep-scale
+// engine is property-tested and benchmarked against.
+pub use synts_core::reference;
+
 // The optimization API, flattened to the facade root.
 pub use synts_core::{
     characterize_cached, characterize_workload_cached, default_theta_sweep, evaluate,
-    log_theta_grid, no_ts, nominal, pareto_sweep, pareto_sweep_pooled, per_core_ts, run_interval,
-    run_interval_full, run_interval_offline, run_interval_with, run_intervals_batched,
-    synts_exhaustive, synts_milp, synts_poly, theta_equal_weight, thread_energy, thread_time,
-    weighted_cost, worker_count, Assignment, CacheStats, Capabilities, CharCache, Dataset,
-    Experiment, IntervalOutcome, IntervalSelection, Objective, OperatingPoint, OptError, Quality,
-    Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver, SolverRegistry,
-    SweepPoint, SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace,
-    CACHE_DIR_ENV, THREADS_ENV,
+    log_theta_grid, no_ts, nominal, pareto_sweep, pareto_sweep_pooled, per_core_ts, pruning_stats,
+    run_interval, run_interval_full, run_interval_offline, run_interval_with,
+    run_intervals_batched, synts_exhaustive, synts_milp, synts_milp_with, synts_poly,
+    theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
+    CacheStats, Capabilities, CharCache, Dataset, Experiment, IntervalOutcome, IntervalSelection,
+    MilpTuning, Objective, OperatingPoint, OptError, PruningStats, Quality, Record, Report,
+    ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver, SolverRegistry, SweepPoint,
+    SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV,
+    THREADS_ENV,
 };
 
 // Keep the builder's name free at the root for the facade struct itself.
@@ -116,14 +121,14 @@ pub mod prelude {
     pub use synts_core::{
         characterize_cached, characterize_workload_cached, default_theta_sweep, evaluate,
         log_theta_grid, no_ts, nominal, pareto_sweep, pareto_sweep_pooled, per_core_ts,
-        run_interval, run_interval_full, run_interval_offline, run_interval_with,
-        run_intervals_batched, synts_exhaustive, synts_milp, synts_poly, theta_equal_weight,
-        thread_energy, thread_time, weighted_cost, worker_count, Assignment, CacheStats,
-        Capabilities, CharCache, Dataset, Experiment, IntervalOutcome, IntervalSelection,
-        Objective, OperatingPoint, OptError, Quality, Record, Report, ReportCheck, SamplingPlan,
-        ScenarioSpec, SolveRequest, Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder,
-        SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV,
-        THREADS_ENV,
+        pruning_stats, run_interval, run_interval_full, run_interval_offline, run_interval_with,
+        run_intervals_batched, synts_exhaustive, synts_milp, synts_milp_with, synts_poly,
+        theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
+        CacheStats, Capabilities, CharCache, Dataset, Experiment, IntervalOutcome,
+        IntervalSelection, MilpTuning, Objective, OperatingPoint, OptError, PruningStats, Quality,
+        Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver,
+        SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool,
+        ThreadProfile, ThreadTrace, CACHE_DIR_ENV, THREADS_ENV,
     };
 
     pub use circuits::StageKind;
