@@ -6,6 +6,9 @@
 //!                           [--no-cache] [--cache-dir <dir>] [--quiet]
 //! synts-cli bench [<spec.json>] [--quick|--paper] [--workers N]
 //!                 [--out <bench.json>]
+//! synts-cli submit <spec.json> [--addr HOST:PORT] [--quick|--paper] [--workers N]
+//! synts-cli status <job-id> [--addr HOST:PORT]
+//! synts-cli fetch <job-id> [--addr HOST:PORT] [--csv] [--wait SECS] [--out FILE]
 //! synts-cli schemes
 //! synts-cli template
 //! ```
@@ -19,12 +22,19 @@
 //! is non-zero if any report check fails, so a spec file doubles as a CI
 //! assertion. `bench` measures the characterization fast path —
 //! cold-cache build, warm-cache build, solve/sweep wall-clock and a
-//! sequential-vs-parallel corpus build — and writes a machine-readable
-//! JSON record (`BENCH_PR4.json` by default). `schemes` lists every
-//! registry key a spec may name, and `template` prints a starter spec.
+//! sequential-vs-parallel corpus build, plus a scenario-service leg
+//! (submit→report wall time through an in-process `synts-serve`, warm
+//! cache) — and writes a machine-readable JSON record (`BENCH_PR6.json`
+//! by default). `submit`, `status` and `fetch` are the thin HTTP client
+//! for a running `synts-serve` (`--addr`, default `127.0.0.1:7070`):
+//! submit a spec file, poll a job, and fetch the merged report as JSON
+//! or CSV — byte-identical to what `run` prints for the same spec.
+//! `schemes` lists every registry key a spec may name, and `template`
+//! prints a starter spec.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use synts_bench::corpus::{Corpus, Effort};
 use synts_bench::render::{report_text_with_cache, save_csv, write_csv};
@@ -34,12 +44,16 @@ use synts_core::{
     Experiment, IntervalSelection, Quality, ScenarioSpec, SolveRequest, Solver, SolverRegistry,
     ThetaSpec, ThreadPool,
 };
+use synts_serve::{Client, Server, Service, ServiceConfig, Shutdown};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: synts-cli run <spec.json> [--quick|--paper] [--workers N] \
          [--json <out.json>] [--csv <out.csv>] [--no-cache] [--cache-dir <dir>] [--quiet]\n\
          \x20      synts-cli bench [<spec.json>] [--quick|--paper] [--workers N] [--out <bench.json>]\n\
+         \x20      synts-cli submit <spec.json> [--addr HOST:PORT] [--quick|--paper] [--workers N]\n\
+         \x20      synts-cli status <job-id> [--addr HOST:PORT]\n\
+         \x20      synts-cli fetch <job-id> [--addr HOST:PORT] [--csv] [--wait SECS] [--out FILE]\n\
          \x20      synts-cli schemes\n\
          \x20      synts-cli template"
     );
@@ -171,6 +185,130 @@ fn load_spec(args: &RunArgs) -> Result<ScenarioSpec, ExitCode> {
     Ok(spec)
 }
 
+/// Arguments of the `submit`/`status`/`fetch` service subcommands.
+struct ServiceArgs {
+    /// Spec path (submit) or job id (status/fetch).
+    target: String,
+    addr: String,
+    quality: Option<Quality>,
+    workers: Option<usize>,
+    csv: bool,
+    wait_s: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_service_args(args: &[String]) -> Option<ServiceArgs> {
+    let mut out = ServiceArgs {
+        target: String::new(),
+        addr: "127.0.0.1:7070".to_string(),
+        quality: None,
+        workers: None,
+        csv: false,
+        wait_s: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = it.next()?.clone(),
+            "--quick" => out.quality = Some(Quality::Quick),
+            "--paper" => out.quality = Some(Quality::Paper),
+            "--workers" => out.workers = Some(it.next()?.parse().ok()?),
+            "--csv" => out.csv = true,
+            "--wait" => out.wait_s = Some(it.next()?.parse().ok()?),
+            "--out" => out.out = Some(it.next()?.clone()),
+            _ if arg.starts_with('-') || !out.target.is_empty() => return None,
+            _ => out.target = arg.clone(),
+        }
+    }
+    if out.target.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// `synts-cli submit`: POST a spec file to a running `synts-serve` and
+/// print the job id (the only stdout line, so scripts can capture it).
+fn submit(args: &ServiceArgs) -> ExitCode {
+    let run_args = RunArgs {
+        spec_path: args.target.clone(),
+        quality: args.quality,
+        workers: args.workers,
+        json_out: None,
+        csv_out: None,
+        no_cache: false,
+        cache_dir: None,
+        quiet: true,
+        bench_out: None,
+    };
+    let spec = match load_spec(&run_args) {
+        Ok(spec) => spec,
+        Err(code) => return code,
+    };
+    match Client::new(&args.addr).submit(&spec.to_json_string()) {
+        Ok(id) => {
+            eprintln!("[submit] '{}' accepted by {}", spec.name, args.addr);
+            println!("{id}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `synts-cli status`: print a job's status JSON.
+fn job_status(args: &ServiceArgs) -> ExitCode {
+    match Client::new(&args.addr).status(&args.target) {
+        Ok(json) => {
+            println!("{}", json.render_pretty().trim_end());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("status failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `synts-cli fetch`: fetch (optionally poll for) a job's merged report
+/// and print it — or write it to `--out` — as JSON or `--csv`.
+fn fetch(args: &ServiceArgs) -> ExitCode {
+    let client = Client::new(&args.addr);
+    let fetched = match args.wait_s {
+        Some(secs) => client.wait_report(&args.target, args.csv, Duration::from_secs(secs)),
+        None => client.fetch_report(&args.target, args.csv).and_then(|r| {
+            if r.status == 200 {
+                Ok(r.body)
+            } else {
+                Err(synts_core::OptError::Spec(format!(
+                    "job {} has no report yet (HTTP {}); poll with --wait SECS",
+                    args.target, r.status
+                )))
+            }
+        }),
+    };
+    let body = match fetched {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("fetch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("[fetch] write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[fetch] {path}");
+        }
+        None => print!("{body}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(args: RunArgs) -> ExitCode {
     let spec = match load_spec(&args) {
         Ok(spec) => spec,
@@ -245,7 +383,7 @@ fn time_best(runs: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// The solve-phase leg behind `BENCH_PR5.json`: a θ sweep per solver
+/// The solve-phase leg behind `BENCH_PR6.json`: a θ sweep per solver
 /// through the naive pre-engine path (tables hoisted, naive inner loops —
 /// `synts::reference`) and through the sweep-scale engine, on the same
 /// instance. Returns `(baseline_s, engine_s)` per solver key.
@@ -344,10 +482,60 @@ fn solve_phase_leg(
         .field("exhaustive", exhaustive))
 }
 
-/// The perf smoke behind `BENCH_PR5.json`: characterization fast path
+/// The scenario-service leg behind `BENCH_PR6.json`: stand up an
+/// in-process `synts-serve` (HTTP and all), submit the spec twice, and
+/// time submit→report round trips. The first pass populates the
+/// service's characterization cache; the second — the row that matters —
+/// is the warm-cache service overhead (sharding + queue + HTTP + merge)
+/// over the same sweep. Also asserts the fetched report is
+/// byte-identical to the monolithic run's canonical JSON.
+fn service_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, String> {
+    let cache_dir = std::env::temp_dir().join(format!("synts-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        max_shards: 4,
+        max_attempts: 2,
+        cache: CharCache::at_dir(&cache_dir),
+        registry: SolverRegistry::with_defaults(),
+    }));
+    let mut server =
+        Server::bind("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
+    let client = Client::new(server.addr().to_string());
+    let spec_json = spec.to_json_string();
+    let timeout = Duration::from_secs(1800);
+    let round_trip = || -> Result<(f64, String), String> {
+        let t = Instant::now();
+        let id = client.submit(&spec_json).map_err(|e| e.to_string())?;
+        let body = client
+            .wait_report(&id, false, timeout)
+            .map_err(|e| e.to_string())?;
+        Ok((t.elapsed().as_secs_f64(), body))
+    };
+    let result = round_trip().and_then(|(cold_s, _)| {
+        let (warm_s, body) = round_trip()?;
+        if body != monolithic_json {
+            return Err("service report diverged from the monolithic run".to_string());
+        }
+        let shards = service.stats().done; // jobs, each sharded; shard count below
+        Ok(Json::obj()
+            .field("workers", Json::num(2.0))
+            .field("max_shards", Json::num(4.0))
+            .field("jobs_done", Json::num(shards as f64))
+            .field("cold_submit_to_report_s", Json::num(cold_s))
+            .field("warm_submit_to_report_s", Json::num(warm_s))
+            .field("matches_monolithic", Json::Bool(true)))
+    });
+    server.shutdown(Shutdown::Now);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    result
+}
+
+/// The perf smoke behind `BENCH_PR6.json`: characterization fast path
 /// (cold/warm cache), the spec's end-to-end sweep, the solve-phase
-/// engine-vs-naive comparison per solver, and a corpus worker-count
-/// series — so the repo carries a wall-clock trajectory.
+/// engine-vs-naive comparison per solver, a corpus worker-count series,
+/// and the scenario-service submit→report round trip — so the repo
+/// carries a wall-clock trajectory.
 fn bench(args: RunArgs) -> ExitCode {
     let spec = match load_spec(&args) {
         Ok(spec) => spec,
@@ -356,7 +544,7 @@ fn bench(args: RunArgs) -> ExitCode {
     let out_path = args
         .bench_out
         .clone()
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let workers = worker_count(spec.workers);
     let pool = ThreadPool::new(workers);
     let harness = spec.quality.harness();
@@ -463,6 +651,15 @@ fn bench(args: RunArgs) -> ExitCode {
         }
     }
 
+    // Service round trip: in-process synts-serve, warm-cache submit→report.
+    let service = match service_leg(&spec, &report.to_json_string()) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("service bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let record = Json::obj()
         .field("spec", Json::str(&report.spec.name))
         .field("benchmark", Json::str(report.spec.benchmark.name()))
@@ -487,7 +684,8 @@ fn bench(args: RunArgs) -> ExitCode {
                 .field("benchmarks", Json::num(corpus_benchmarks.len() as f64))
                 .field("stages", Json::num(corpus_stages.len() as f64))
                 .field("workers", Json::arr(corpus_rows)),
-        );
+        )
+        .field("service", service);
     let text = record.render_pretty();
     print!("{text}");
     if let Err(e) = std::fs::write(&out_path, &text) {
@@ -511,6 +709,18 @@ fn main() -> ExitCode {
             Some("crates/bench/specs/fig-6-12.json"),
         ) {
             Some(run_args) => bench(run_args),
+            None => usage(),
+        },
+        Some("submit") => match parse_service_args(&args[1..]) {
+            Some(svc_args) => submit(&svc_args),
+            None => usage(),
+        },
+        Some("status") => match parse_service_args(&args[1..]) {
+            Some(svc_args) => job_status(&svc_args),
+            None => usage(),
+        },
+        Some("fetch") => match parse_service_args(&args[1..]) {
+            Some(svc_args) => fetch(&svc_args),
             None => usage(),
         },
         Some("schemes") => schemes(),

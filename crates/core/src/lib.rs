@@ -128,7 +128,7 @@ pub use pareto::{
 pub use poly::synts_poly;
 pub use scenario::{
     Dataset, Experiment, IntervalSelection, Quality, Record, Report, ReportCheck, ScenarioSpec,
-    ThetaSpec,
+    Shard, ShardPlan, ThetaSpec,
 };
 pub use solver::{
     Capabilities, Objective, SolveRequest, Solver, SolverRegistry, Synts, SyntsBuilder,

@@ -32,21 +32,38 @@ pub const THREADS_ENV: &str = "SYNTS_THREADS";
 
 /// Resolves a worker count: `explicit` if given, else [`THREADS_ENV`],
 /// else the machine's available parallelism. Always at least 1.
+///
+/// # Panics
+///
+/// If [`THREADS_ENV`] is set to something other than an integer >= 1
+/// (`0`, negative, or non-numeric). A typo'd worker knob silently
+/// falling back to "the whole machine" (or to sequential) is exactly
+/// the kind of misconfiguration that shows up as a mystery perf cliff
+/// on a fleet — fail loudly at the first pool construction instead.
 #[must_use]
 pub fn worker_count(explicit: Option<usize>) -> usize {
     if let Some(n) = explicit {
         return n.max(1);
     }
     if let Ok(raw) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            // 0 means "sequential", matching the builder's clamp — never
-            // silently the full machine.
-            return n.max(1);
-        }
+        return threads_from_env(&raw);
     }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Parses a [`THREADS_ENV`] value, panicking (loudly, with the variable
+/// name and offending value) on anything but an integer >= 1.
+fn threads_from_env(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => panic!(
+            "{THREADS_ENV}={raw:?} is invalid: expected an integer >= 1 \
+             (use 1 for a sequential run, or unset it to use the machine's \
+             available parallelism)"
+        ),
+    }
 }
 
 /// A scoped fork/join pool: `workers` threads are spawned per call inside
@@ -236,14 +253,26 @@ mod tests {
     }
 
     #[test]
-    fn threads_env_zero_means_sequential() {
-        std::env::set_var(THREADS_ENV, "0");
-        assert_eq!(worker_count(None), 1, "0 clamps like workers(0)");
-        std::env::set_var(THREADS_ENV, "6");
-        assert_eq!(worker_count(None), 6);
-        std::env::set_var(THREADS_ENV, "not-a-number");
-        assert!(worker_count(None) >= 1, "junk falls back, never panics");
-        std::env::remove_var(THREADS_ENV);
+    fn threads_env_accepts_positive_integers() {
+        assert_eq!(threads_from_env("6"), 6);
+        assert_eq!(threads_from_env(" 8 "), 8, "whitespace is trimmed");
+        assert_eq!(threads_from_env("1"), 1);
+    }
+
+    /// The satellite contract: `SYNTS_THREADS=0` and non-numeric values
+    /// are rejected loudly (with the variable name and the offending
+    /// value in the message), never silently coerced. The invalid values
+    /// are probed through the pure parser so this test cannot race other
+    /// tests in this binary that read the real environment.
+    #[test]
+    fn threads_env_rejects_zero_and_junk_loudly() {
+        for raw in ["0", "not-a-number", "", "-3", "2.5"] {
+            let panic = std::panic::catch_unwind(|| threads_from_env(raw))
+                .expect_err(&format!("{raw:?} must be rejected"));
+            let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains(THREADS_ENV), "{raw:?}: names the knob: {msg}");
+            assert!(msg.contains(raw), "{raw:?}: names the value: {msg}");
+        }
     }
 
     #[test]

@@ -259,7 +259,19 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> OptError {
-        OptError::Spec(format!("json (byte {}): {message}", self.pos))
+        // Report line:column, not a raw byte offset — remote clients see
+        // this string verbatim and spec files are edited by hand.
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        OptError::Spec(format!("json (line {line}, column {col}): {message}"))
     }
 
     fn peek(&self) -> Option<u8> {
@@ -508,6 +520,16 @@ mod tests {
         ] {
             assert!(Json::parse(src).is_err(), "{src} should fail");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_line_and_column() {
+        let err = Json::parse("{\n  \"a\": 1,\n  \"b\": oops\n}").expect_err("bad literal");
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("column 8"), "{msg}");
+        let err = Json::parse("[1, 2,]").expect_err("trailing comma");
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

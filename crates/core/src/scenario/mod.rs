@@ -13,7 +13,10 @@
 //!   text-free JSON/CSV sinks, so golden fixtures pin canonical JSON
 //!   rather than prose;
 //! * [`Json`] — the deterministic serialization substrate (the vendored
-//!   `serde` stand-in is derive-only, see `vendor/README.md`).
+//!   `serde` stand-in is derive-only, see `vendor/README.md`);
+//! * [`ShardPlan`] / [`Shard`] — the service-facing decomposition of one
+//!   spec into independently runnable θ-chunks, with [`Report::merge`]
+//!   reassembling the partial reports bit-identically.
 //!
 //! ```no_run
 //! use synts_core::scenario::{Experiment, ScenarioSpec, ThetaSpec};
@@ -34,9 +37,11 @@
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod spec;
 
 pub use json::Json;
 pub use report::{Dataset, Record, Report, ReportCheck};
 pub use runner::Experiment;
+pub use service::{Shard, ShardPlan};
 pub use spec::{IntervalSelection, Quality, ScenarioSpec, ThetaSpec};

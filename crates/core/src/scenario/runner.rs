@@ -118,22 +118,7 @@ impl Experiment {
             .map(|&i| data.intervals[i].profiles())
             .collect();
 
-        // Equal-weight θ over the selected intervals: Σ nominal energy /
-        // Σ nominal time (the paper's Fig 6.18 weighting).
-        let mut nominal_energy = 0.0;
-        let mut nominal_time = 0.0;
-        for profiles in &profile_sets {
-            let a = crate::baselines::nominal(&cfg, profiles)?;
-            let ed = evaluate(&cfg, profiles, &a);
-            nominal_energy += ed.energy;
-            nominal_time += ed.time;
-        }
-        if nominal_time <= 0.0 {
-            return Err(OptError::BadConfig(
-                "the selected intervals carry no nominal execution time (idle stage?)",
-            ));
-        }
-        let theta_center = nominal_energy / nominal_time;
+        let theta_center = equal_weight_center(&cfg, &profile_sets)?;
         let theta_grid = spec.thetas.resolve(theta_center);
         let pool = ThreadPool::new(worker_count(spec.workers));
 
@@ -226,7 +211,34 @@ impl std::fmt::Debug for Experiment {
     }
 }
 
-fn select_intervals(spec: &ScenarioSpec, data: &BenchmarkData) -> Result<Vec<usize>, OptError> {
+/// The equal-weight θ of a set of interval profiles: Σ nominal energy /
+/// Σ nominal time (the paper's Fig 6.18 weighting). Shared by the runner
+/// and the shard planner so both resolve a spec's θ grid to the same
+/// bits.
+pub(crate) fn equal_weight_center(
+    cfg: &SystemConfig,
+    profile_sets: &[Vec<ThreadProfile<ErrorCurve>>],
+) -> Result<f64, OptError> {
+    let mut nominal_energy = 0.0;
+    let mut nominal_time = 0.0;
+    for profiles in profile_sets {
+        let a = crate::baselines::nominal(cfg, profiles)?;
+        let ed = evaluate(cfg, profiles, &a);
+        nominal_energy += ed.energy;
+        nominal_time += ed.time;
+    }
+    if nominal_time <= 0.0 {
+        return Err(OptError::BadConfig(
+            "the selected intervals carry no nominal execution time (idle stage?)",
+        ));
+    }
+    Ok(nominal_energy / nominal_time)
+}
+
+pub(crate) fn select_intervals(
+    spec: &ScenarioSpec,
+    data: &BenchmarkData,
+) -> Result<Vec<usize>, OptError> {
     if data.intervals.is_empty() {
         return Err(OptError::BadConfig("characterized data has no intervals"));
     }
@@ -295,7 +307,9 @@ fn run_scheme(
 /// For every exact solver of the weighted objective, checks that its
 /// Eq 4.4 cost lower-bounds every other scheme's at every θ — the
 /// provable form of the "SynTS dominates the baselines" figures.
-fn dominance_checks(
+/// Shared with [`crate::scenario::service`]'s merge, which recomputes
+/// the checks over the reassembled grid.
+pub(crate) fn dominance_checks(
     solvers: &[(String, Arc<dyn Solver<ErrorCurve>>)],
     theta_grid: &[f64],
     datasets: &[Dataset],

@@ -281,50 +281,59 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// [`OptError::Spec`] naming the offending field.
+    /// [`OptError::Spec`] naming the offending field by its full path,
+    /// including the array index for list entries (e.g.
+    /// `thetas.grid[3]: expected a finite number >= 0`) — actionable
+    /// from a remote client that only sees the message string.
     pub fn from_json(json: &Json) -> Result<ScenarioSpec, OptError> {
-        let bad = |msg: &str| OptError::Spec(format!("scenario spec: {msg}"));
+        let bad = |path: &str, expected: &str| {
+            OptError::Spec(format!("scenario spec: {path}: {expected}"))
+        };
         let name = json
             .get("name")
             .and_then(Json::as_str)
-            .ok_or_else(|| bad("missing string field 'name'"))?
+            .ok_or_else(|| bad("name", "expected a string"))?
             .to_string();
         let bench_name = json
             .get("benchmark")
             .and_then(Json::as_str)
-            .ok_or_else(|| bad("missing string field 'benchmark'"))?;
+            .ok_or_else(|| bad("benchmark", "expected a string"))?;
         let benchmark = Benchmark::from_name(bench_name).ok_or_else(|| {
             let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
-            bad(&format!(
-                "unknown benchmark '{bench_name}' (known: {})",
-                known.join(", ")
-            ))
+            bad(
+                "benchmark",
+                &format!(
+                    "unknown benchmark '{bench_name}' (known: {})",
+                    known.join(", ")
+                ),
+            )
         })?;
         let stage_name = json
             .get("stage")
             .and_then(Json::as_str)
-            .ok_or_else(|| bad("missing string field 'stage'"))?;
+            .ok_or_else(|| bad("stage", "expected a string"))?;
         let stage = StageKind::from_name(stage_name).ok_or_else(|| {
             let known: Vec<&str> = StageKind::ALL.iter().map(|s| s.name()).collect();
-            bad(&format!(
-                "unknown stage '{stage_name}' (known: {})",
-                known.join(", ")
-            ))
+            bad(
+                "stage",
+                &format!("unknown stage '{stage_name}' (known: {})", known.join(", ")),
+            )
         })?;
         let schemes = match json.get("schemes") {
             Some(Json::Arr(items)) => items
                 .iter()
-                .map(|item| {
-                    item.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| bad("'schemes' entries must be strings"))
+                .enumerate()
+                .map(|(i, item)| {
+                    item.as_str().map(str::to_string).ok_or_else(|| {
+                        bad(&format!("schemes[{i}]"), "expected a registry-key string")
+                    })
                 })
                 .collect::<Result<Vec<String>, OptError>>()?,
             None => vec!["synts_poly".to_string()],
-            Some(_) => return Err(bad("'schemes' must be an array of registry keys")),
+            Some(_) => return Err(bad("schemes", "expected an array of registry keys")),
         };
         if schemes.is_empty() {
-            return Err(bad("'schemes' must name at least one registry key"));
+            return Err(bad("schemes", "must name at least one registry key"));
         }
         let thetas = match json.get("thetas") {
             None => ThetaSpec::EqualWeight,
@@ -333,14 +342,20 @@ impl ScenarioSpec {
                 if let Some(grid) = value.get("grid").and_then(Json::as_arr) {
                     let values = grid
                         .iter()
-                        .map(|x| {
+                        .enumerate()
+                        .map(|(i, x)| {
                             x.as_f64()
                                 .filter(|v| v.is_finite() && *v >= 0.0)
-                                .ok_or_else(|| bad("'thetas.grid' must hold finite numbers >= 0"))
+                                .ok_or_else(|| {
+                                    bad(
+                                        &format!("thetas.grid[{i}]"),
+                                        "expected a finite number >= 0",
+                                    )
+                                })
                         })
                         .collect::<Result<Vec<f64>, OptError>>()?;
                     if values.is_empty() {
-                        return Err(bad("'thetas.grid' must not be empty"));
+                        return Err(bad("thetas.grid", "must not be empty"));
                     }
                     ThetaSpec::Grid(values)
                 } else if let Some(log) = value.get("log_around_equal_weight") {
@@ -348,16 +363,27 @@ impl ScenarioSpec {
                         .get("points")
                         .and_then(Json::as_usize)
                         .filter(|&n| n >= 1)
-                        .ok_or_else(|| bad("'log_around_equal_weight.points' must be >= 1"))?;
+                        .ok_or_else(|| {
+                            bad(
+                                "thetas.log_around_equal_weight.points",
+                                "expected an integer >= 1",
+                            )
+                        })?;
                     let decades = log
                         .get("decades")
                         .and_then(Json::as_f64)
                         .filter(|d| d.is_finite() && *d >= 0.0)
-                        .ok_or_else(|| bad("'log_around_equal_weight.decades' must be >= 0"))?;
+                        .ok_or_else(|| {
+                            bad(
+                                "thetas.log_around_equal_weight.decades",
+                                "expected a finite number >= 0",
+                            )
+                        })?;
                     ThetaSpec::LogAroundEqualWeight { points, decades }
                 } else {
                     return Err(bad(
-                        "'thetas' must be \"equal_weight\", {\"grid\": [...]} or \
+                        "thetas",
+                        "expected \"equal_weight\", {\"grid\": [...]} or \
                          {\"log_around_equal_weight\": {\"points\": n, \"decades\": d}}",
                     ));
                 }
@@ -371,7 +397,8 @@ impl ScenarioSpec {
                 Some(i) => IntervalSelection::Index(i),
                 None => {
                     return Err(bad(
-                        "'intervals' must be \"all\", \"most_heterogeneous\" or {\"index\": n}",
+                        "intervals",
+                        "expected \"all\", \"most_heterogeneous\" or {\"index\": n}",
                     ))
                 }
             },
@@ -382,7 +409,7 @@ impl ScenarioSpec {
                 value
                     .as_usize()
                     .filter(|&n| n >= 1)
-                    .ok_or_else(|| bad("'workers' must be an integer >= 1 or null"))?,
+                    .ok_or_else(|| bad("workers", "expected an integer >= 1 or null"))?,
             ),
         };
         let quality = match json.get("quality") {
@@ -390,9 +417,9 @@ impl ScenarioSpec {
             Some(value) => {
                 let s = value
                     .as_str()
-                    .ok_or_else(|| bad("'quality' must be a string"))?;
+                    .ok_or_else(|| bad("quality", "expected a string"))?;
                 Quality::from_name(s)
-                    .ok_or_else(|| bad("'quality' must be \"quick\" or \"paper\""))?
+                    .ok_or_else(|| bad("quality", "expected \"quick\" or \"paper\""))?
             }
         };
         let normalize_to = match json.get("normalize_to") {
@@ -401,15 +428,13 @@ impl ScenarioSpec {
                 value
                     .as_str()
                     .map(str::to_string)
-                    .ok_or_else(|| bad("'normalize_to' must be a registry key or null"))?,
+                    .ok_or_else(|| bad("normalize_to", "expected a registry key or null"))?,
             ),
         };
         let flag = |key: &str| -> Result<bool, OptError> {
             match json.get(key) {
                 None => Ok(false),
-                Some(value) => value.as_bool().ok_or_else(|| {
-                    OptError::Spec(format!("scenario spec: '{key}' must be a bool"))
-                }),
+                Some(value) => value.as_bool().ok_or_else(|| bad(key, "expected a bool")),
             }
         };
         Ok(ScenarioSpec {
@@ -488,7 +513,7 @@ mod tests {
     fn spec_errors_name_the_field() {
         let err = ScenarioSpec::from_json_str(r#"{"benchmark": "radix", "stage": "decode"}"#)
             .expect_err("no name");
-        assert!(err.to_string().contains("'name'"), "{err}");
+        assert!(err.to_string().contains("name: expected a string"), "{err}");
         let err =
             ScenarioSpec::from_json_str(r#"{"name": "x", "benchmark": "nope", "stage": "decode"}"#)
                 .expect_err("bad benchmark");
@@ -497,7 +522,39 @@ mod tests {
             r#"{"name": "x", "benchmark": "radix", "stage": "decode", "thetas": {"grid": []}}"#,
         )
         .expect_err("empty grid");
-        assert!(err.to_string().contains("grid"), "{err}");
+        assert!(err.to_string().contains("thetas.grid"), "{err}");
+    }
+
+    /// List-entry errors carry the offending index in the field path, so
+    /// a remote client can act on the message alone.
+    #[test]
+    fn spec_errors_carry_the_array_index() {
+        let err = ScenarioSpec::from_json_str(
+            r#"{"name": "x", "benchmark": "radix", "stage": "decode",
+                "thetas": {"grid": [0.5, 1.0, 2.0, "oops"]}}"#,
+        )
+        .expect_err("non-numeric grid entry");
+        let msg = err.to_string();
+        assert!(msg.contains("thetas.grid[3]"), "{msg}");
+        assert!(msg.contains("expected a finite number"), "{msg}");
+
+        let err = ScenarioSpec::from_json_str(
+            r#"{"name": "x", "benchmark": "radix", "stage": "decode",
+                "schemes": ["synts_poly", 7]}"#,
+        )
+        .expect_err("non-string scheme entry");
+        assert!(err.to_string().contains("schemes[1]"), "{err}");
+
+        let err = ScenarioSpec::from_json_str(
+            r#"{"name": "x", "benchmark": "radix", "stage": "decode",
+                "thetas": {"log_around_equal_weight": {"points": 0, "decades": 1}}}"#,
+        )
+        .expect_err("zero points");
+        assert!(
+            err.to_string()
+                .contains("thetas.log_around_equal_weight.points"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! `synts-serve` — run the SynTS scenario service.
+//!
+//! ```text
+//! synts-serve [--addr 127.0.0.1:7070] [--workers N] [--max-shards N]
+//!             [--max-attempts N] [--cache-dir DIR | --no-cache]
+//! ```
+//!
+//! Binds the HTTP front end, prints the resolved address, and serves
+//! until `POST /v1/shutdown` (or Ctrl-C, which skips the drain).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use synts_core::{CharCache, SolverRegistry};
+use synts_serve::{Server, Service, ServiceConfig, Shutdown};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    max_shards: usize,
+    max_attempts: u32,
+    cache: CharCache,
+}
+
+const USAGE: &str = "usage: synts-serve [--addr HOST:PORT] [--workers N] [--max-shards N] \
+[--max-attempts N] [--cache-dir DIR | --no-cache]
+
+Serves the SynTS scenario API (POST /v1/jobs, GET /v1/jobs/<id>[/report],
+GET /v1/healthz, GET /v1/stats, POST /v1/shutdown). Defaults: --addr
+127.0.0.1:7070, --workers 2, --max-shards 4, --max-attempts 2, cache per
+SYNTS_CACHE_DIR (target/synts-cache).";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".to_string(),
+        workers: 2,
+        max_shards: 4,
+        max_attempts: 2,
+        cache: CharCache::from_env(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects {what}; see --help"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("HOST:PORT")?,
+            "--workers" => {
+                args.workers = value("a thread count")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer >= 1".to_string())?;
+            }
+            "--max-shards" => {
+                args.max_shards = value("a shard count")?
+                    .parse()
+                    .map_err(|_| "--max-shards expects an integer >= 1".to_string())?;
+            }
+            "--max-attempts" => {
+                args.max_attempts = value("an attempt count")?
+                    .parse()
+                    .map_err(|_| "--max-attempts expects an integer >= 1".to_string())?;
+            }
+            "--cache-dir" => args.cache = CharCache::at_dir(value("a directory")?),
+            "--no-cache" => args.cache = CharCache::disabled(),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'; see --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: args.workers,
+        max_shards: args.max_shards,
+        max_attempts: args.max_attempts,
+        cache: args.cache,
+        registry: SolverRegistry::with_defaults(),
+    }));
+    let mut server = match Server::bind(&args.addr, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("synts-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "synts-serve: listening on {} ({} worker(s), up to {} shard(s)/job)",
+        server.addr(),
+        args.workers,
+        args.max_shards
+    );
+    let mode = server.wait_shutdown();
+    println!(
+        "synts-serve: shutting down ({})",
+        match mode {
+            Shutdown::Drain => "draining queued jobs",
+            Shutdown::Now => "finishing in-flight shards only",
+        }
+    );
+    server.shutdown(mode);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,232 @@
+//! A std-only HTTP client for the scenario service, used by the
+//! `synts-cli submit|status|fetch` subcommands and the end-to-end tests.
+//!
+//! Speaks exactly the dialect [`crate::http`] serves: HTTP/1.1, one
+//! request per connection, `Connection: close`, JSON bodies. No TLS, no
+//! redirects, no keep-alive — the service is a loopback/lab endpoint.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use synts_core::scenario::Json;
+use synts_core::OptError;
+
+/// Per-request connect/read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed HTTP reply.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// The status code.
+    pub status: u16,
+    /// The raw body.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Spec`] when the body is not valid JSON.
+    pub fn json(&self) -> Result<Json, OptError> {
+        Json::parse(&self.body)
+    }
+
+    /// The service's error message, when the body carries one.
+    #[must_use]
+    pub fn error_message(&self) -> Option<String> {
+        let json = Json::parse(&self.body).ok()?;
+        json.get("error").and_then(Json::as_str).map(String::from)
+    }
+}
+
+/// A client bound to one service address (`host:port`).
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `127.0.0.1:7070`).
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Issues one request and reads the full reply.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Spec`] on connection failures, timeouts, or replies
+    /// that are not parseable HTTP.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpReply, OptError> {
+        let fail = |what: &str| OptError::Spec(format!("service client: {what} ({})", self.addr));
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| fail(&format!("connect failed: {e}")))?;
+        stream
+            .set_read_timeout(Some(IO_TIMEOUT))
+            .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+            .map_err(|e| fail(&format!("socket setup failed: {e}")))?;
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            payload.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .map_err(|e| fail(&format!("write failed: {e}")))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| fail(&format!("read failed: {e}")))?;
+        let (head, reply_body) = raw
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| fail("reply carries no header/body separator"))?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| fail("reply carries no status code"))?;
+        Ok(HttpReply {
+            status,
+            body: reply_body.to_string(),
+        })
+    }
+
+    /// `GET /v1/healthz` — true when the service answers.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.request("GET", "/v1/healthz", None)
+            .is_ok_and(|r| r.status == 200)
+    }
+
+    /// `POST /v1/jobs` with a spec's JSON text; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`OptError::Spec`] carrying the service's
+    /// rejection message.
+    pub fn submit(&self, spec_json: &str) -> Result<String, OptError> {
+        let reply = self.request("POST", "/v1/jobs", Some(spec_json))?;
+        if reply.status != 202 {
+            let msg = reply
+                .error_message()
+                .unwrap_or_else(|| format!("HTTP {}", reply.status));
+            return Err(OptError::Spec(format!("service rejected the spec: {msg}")));
+        }
+        reply
+            .json()?
+            .get("job")
+            .and_then(Json::as_str)
+            .map(String::from)
+            .ok_or_else(|| OptError::Spec("service reply names no job id".to_string()))
+    }
+
+    /// `GET /v1/jobs/<id>` — the status JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`OptError::Spec`] for unknown ids.
+    pub fn status(&self, id: &str) -> Result<Json, OptError> {
+        let reply = self.request("GET", &format!("/v1/jobs/{id}"), None)?;
+        if reply.status != 200 {
+            return Err(OptError::Spec(format!(
+                "status fetch failed: HTTP {}: {}",
+                reply.status,
+                reply.error_message().unwrap_or_default()
+            )));
+        }
+        reply.json()
+    }
+
+    /// `GET /v1/jobs/<id>/report` — the raw reply (200 report ready,
+    /// 202 still pending, 410 failed/cancelled, 404 unknown).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; HTTP status is the caller's to interpret.
+    pub fn fetch_report(&self, id: &str, csv: bool) -> Result<HttpReply, OptError> {
+        let path = if csv {
+            format!("/v1/jobs/{id}/report?format=csv")
+        } else {
+            format!("/v1/jobs/{id}/report")
+        };
+        self.request("GET", &path, None)
+    }
+
+    /// Polls `GET /v1/jobs/<id>/report` until the job settles, then
+    /// returns the report body (JSON or CSV per `csv`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, [`OptError::Spec`] when the job fails, is
+    /// cancelled, or `timeout` elapses first.
+    pub fn wait_report(&self, id: &str, csv: bool, timeout: Duration) -> Result<String, OptError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let reply = self.fetch_report(id, csv)?;
+            match reply.status {
+                200 => return Ok(reply.body),
+                202 => {}
+                _ => {
+                    return Err(OptError::Spec(format!(
+                        "job {id} will not produce a report: HTTP {}: {}",
+                        reply.status,
+                        reply
+                            .json()
+                            .ok()
+                            .and_then(|j| j.get("error").and_then(Json::as_str).map(String::from))
+                            .unwrap_or_default()
+                    )))
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(OptError::Spec(format!(
+                    "timed out waiting for job {id} after {:.0?}",
+                    timeout
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// `GET /v1/stats` — the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or non-200 replies.
+    pub fn stats(&self) -> Result<Json, OptError> {
+        let reply = self.request("GET", "/v1/stats", None)?;
+        if reply.status != 200 {
+            return Err(OptError::Spec(format!(
+                "stats fetch failed: HTTP {}",
+                reply.status
+            )));
+        }
+        reply.json()
+    }
+
+    /// `POST /v1/shutdown` with the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn shutdown(&self, drain: bool) -> Result<(), OptError> {
+        let body = if drain {
+            r#"{"mode": "drain"}"#
+        } else {
+            r#"{"mode": "now"}"#
+        };
+        self.request("POST", "/v1/shutdown", Some(body)).map(|_| ())
+    }
+}

@@ -1,0 +1,381 @@
+//! A minimal, dependency-free HTTP/1.1 front end for the scenario
+//! [`Service`].
+//!
+//! Scope is deliberately narrow — this is a lab fleet endpoint, not a
+//! general web server: one request per connection (`Connection: close`),
+//! thread-per-connection, bounded header/body sizes, read timeouts, and
+//! canonical-JSON bodies throughout (the same [`Json`] renderer the
+//! golden fixtures pin, so a fetched report is byte-identical to
+//! `synts-cli run` output).
+//!
+//! Routes:
+//!
+//! | method & path                  | reply                                        |
+//! |--------------------------------|----------------------------------------------|
+//! | `POST /v1/jobs`                | 202 + job status (body: a `ScenarioSpec`)     |
+//! | `GET /v1/jobs/<id>`            | 200 + job status                             |
+//! | `GET /v1/jobs/<id>/report`     | 200 + merged report (`?format=csv` for CSV); 202 while pending; 410 if failed/cancelled |
+//! | `DELETE /v1/jobs/<id>`         | 200 + job status (cancels a live job)        |
+//! | `GET /v1/healthz`              | 200 `{"ok": true}`                           |
+//! | `GET /v1/stats`                | 200 + service counters                       |
+//! | `POST /v1/shutdown`            | 200, then winds the server down (`{"mode": "drain"\|"now"}`) |
+//!
+//! Malformed requests (bad request line, oversized headers/bodies,
+//! invalid JSON, unknown routes) get 4xx JSON errors; nothing a client
+//! sends can panic the server ([`std::panic::catch_unwind`] backstops
+//! every connection thread).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use synts_core::scenario::{Json, ScenarioSpec};
+
+use crate::queue::{ReportOutcome, Service, Shutdown};
+
+/// Longest accepted request head (request line + headers), bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body (a spec is well under this), bytes.
+const MAX_BODY: usize = 1024 * 1024;
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Inner {
+    service: Arc<Service>,
+    stopping: AtomicBool,
+    requested: Mutex<Option<Shutdown>>,
+    cv: Condvar,
+}
+
+/// The running HTTP front end. Owns the accept loop; the wrapped
+/// [`Service`] does the actual work.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, service: Arc<Service>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            service,
+            stopping: AtomicBool::new(false),
+            requested: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+        Ok(Server {
+            inner,
+            addr: local,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `POST /v1/shutdown` arrives (or [`Server::stop`]
+    /// is called from another thread) and returns the requested mode.
+    #[must_use]
+    pub fn wait_shutdown(&self) -> Shutdown {
+        let mut requested = self.inner.requested.lock().expect("shutdown flag poisoned");
+        loop {
+            if let Some(mode) = *requested {
+                return mode;
+            }
+            requested = self
+                .inner
+                .cv
+                .wait(requested)
+                .expect("shutdown flag poisoned");
+        }
+    }
+
+    /// Requests shutdown from in-process (same effect as the endpoint).
+    pub fn stop(&self, mode: Shutdown) {
+        self.inner.request_stop(mode);
+    }
+
+    /// Stops accepting connections, winds the service down per `mode`
+    /// (drain first, then the workers are joined), and joins the accept
+    /// loop. Idempotent.
+    pub fn shutdown(&mut self, mode: Shutdown) {
+        self.inner.request_stop(mode);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.inner.service.shutdown(mode);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown(Shutdown::Now);
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Inner {
+    fn request_stop(&self, mode: Shutdown) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let mut requested = self.requested.lock().expect("shutdown flag poisoned");
+        *requested = match (*requested, mode) {
+            (Some(Shutdown::Now), _) | (_, Shutdown::Now) => Some(Shutdown::Now),
+            _ => Some(Shutdown::Drain),
+        };
+        drop(requested);
+        self.cv.notify_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if inner.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            // A panic in a handler must kill only this connection.
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                handle_connection(stream, &conn_inner);
+            }));
+        });
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Option<String>,
+    body: String,
+}
+
+enum ReadError {
+    Malformed(&'static str),
+    TooLarge(&'static str),
+    Io,
+}
+
+fn handle_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader) {
+        Ok(req) => route(&req, inner),
+        Err(ReadError::Malformed(what)) => error_response(400, what),
+        Err(ReadError::TooLarge(what)) => error_response(413, what),
+        Err(ReadError::Io) => return,
+    };
+    write_response(stream, &response);
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|_| ReadError::Io)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ReadError::Malformed("request line names no path"))?;
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("request line names no HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|_| ReadError::Io)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD {
+            return Err(ReadError::TooLarge("request head exceeds 16 KiB"));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("unparseable Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ReadError::TooLarge("request body exceeds 1 MiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
+    let body = String::from_utf8(body).map_err(|_| ReadError::Malformed("body is not UTF-8"))?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+fn json_response(status: u16, body: &Json) -> Response {
+    Response {
+        status,
+        content_type: "application/json",
+        body: body.render_pretty(),
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    json_response(status, &Json::obj().field("error", Json::str(message)))
+}
+
+fn route(req: &Request, inner: &Inner) -> Response {
+    let service = &inner.service;
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => {
+            json_response(200, &Json::obj().field("ok", Json::Bool(true)))
+        }
+        ("GET", ["v1", "stats"]) => json_response(200, &service.stats().to_json()),
+        ("POST", ["v1", "jobs"]) => match ScenarioSpec::from_json_str(&req.body) {
+            Ok(spec) => match service.submit(spec) {
+                Ok(status) => json_response(202, &status.to_json()),
+                Err(e) => error_response(400, &e.to_string()),
+            },
+            Err(e) => error_response(400, &e.to_string()),
+        },
+        ("GET", ["v1", "jobs", id]) => match service.status(id) {
+            Some(status) => json_response(200, &status.to_json()),
+            None => error_response(404, &format!("no such job: {id}")),
+        },
+        ("DELETE", ["v1", "jobs", id]) => match service.cancel(id) {
+            Some(status) => json_response(200, &status.to_json()),
+            None => error_response(404, &format!("no such job: {id}")),
+        },
+        ("GET", ["v1", "jobs", id, "report"]) => report_route(req, inner, id),
+        ("POST", ["v1", "shutdown"]) => {
+            let mode = match Json::parse(&req.body) {
+                Ok(json) => match json.get("mode").and_then(Json::as_str) {
+                    Some("now") => Shutdown::Now,
+                    _ => Shutdown::Drain,
+                },
+                Err(_) if req.body.trim().is_empty() => Shutdown::Drain,
+                Err(e) => return error_response(400, &e.to_string()),
+            };
+            inner.request_stop(mode);
+            json_response(
+                200,
+                &Json::obj().field(
+                    "stopping",
+                    Json::str(match mode {
+                        Shutdown::Drain => "drain",
+                        Shutdown::Now => "now",
+                    }),
+                ),
+            )
+        }
+        (_, ["v1", ..]) => error_response(404, &format!("no route: {} {}", req.method, req.path)),
+        _ => error_response(404, "unknown path (the API lives under /v1/)"),
+    }
+}
+
+fn report_route(req: &Request, inner: &Inner, id: &str) -> Response {
+    let csv = req
+        .query
+        .as_deref()
+        .is_some_and(|q| q.split('&').any(|kv| kv == "format=csv"));
+    match inner.service.report(id) {
+        ReportOutcome::Unknown => error_response(404, &format!("no such job: {id}")),
+        ReportOutcome::Pending(status) => json_response(202, &status.to_json()),
+        ReportOutcome::Unavailable(status) => json_response(410, &status.to_json()),
+        ReportOutcome::Ready(report) => {
+            if csv {
+                let (header, rows) = report.to_csv();
+                let mut body = header.join(",");
+                body.push('\n');
+                for row in rows {
+                    body.push_str(&row.join(","));
+                    body.push('\n');
+                }
+                Response {
+                    status: 200,
+                    content_type: "text/csv",
+                    body,
+                }
+            } else {
+                Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: report.to_json_string(),
+                }
+            }
+        }
+    }
+}
+
+fn write_response(mut stream: TcpStream, response: &Response) {
+    let reason = match response.status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        410 => "Gone",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}

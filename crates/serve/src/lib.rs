@@ -1,0 +1,35 @@
+//! `synts-serve` — the SynTS scenario service.
+//!
+//! The paper's figures sweep one (benchmark, stage) pair over a θ grid;
+//! the repo's [`Experiment`](synts_core::scenario::Experiment) engine
+//! runs one such sweep monolithically. This crate turns that engine
+//! into a **service**: specs go in over HTTP, a shard planner splits
+//! the θ grid ([`ShardPlan`](synts_core::scenario::ShardPlan)), an
+//! executor pool runs the shards against the shared characterization
+//! cache, and the partial reports are merged back into a report
+//! **byte-identical** (canonical JSON) to the monolithic run.
+//!
+//! Three layers, separable on purpose:
+//!
+//! * [`queue`] — the job model, FIFO task queue and executor pool
+//!   ([`Service`]): submission, per-shard bounded retries, cancellation,
+//!   and drain-on-shutdown. Usable fully in-process (the tests and
+//!   `synts-cli bench` do).
+//! * [`http`] — a hand-rolled `std::net` HTTP/1.1 front end
+//!   ([`Server`]): `POST /v1/jobs`, `GET /v1/jobs/<id>[/report]`,
+//!   `GET /v1/healthz`, `GET /v1/stats`, `POST /v1/shutdown`.
+//! * [`client`] — the matching std-only client ([`Client`]), behind
+//!   `synts-cli submit|status|fetch`.
+//!
+//! No external dependencies: sockets, threads and the repo's own
+//! canonical-JSON tree are the whole stack.
+
+pub mod client;
+pub mod http;
+pub mod queue;
+
+pub use client::{Client, HttpReply};
+pub use http::Server;
+pub use queue::{
+    JobState, JobStatus, ReportOutcome, Service, ServiceConfig, ServiceStats, ShardCounts, Shutdown,
+};

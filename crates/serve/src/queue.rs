@@ -1,0 +1,801 @@
+//! The in-process sharded work queue and executor pool.
+//!
+//! One submitted [`ScenarioSpec`] becomes one job. A job's lifecycle:
+//!
+//! 1. **queued** — accepted, waiting for a worker;
+//! 2. **planning** — a worker characterizes the benchmark/stage (through
+//!    the shared [`CharCache`], warming it for every shard) and splits
+//!    the resolved θ grid into a [`ShardPlan`];
+//! 3. **running** — shards execute independently on the executor pool,
+//!    each a complete [`Experiment::run`]; a failed shard is retried up
+//!    to a bounded attempt count before it fails the job;
+//! 4. **done** — the partial reports are merged ([`Report::merge`])
+//!    into a report bit-identical to a monolithic run of the original
+//!    spec — or **failed** / **cancelled**.
+//!
+//! The queue is a plain FIFO over (plan | shard) tasks guarded by one
+//! mutex + condvar; workers are long-lived threads claiming tasks until
+//! shutdown. [`Service::shutdown`] offers the two fleet-standard exits:
+//! [`Shutdown::Drain`] (stop accepting, run everything queued, then
+//! join) and [`Shutdown::Now`] (finish only in-flight tasks, leave the
+//! rest queued, then join) — either way no work is torn down mid-shard.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use synts_core::scenario::{Experiment, Json, Report, ScenarioSpec, Shard, ShardPlan};
+use synts_core::{CacheStats, CharCache, OptError, SolverRegistry};
+use timing::ErrorCurve;
+
+/// Configuration of one [`Service`] instance.
+pub struct ServiceConfig {
+    /// Executor threads (each runs one plan/shard task at a time; the
+    /// task itself may fan further across `SYNTS_THREADS`).
+    pub workers: usize,
+    /// Maximum shards one job's θ grid is split into.
+    pub max_shards: usize,
+    /// Attempts per shard before the job fails (>= 1).
+    pub max_attempts: u32,
+    /// The characterization cache every task shares.
+    pub cache: CharCache,
+    /// The solver registry specs resolve their scheme keys against.
+    pub registry: SolverRegistry<ErrorCurve>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            max_shards: 4,
+            max_attempts: 2,
+            cache: CharCache::from_env(),
+            registry: SolverRegistry::with_defaults(),
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, not yet picked up.
+    Queued,
+    /// A worker is characterizing and planning the shards.
+    Planning,
+    /// Shards are queued/executing.
+    Running,
+    /// Merged report available.
+    Done,
+    /// A shard (or the planner) exhausted its attempts.
+    Failed,
+    /// Cancelled by the client; remaining shards are skipped.
+    Cancelled,
+}
+
+impl JobState {
+    /// Canonical wire name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Planning => "planning",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can still make progress.
+    #[must_use]
+    pub const fn is_live(self) -> bool {
+        matches!(
+            self,
+            JobState::Queued | JobState::Planning | JobState::Running
+        )
+    }
+}
+
+/// Per-state shard counts of one job (all zero until planning finishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardCounts {
+    /// Shards planned in total.
+    pub total: usize,
+    /// Waiting in the queue.
+    pub queued: usize,
+    /// Claimed by a worker.
+    pub running: usize,
+    /// Completed with a partial report.
+    pub done: usize,
+    /// Out of attempts.
+    pub failed: usize,
+}
+
+/// A snapshot of one job, cheap to clone and serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Service-assigned id (`job-<n>`).
+    pub id: String,
+    /// The submitted spec's name.
+    pub spec_name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Shard progress.
+    pub shards: ShardCounts,
+    /// Retry attempts consumed beyond each shard's first.
+    pub retries: u32,
+    /// The failure message, for failed/cancelled jobs.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// The wire representation (`GET /v1/jobs/<id>`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("job", Json::str(&self.id))
+            .field("spec", Json::str(&self.spec_name))
+            .field("state", Json::str(self.state.name()))
+            .field(
+                "shards",
+                Json::obj()
+                    .field("total", Json::num(self.shards.total as f64))
+                    .field("queued", Json::num(self.shards.queued as f64))
+                    .field("running", Json::num(self.shards.running as f64))
+                    .field("done", Json::num(self.shards.done as f64))
+                    .field("failed", Json::num(self.shards.failed as f64)),
+            )
+            .field("retries", Json::num(f64::from(self.retries)))
+            .field(
+                "error",
+                match &self.error {
+                    Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            )
+    }
+}
+
+/// Service-wide counters (`GET /v1/stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Executor threads.
+    pub workers: usize,
+    /// Jobs accepted since start.
+    pub submitted: u64,
+    /// Jobs that reached `done`.
+    pub done: u64,
+    /// Jobs that reached `failed`.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Tasks waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Tasks claimed by workers right now.
+    pub in_flight: usize,
+    /// Shard retry attempts consumed since start.
+    pub shard_retries: u64,
+    /// Process-wide characterization cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// The wire representation.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("workers", Json::num(self.workers as f64))
+            .field(
+                "jobs",
+                Json::obj()
+                    .field("submitted", Json::num(self.submitted as f64))
+                    .field("done", Json::num(self.done as f64))
+                    .field("failed", Json::num(self.failed as f64))
+                    .field("cancelled", Json::num(self.cancelled as f64)),
+            )
+            .field("queue_depth", Json::num(self.queue_depth as f64))
+            .field("in_flight", Json::num(self.in_flight as f64))
+            .field("shard_retries", Json::num(self.shard_retries as f64))
+            .field(
+                "cache",
+                Json::obj()
+                    .field("hits", Json::num(self.cache.hits as f64))
+                    .field("misses", Json::num(self.cache.misses as f64)),
+            )
+    }
+}
+
+/// What `GET /v1/jobs/<id>/report` resolves to.
+#[derive(Debug, Clone)]
+pub enum ReportOutcome {
+    /// No such job.
+    Unknown,
+    /// Still queued/planning/running — poll again.
+    Pending(JobStatus),
+    /// The job failed or was cancelled; no report will appear.
+    Unavailable(JobStatus),
+    /// The merged report.
+    Ready(Arc<Report>),
+}
+
+/// How [`Service::shutdown`] winds the executor down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Stop accepting, run everything already queued, then join.
+    Drain,
+    /// Stop accepting, finish only in-flight tasks (queued work stays
+    /// queued and is reported as such), then join.
+    Now,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Task {
+    Plan { job: String },
+    Shard { job: String, idx: usize },
+}
+
+enum ShardState {
+    Queued,
+    Running,
+    Done(Box<Report>),
+    Failed,
+}
+
+struct ShardSlot {
+    shard: Shard,
+    state: ShardState,
+    attempts: u32,
+}
+
+struct Job {
+    id: String,
+    spec: ScenarioSpec,
+    state: JobState,
+    plan: Option<ShardPlan>,
+    slots: Vec<ShardSlot>,
+    retries: u32,
+    error: Option<String>,
+    merged: Option<Arc<Report>>,
+}
+
+impl Job {
+    fn status(&self) -> JobStatus {
+        let mut shards = ShardCounts {
+            total: self.slots.len(),
+            ..ShardCounts::default()
+        };
+        for slot in &self.slots {
+            match slot.state {
+                ShardState::Queued => shards.queued += 1,
+                ShardState::Running => shards.running += 1,
+                ShardState::Done(_) => shards.done += 1,
+                ShardState::Failed => shards.failed += 1,
+            }
+        }
+        JobStatus {
+            id: self.id.clone(),
+            spec_name: self.spec.name.clone(),
+            state: self.state,
+            shards,
+            retries: self.retries,
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct Store {
+    jobs: HashMap<String, Job>,
+    queue: VecDeque<Task>,
+    next_seq: u64,
+    shutdown: Option<Shutdown>,
+    in_flight: usize,
+    submitted: u64,
+    done: u64,
+    failed: u64,
+    cancelled: u64,
+    shard_retries: u64,
+}
+
+enum Claimed {
+    Plan {
+        job: String,
+        spec: ScenarioSpec,
+    },
+    Shard {
+        job: String,
+        idx: usize,
+        spec: ScenarioSpec,
+    },
+}
+
+struct SvcState {
+    max_shards: usize,
+    max_attempts: u32,
+    cache: CharCache,
+    registry: SolverRegistry<ErrorCurve>,
+    worker_total: usize,
+    store: Mutex<Store>,
+    cv: Condvar,
+}
+
+/// The scenario service: a [`ServiceConfig`]-sized executor pool over an
+/// in-process job store. Protocol front ends ([`crate::http`]) and
+/// in-process callers (tests, `synts-cli bench`) share this one API.
+pub struct Service {
+    state: Arc<SvcState>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the executor pool and returns the running service.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let state = Arc::new(SvcState {
+            max_shards: cfg.max_shards.max(1),
+            max_attempts: cfg.max_attempts.max(1),
+            cache: cfg.cache,
+            registry: cfg.registry,
+            worker_total: cfg.workers.max(1),
+            store: Mutex::new(Store {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_seq: 1,
+                shutdown: None,
+                in_flight: 0,
+                submitted: 0,
+                done: 0,
+                failed: 0,
+                cancelled: 0,
+                shard_retries: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        Service {
+            state,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Accepts a spec as a new job. Scheme keys are resolved against the
+    /// registry here so a typo fails at submission, not minutes later on
+    /// a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::UnknownSolver`] for unregistered scheme keys;
+    /// [`OptError::Spec`] when the spec names no schemes or the service
+    /// is shutting down.
+    pub fn submit(&self, spec: ScenarioSpec) -> Result<JobStatus, OptError> {
+        if spec.schemes.is_empty() {
+            return Err(OptError::Spec(
+                "scenario spec: schemes: must name at least one registry key".to_string(),
+            ));
+        }
+        for key in spec.schemes.iter().chain(&spec.normalize_to) {
+            self.state.registry.get(key)?;
+        }
+        let mut store = self.state.locked();
+        if store.shutdown.is_some() {
+            return Err(OptError::Spec(
+                "service: shutting down, not accepting jobs".to_string(),
+            ));
+        }
+        let id = format!("job-{}", store.next_seq);
+        store.next_seq += 1;
+        store.submitted += 1;
+        let job = Job {
+            id: id.clone(),
+            spec,
+            state: JobState::Queued,
+            plan: None,
+            slots: Vec::new(),
+            retries: 0,
+            error: None,
+            merged: None,
+        };
+        let status = job.status();
+        store.jobs.insert(id.clone(), job);
+        store.queue.push_back(Task::Plan { job: id });
+        drop(store);
+        self.state.cv.notify_one();
+        Ok(status)
+    }
+
+    /// The status snapshot of a job.
+    #[must_use]
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        self.state.locked().jobs.get(id).map(Job::status)
+    }
+
+    /// The merged report of a job, or why there isn't one (yet).
+    #[must_use]
+    pub fn report(&self, id: &str) -> ReportOutcome {
+        let store = self.state.locked();
+        let Some(job) = store.jobs.get(id) else {
+            return ReportOutcome::Unknown;
+        };
+        match (&job.merged, job.state) {
+            (Some(report), JobState::Done) => ReportOutcome::Ready(Arc::clone(report)),
+            (_, state) if state.is_live() => ReportOutcome::Pending(job.status()),
+            _ => ReportOutcome::Unavailable(job.status()),
+        }
+    }
+
+    /// Cancels a live job (done/failed jobs are left as-is); queued
+    /// shards are skipped, in-flight ones finish and are discarded.
+    #[must_use]
+    pub fn cancel(&self, id: &str) -> Option<JobStatus> {
+        let mut store = self.state.locked();
+        let job = store.jobs.get_mut(id)?;
+        if job.state.is_live() {
+            job.state = JobState::Cancelled;
+            job.error = Some("cancelled by client".to_string());
+            store.cancelled += 1;
+        }
+        store.jobs.get(id).map(Job::status)
+    }
+
+    /// Service-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let store = self.state.locked();
+        ServiceStats {
+            workers: self.state.worker_total,
+            submitted: store.submitted,
+            done: store.done,
+            failed: store.failed,
+            cancelled: store.cancelled,
+            queue_depth: store.queue.len(),
+            in_flight: store.in_flight,
+            shard_retries: store.shard_retries,
+            cache: CacheStats::snapshot(),
+        }
+    }
+
+    /// Stops the executor pool and joins every worker. Idempotent; safe
+    /// to call from any thread holding the service behind an [`Arc`].
+    ///
+    /// With [`Shutdown::Drain`] every queued task runs first; with
+    /// [`Shutdown::Now`] only in-flight tasks finish (a shard is never
+    /// torn down mid-run) and the rest stay queued.
+    pub fn shutdown(&self, mode: Shutdown) {
+        {
+            let mut store = self.state.locked();
+            // Escalate Drain -> Now if asked twice; never de-escalate.
+            store.shutdown = match (store.shutdown, mode) {
+                (Some(Shutdown::Now), _) | (_, Shutdown::Now) => Some(Shutdown::Now),
+                _ => Some(Shutdown::Drain),
+            };
+        }
+        self.state.cv.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown(Shutdown::Now);
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.state.worker_total)
+            .finish()
+    }
+}
+
+impl SvcState {
+    fn locked(&self) -> MutexGuard<'_, Store> {
+        self.store.lock().expect("job store poisoned")
+    }
+
+    /// Blocks for the next runnable task; `None` means "exit the worker".
+    fn next_task(&self) -> Option<Claimed> {
+        let mut store = self.locked();
+        loop {
+            if store.shutdown == Some(Shutdown::Now) {
+                return None;
+            }
+            while let Some(task) = store.queue.pop_front() {
+                if let Some(claimed) = claim(&mut store, &task) {
+                    return Some(claimed);
+                }
+            }
+            if store.shutdown == Some(Shutdown::Drain) {
+                return None;
+            }
+            store = self.cv.wait(store).expect("job store poisoned");
+        }
+    }
+
+    fn run_plan(&self, job_id: &str, spec: &ScenarioSpec) {
+        let planned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ShardPlan::plan_cached_with(spec, self.max_shards, &self.cache)
+        }))
+        .unwrap_or_else(|panic| Err(panic_error("shard planning", &panic)));
+        let mut store = self.locked();
+        store.in_flight -= 1;
+        let Some(job) = store.jobs.get_mut(job_id) else {
+            return;
+        };
+        if job.state != JobState::Planning {
+            return; // cancelled while planning
+        }
+        match planned {
+            Ok(plan) => {
+                job.slots = plan
+                    .shards()
+                    .iter()
+                    .map(|shard| ShardSlot {
+                        shard: shard.clone(),
+                        state: ShardState::Queued,
+                        attempts: 0,
+                    })
+                    .collect();
+                job.plan = Some(plan);
+                job.state = JobState::Running;
+                let tasks: Vec<Task> = (0..job.slots.len())
+                    .map(|idx| Task::Shard {
+                        job: job_id.to_string(),
+                        idx,
+                    })
+                    .collect();
+                store.queue.extend(tasks);
+                drop(store);
+                self.cv.notify_all();
+            }
+            Err(e) => {
+                job.state = JobState::Failed;
+                job.error = Some(format!("planning failed: {e}"));
+                store.failed += 1;
+            }
+        }
+    }
+
+    fn run_shard(&self, job_id: &str, idx: usize, spec: ScenarioSpec) {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Experiment::new(spec).with_cache(self.cache.clone()).run()
+        }))
+        .unwrap_or_else(|panic| Err(panic_error("shard execution", &panic)));
+        let mut store = self.locked();
+        store.in_flight -= 1;
+        let Some(job) = store.jobs.get_mut(job_id) else {
+            return;
+        };
+        if job.state != JobState::Running {
+            return; // cancelled (or already failed) while executing
+        }
+        match result {
+            Ok(report) => {
+                job.slots[idx].state = ShardState::Done(Box::new(report));
+                let all_done = job
+                    .slots
+                    .iter()
+                    .all(|s| matches!(s.state, ShardState::Done(_)));
+                if !all_done {
+                    return;
+                }
+                // Last shard in: merge under the lock (cheap — record
+                // concatenation + front recomputation) so cancellation
+                // cannot race a half-published report.
+                let parts: Vec<Report> = job
+                    .slots
+                    .iter()
+                    .map(|s| match &s.state {
+                        ShardState::Done(r) => (**r).clone(),
+                        _ => unreachable!("all_done checked above"),
+                    })
+                    .collect();
+                let plan = job.plan.as_ref().expect("planned before running");
+                match plan.merge(&parts, &self.registry) {
+                    Ok(merged) => {
+                        job.merged = Some(Arc::new(merged));
+                        job.state = JobState::Done;
+                        store.done += 1;
+                    }
+                    Err(e) => {
+                        job.state = JobState::Failed;
+                        job.error = Some(format!("merge failed: {e}"));
+                        store.failed += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                job.slots[idx].attempts += 1;
+                if job.slots[idx].attempts < self.max_attempts {
+                    job.slots[idx].state = ShardState::Queued;
+                    job.retries += 1;
+                    store.shard_retries += 1;
+                    store.queue.push_back(Task::Shard {
+                        job: job_id.to_string(),
+                        idx,
+                    });
+                    drop(store);
+                    self.cv.notify_one();
+                } else {
+                    job.slots[idx].state = ShardState::Failed;
+                    job.state = JobState::Failed;
+                    job.error = Some(format!(
+                        "shard {idx} failed after {} attempt(s): {e}",
+                        job.slots[idx].attempts
+                    ));
+                    store.failed += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Marks a popped task as claimed (state transitions + `in_flight`),
+/// returning what the worker needs to run it lock-free. Tasks of
+/// cancelled/failed jobs dissolve here.
+fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
+    match task {
+        Task::Plan { job } => {
+            let j = store.jobs.get_mut(job)?;
+            if j.state != JobState::Queued {
+                return None;
+            }
+            j.state = JobState::Planning;
+            store.in_flight += 1;
+            Some(Claimed::Plan {
+                job: job.clone(),
+                spec: j.spec.clone(),
+            })
+        }
+        Task::Shard { job, idx } => {
+            let j = store.jobs.get_mut(job)?;
+            if j.state != JobState::Running || !matches!(j.slots[*idx].state, ShardState::Queued) {
+                return None;
+            }
+            j.slots[*idx].state = ShardState::Running;
+            store.in_flight += 1;
+            Some(Claimed::Shard {
+                job: job.clone(),
+                idx: *idx,
+                spec: j.slots[*idx].shard.spec.clone(),
+            })
+        }
+    }
+}
+
+fn worker_loop(state: &SvcState) {
+    while let Some(claimed) = state.next_task() {
+        match claimed {
+            Claimed::Plan { job, spec } => state.run_plan(&job, &spec),
+            Claimed::Shard { job, idx, spec } => state.run_shard(&job, idx, spec),
+        }
+    }
+}
+
+fn panic_error(stage: &str, panic: &(dyn std::any::Any + Send)) -> OptError {
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    OptError::Spec(format!("service: {stage} panicked: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::StageKind;
+    use synts_core::scenario::ThetaSpec;
+    use workloads::Benchmark;
+
+    fn quick_spec(name: &str) -> ScenarioSpec {
+        ScenarioSpec::new(name, Benchmark::Radix, StageKind::Decode)
+            .thetas(ThetaSpec::Grid(vec![0.5, 1.0, 2.0, 4.0]))
+            .workers(1)
+    }
+
+    fn wait_done(service: &Service, id: &str) -> JobStatus {
+        for _ in 0..600 {
+            let status = service.status(id).expect("job exists");
+            if !status.state.is_live() {
+                return status;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("job {id} did not settle");
+    }
+
+    fn test_service(workers: usize) -> Service {
+        let dir = std::env::temp_dir().join(format!(
+            "synts-serve-queue-test-{}-{workers}",
+            std::process::id()
+        ));
+        Service::start(ServiceConfig {
+            workers,
+            max_shards: 3,
+            max_attempts: 2,
+            cache: CharCache::at_dir(dir),
+            registry: SolverRegistry::with_defaults(),
+        })
+    }
+
+    #[test]
+    fn submit_rejects_unknown_schemes_before_queueing() {
+        let service = test_service(1);
+        let err = service
+            .submit(quick_spec("bad").schemes(["synts_poly", "warp_drive"]))
+            .expect_err("unknown scheme");
+        assert!(err.to_string().contains("warp_drive"), "{err}");
+        assert_eq!(service.stats().submitted, 0, "nothing was queued");
+        service.shutdown(Shutdown::Now);
+    }
+
+    #[test]
+    fn job_runs_to_done_and_merged_report_matches_monolithic() {
+        let service = test_service(2);
+        let spec = quick_spec("roundtrip");
+        let status = service.submit(spec.clone()).expect("submits");
+        assert_eq!(status.state, JobState::Queued);
+        let settled = wait_done(&service, &status.id);
+        assert_eq!(settled.state, JobState::Done, "{:?}", settled.error);
+        assert_eq!(settled.shards.done, settled.shards.total);
+        let ReportOutcome::Ready(report) = service.report(&status.id) else {
+            panic!("report not ready");
+        };
+        let monolithic = Experiment::new(spec)
+            .with_cache(CharCache::disabled())
+            .run()
+            .expect("monolithic run");
+        assert_eq!(report.to_json_string(), monolithic.to_json_string());
+        service.shutdown(Shutdown::Drain);
+    }
+
+    #[test]
+    fn cancel_skips_remaining_shards() {
+        let service = test_service(1);
+        let status = service.submit(quick_spec("doomed")).expect("submits");
+        let cancelled = service.cancel(&status.id).expect("job exists");
+        assert_eq!(cancelled.state, JobState::Cancelled);
+        let settled = wait_done(&service, &status.id);
+        assert_eq!(settled.state, JobState::Cancelled);
+        assert!(matches!(
+            service.report(&status.id),
+            ReportOutcome::Unavailable(_)
+        ));
+        service.shutdown(Shutdown::Now);
+    }
+
+    #[test]
+    fn drain_completes_queued_jobs_and_rejects_new_ones() {
+        let service = test_service(2);
+        let a = service.submit(quick_spec("drain-a")).expect("submits");
+        let b = service.submit(quick_spec("drain-b")).expect("submits");
+        service.shutdown(Shutdown::Drain);
+        for id in [&a.id, &b.id] {
+            let status = service.status(id).expect("job exists");
+            assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        }
+        let err = service
+            .submit(quick_spec("late"))
+            .expect_err("post-shutdown submit");
+        assert!(err.to_string().contains("shutting down"), "{err}");
+    }
+
+    #[test]
+    fn unknown_job_ids_resolve_to_unknown() {
+        let service = test_service(1);
+        assert!(service.status("job-999").is_none());
+        assert!(matches!(service.report("job-999"), ReportOutcome::Unknown));
+        assert!(service.cancel("job-999").is_none());
+        service.shutdown(Shutdown::Now);
+    }
+}

@@ -126,9 +126,9 @@ pub mod prelude {
         theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
         CacheStats, Capabilities, CharCache, Dataset, Experiment, IntervalOutcome,
         IntervalSelection, MilpTuning, Objective, OperatingPoint, OptError, PruningStats, Quality,
-        Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver,
-        SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool,
-        ThreadProfile, ThreadTrace, CACHE_DIR_ENV, THREADS_ENV,
+        Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, Shard, ShardPlan, SolveRequest,
+        Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig, ThetaSpec,
+        ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV, THREADS_ENV,
     };
 
     pub use circuits::StageKind;
