@@ -21,11 +21,15 @@
 //! `target/synts-cache/`) unless `--no-cache` is given; the exit status
 //! is non-zero if any report check fails, so a spec file doubles as a CI
 //! assertion. `bench` measures the characterization fast path —
-//! cold-cache build, warm-cache build, solve/sweep wall-clock and a
-//! sequential-vs-parallel corpus build, plus a scenario-service leg
-//! (submit→report wall time through an in-process `synts-serve`, warm
-//! cache) — and writes a machine-readable JSON record (`BENCH_PR6.json`
-//! by default). `submit`, `status` and `fetch` are the thin HTTP client
+//! cold-cache build, warm-cache build, solve/sweep wall-clock, a
+//! worker-count corpus series (every row on its own throwaway cache
+//! directory, asserted cold), a scalar-vs-64-lane gate-sim comparison,
+//! the per-phase time breakdown behind the scaling numbers, plus a
+//! scenario-service leg (submit→report wall time through an in-process
+//! `synts-serve`, warm cache) — and writes a machine-readable JSON
+//! record (`BENCH_PR7.json` by default). On machines with at least 4
+//! cores the corpus series doubles as a regression gate: a 4-worker
+//! cold build must beat the 1-worker build by ≥1.5×. `submit`, `status` and `fetch` are the thin HTTP client
 //! for a running `synts-serve` (`--addr`, default `127.0.0.1:7070`):
 //! submit a spec file, poll a job, and fetch the merged report as JSON
 //! or CSV — byte-identical to what `run` prints for the same spec.
@@ -41,8 +45,8 @@ use synts_bench::render::{report_text_with_cache, save_csv, write_csv};
 use synts_core::scenario::Json;
 use synts_core::{
     characterize_cached, default_theta_sweep, reference, worker_count, CacheStats, CharCache,
-    Experiment, IntervalSelection, Quality, ScenarioSpec, SolveRequest, Solver, SolverRegistry,
-    ThetaSpec, ThreadPool,
+    Experiment, IntervalSelection, PhaseStats, Quality, ScenarioSpec, SolveRequest, Solver,
+    SolverRegistry, ThetaSpec, ThreadPool,
 };
 use synts_serve::{Client, Server, Service, ServiceConfig, Shutdown};
 
@@ -383,7 +387,7 @@ fn time_best(runs: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// The solve-phase leg behind `BENCH_PR6.json`: a θ sweep per solver
+/// The solve-phase leg behind `BENCH_PR7.json`: a θ sweep per solver
 /// through the naive pre-engine path (tables hoisted, naive inner loops —
 /// `synts::reference`) and through the sweep-scale engine, on the same
 /// instance. Returns `(baseline_s, engine_s)` per solver key.
@@ -482,7 +486,7 @@ fn solve_phase_leg(
         .field("exhaustive", exhaustive))
 }
 
-/// The scenario-service leg behind `BENCH_PR6.json`: stand up an
+/// The scenario-service leg behind `BENCH_PR7.json`: stand up an
 /// in-process `synts-serve` (HTTP and all), submit the spec twice, and
 /// time submit→report round trips. The first pass populates the
 /// service's characterization cache; the second — the row that matters —
@@ -531,11 +535,60 @@ fn service_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, Strin
     result
 }
 
-/// The perf smoke behind `BENCH_PR6.json`: characterization fast path
+/// The gate-sim leg behind `BENCH_PR7.json`: the same sampled delay
+/// trace for every thread of the spec's first barrier interval, once
+/// through the retired scalar loop (`delay_trace_into_scalar`) and once
+/// through the 64-lane bit-parallel batch (`delay_trace_into`). The two
+/// paths are property-tested bit-identical (`tests/bitparallel_sim.rs`),
+/// so this row is a pure wall-clock comparison.
+fn gatesim_leg(
+    stage: circuits::StageKind,
+    trace: &workloads::WorkloadTrace,
+    harness: &synts_core::experiments::HarnessConfig,
+) -> Result<Json, String> {
+    let charac = timing::StageCharacterizer::new(stage, harness.workload.width)
+        .map_err(|e| e.to_string())?;
+    let interval = trace
+        .intervals
+        .first()
+        .ok_or_else(|| "trace has no intervals".to_string())?;
+    let mut scratch = Vec::new();
+    let mut pass = |scalar: bool| -> Result<f64, String> {
+        let t = Instant::now();
+        for work in interval.iter() {
+            let r = if scalar {
+                charac.delay_trace_into_scalar(&work.events, harness.max_samples, &mut scratch)
+            } else {
+                charac.delay_trace_into(&work.events, harness.max_samples, &mut scratch)
+            };
+            r.map_err(|e| e.to_string())?;
+        }
+        Ok(t.elapsed().as_secs_f64())
+    };
+    // One warm pass per path surfaces errors before the timed loops.
+    pass(true)?;
+    pass(false)?;
+    const RUNS: usize = 3;
+    let mut scalar_s = f64::INFINITY;
+    let mut wide_s = f64::INFINITY;
+    for _ in 0..RUNS {
+        scalar_s = scalar_s.min(pass(true)?);
+        wide_s = wide_s.min(pass(false)?);
+    }
+    Ok(Json::obj()
+        .field("threads", Json::num(interval.threads() as f64))
+        .field("max_samples", Json::num(harness.max_samples as f64))
+        .field("scalar_s", Json::num(scalar_s))
+        .field("bitparallel_s", Json::num(wide_s))
+        .field("speedup", Json::num(scalar_s / wide_s.max(1e-12))))
+}
+
+/// The perf smoke behind `BENCH_PR7.json`: characterization fast path
 /// (cold/warm cache), the spec's end-to-end sweep, the solve-phase
-/// engine-vs-naive comparison per solver, a corpus worker-count series,
-/// and the scenario-service submit→report round trip — so the repo
-/// carries a wall-clock trajectory.
+/// engine-vs-naive comparison per solver, a cold corpus worker-count
+/// series with its per-phase time breakdown, the scalar-vs-64-lane
+/// gate-sim row, and the scenario-service submit→report round trip — so
+/// the repo carries a wall-clock trajectory.
 fn bench(args: RunArgs) -> ExitCode {
     let spec = match load_spec(&args) {
         Ok(spec) => spec,
@@ -544,7 +597,7 @@ fn bench(args: RunArgs) -> ExitCode {
     let out_path = args
         .bench_out
         .clone()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let workers = worker_count(spec.workers);
     let pool = ThreadPool::new(workers);
     let harness = spec.quality.harness();
@@ -609,47 +662,99 @@ fn bench(args: RunArgs) -> ExitCode {
     };
 
     // Corpus fan-out: the same 3×3 quick subset across a worker-count
-    // series (1 worker is the sequential baseline; prior records pinned
-    // the pool to the spec's single worker and reported a misleading
-    // 0.9× "speedup").
+    // series. Every row gets its own throwaway cache directory and
+    // asserts zero cache hits afterwards — a stale or shared cache would
+    // otherwise serve rows from disk and fake (or mask) a scaling
+    // change, which is exactly how the old 0.9× "speedup" record
+    // slipped through.
     let corpus_benchmarks = [
         workloads::Benchmark::Radix,
         workloads::Benchmark::Cholesky,
         workloads::Benchmark::Fmm,
     ];
     let corpus_stages = circuits::StageKind::ALL;
-    let time_corpus = |pool: ThreadPool| -> Result<f64, synts_core::OptError> {
+    let phases_before = PhaseStats::snapshot();
+    let mut corpus_rows = Vec::new();
+    let mut corpus_seq_s = f64::NAN;
+    let mut corpus_4w_s = f64::NAN;
+    for w in [1usize, 2, 4] {
+        let row_dir =
+            std::env::temp_dir().join(format!("synts-bench-corpus-{}-{w}w", std::process::id()));
+        let _ = std::fs::remove_dir_all(&row_dir);
+        let stats_before = CacheStats::snapshot();
         let t = Instant::now();
-        Corpus::build_subset_with(
+        let built = Corpus::build_subset_with(
             Effort::Quick,
             &corpus_benchmarks,
             &corpus_stages,
-            &CharCache::disabled(),
-            pool,
-        )?;
-        Ok(t.elapsed().as_secs_f64())
-    };
-    let mut corpus_rows = Vec::new();
-    let mut corpus_seq_s = f64::NAN;
-    for w in [1usize, 2, 4] {
-        match time_corpus(ThreadPool::new(w)) {
-            Ok(secs) => {
-                if w == 1 {
-                    corpus_seq_s = secs;
-                }
-                corpus_rows.push(
-                    Json::obj()
-                        .field("workers", Json::num(w as f64))
-                        .field("seconds", Json::num(secs))
-                        .field("speedup", Json::num(corpus_seq_s / secs.max(1e-9))),
-                );
-            }
-            Err(e) => {
-                eprintln!("corpus build failed at {w} workers: {e}");
-                return ExitCode::FAILURE;
-            }
+            &CharCache::at_dir(&row_dir),
+            ThreadPool::new(w),
+        );
+        let secs = t.elapsed().as_secs_f64();
+        let row_stats = CacheStats::snapshot().since(stats_before);
+        let _ = std::fs::remove_dir_all(&row_dir);
+        if let Err(e) = built {
+            eprintln!("corpus build failed at {w} workers: {e}");
+            return ExitCode::FAILURE;
         }
+        if row_stats.hits != 0 {
+            eprintln!(
+                "corpus row at {w} workers was not cold: {} cache hit(s)",
+                row_stats.hits
+            );
+            return ExitCode::FAILURE;
+        }
+        if w == 1 {
+            corpus_seq_s = secs;
+        }
+        if w == 4 {
+            corpus_4w_s = secs;
+        }
+        corpus_rows.push(
+            Json::obj()
+                .field("workers", Json::num(w as f64))
+                .field("seconds", Json::num(secs))
+                .field("speedup", Json::num(corpus_seq_s / secs.max(1e-9)))
+                .field("cache_hits", Json::num(row_stats.hits as f64))
+                .field("cache_misses", Json::num(row_stats.misses as f64)),
+        );
     }
+    // Per-phase wall-clock across the whole series: phase time sums over
+    // workers, so a phase whose time approaches workers × elapsed is the
+    // one parallelizing (and the one to blame when scaling stalls).
+    let phase_rows = PhaseStats::snapshot().since(phases_before).rows();
+    let mut phase_obj = Json::obj();
+    for (name, ns) in phase_rows {
+        phase_obj = phase_obj.field(name, Json::num(ns as f64 / 1e9));
+    }
+
+    // Scaling gate: on a machine that can actually run 4 workers, a
+    // 4-worker cold build must beat the sequential one by ≥1.5×. On
+    // smaller machines the series is recorded but not enforced — a
+    // 1-core container measuring ~1× is physics, not a regression.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let gate_enforced = cores >= 4;
+    let four_way_speedup = corpus_seq_s / corpus_4w_s.max(1e-9);
+    if gate_enforced && four_way_speedup < 1.5 {
+        eprintln!(
+            "corpus scaling regression: {four_way_speedup:.2}x at 4 workers (< 1.5x) \
+             on a {cores}-core machine"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Scalar vs 64-lane gate sim on the spec's own workload.
+    let gatesim = match gatesim_leg(
+        report.spec.stage,
+        &report.spec.benchmark.run(&harness.workload),
+        &harness,
+    ) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("gate-sim bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     // Service round trip: in-process synts-serve, warm-cache submit→report.
     let service = match service_leg(&spec, &report.to_json_string()) {
@@ -666,6 +771,7 @@ fn bench(args: RunArgs) -> ExitCode {
         .field("stage", Json::str(report.spec.stage.name()))
         .field("quality", Json::str(report.spec.quality.name()))
         .field("workers", Json::num(workers as f64))
+        .field("cores_available", Json::num(cores as f64))
         .field(
             "characterization",
             Json::obj()
@@ -683,8 +789,17 @@ fn bench(args: RunArgs) -> ExitCode {
             Json::obj()
                 .field("benchmarks", Json::num(corpus_benchmarks.len() as f64))
                 .field("stages", Json::num(corpus_stages.len() as f64))
-                .field("workers", Json::arr(corpus_rows)),
+                .field("workers", Json::arr(corpus_rows))
+                .field("phase_seconds", phase_obj)
+                .field(
+                    "scaling_gate",
+                    Json::obj()
+                        .field("enforced", Json::Bool(gate_enforced))
+                        .field("required_4w_speedup", Json::num(1.5))
+                        .field("measured_4w_speedup", Json::num(four_way_speedup)),
+                ),
         )
+        .field("gatesim", gatesim)
         .field("service", service);
     let text = record.render_pretty();
     print!("{text}");

@@ -141,6 +141,74 @@ impl CharCache {
     fn entry_path(&self, key_hash: u64) -> PathBuf {
         self.dir.join(format!("{key_hash:016x}.json"))
     }
+
+    /// Resolves the cache slot for one characterization — the key and
+    /// on-disk path are fixed here; [`CacheEntry::load`] and
+    /// [`CacheEntry::store`] then move data through it. This is the
+    /// split-phase form of [`characterize_workload_cached`] for callers
+    /// (like the corpus build) that probe many entries up front and
+    /// compute the misses on their own schedule.
+    #[must_use]
+    pub fn entry(
+        &self,
+        trace: &WorkloadTrace,
+        stage: StageKind,
+        cfg: &HarnessConfig,
+        netlist: &gatelib::Netlist,
+    ) -> CacheEntry {
+        if !self.enabled {
+            return CacheEntry { slot: None };
+        }
+        // Key construction hashes the full trace; charge it to the
+        // lookup phase so the breakdown shows the probe's true cost.
+        crate::phase::time_phase(crate::phase::Phase::CacheLookup, || {
+            let key = cache_key(trace, stage, cfg, netlist);
+            let mut h = Fnv::new();
+            h.write_str(&key.render());
+            CacheEntry {
+                slot: Some((self.entry_path(h.finish()), key)),
+            }
+        })
+    }
+}
+
+/// One resolved characterization-cache slot (see [`CharCache::entry`]).
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// `(path, full key)`; `None` for a disabled cache, which never
+    /// touches disk or the hit/miss counters.
+    slot: Option<(PathBuf, Json)>,
+}
+
+impl CacheEntry {
+    /// Probes the slot: a verified entry counts a hit and returns the
+    /// cached data; anything else (absent, corrupt, key-mismatched, or a
+    /// disabled cache) is a miss. The disabled cache skips the counters,
+    /// like [`characterize_workload_cached`] always has.
+    #[must_use]
+    pub fn load(&self) -> Option<BenchmarkData> {
+        let (path, key) = self.slot.as_ref()?;
+        match crate::phase::time_phase(crate::phase::Phase::CacheLookup, || load_entry(path, key)) {
+            Some(data) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                Some(data)
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists freshly computed data into the slot (best-effort, like
+    /// every cache write: I/O failure only costs a future recompute).
+    pub fn store(&self, data: &BenchmarkData) {
+        if let Some((path, key)) = &self.slot {
+            crate::phase::time_phase(crate::phase::Phase::CacheStore, || {
+                store_entry(path, key, data);
+            });
+        }
+    }
 }
 
 impl Default for CharCache {
@@ -386,7 +454,7 @@ pub fn benchmark_data_from_json(json: &Json) -> Result<BenchmarkData, OptError> 
                         .get("cpi_base")
                         .and_then(Json::as_f64)
                         .ok_or_else(|| bad("missing 'cpi_base'"))?;
-                    // Mirror `thread_data`: a stage-idle thread carries an
+                    // Mirror `characterize_thread`: a stage-idle thread carries an
                     // empty trace and the zero-delay activity curve.
                     let curve = if normalized_delays.is_empty() {
                         ErrorCurve::from_normalized_delays(vec![0.0])?
@@ -455,25 +523,28 @@ pub fn characterize_workload_cached(
     cache: &CharCache,
     pool: ThreadPool,
 ) -> Result<BenchmarkData, OptError> {
+    use crate::phase::{time_phase, Phase};
     if !cache.enabled {
         return characterize_workload_pooled(trace, stage, cfg, pool);
     }
     // Build the stage once: its netlist feeds the key's library
     // fingerprint, and on a miss the same instance is characterized
     // (no STA runs on the hit path).
-    let circuit = circuits::build_stage(stage, cfg.workload.width).map_err(TimingError::from)?;
-    let key = cache_key(trace, stage, cfg, circuit.netlist());
-    let mut h = Fnv::new();
-    h.write_str(&key.render());
-    let path = cache.entry_path(h.finish());
-    if let Some(data) = load_entry(&path, &key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+    let circuit = time_phase(Phase::StageBuild, || {
+        circuits::build_stage(stage, cfg.workload.width)
+    })
+    .map_err(TimingError::from)?;
+    let entry = cache.entry(trace, stage, cfg, circuit.netlist());
+    if let Some(data) = entry.load() {
         return Ok(data);
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let charac = StageCharacterizer::from_stage(circuit)?;
-    let data = characterize_workload_on(&charac, trace, cfg, pool)?;
-    store_entry(&path, &key, &data);
+    let charac = time_phase(Phase::StageBuild, || {
+        StageCharacterizer::from_stage(circuit)
+    })?;
+    let data = time_phase(Phase::GateSim, || {
+        characterize_workload_on(&charac, trace, cfg, pool)
+    })?;
+    entry.store(&data);
     Ok(data)
 }
 

@@ -136,7 +136,19 @@ impl BenchmarkData {
     }
 }
 
-fn thread_data(
+/// Characterizes one thread's work for one barrier interval on an
+/// already-built stage — the unit task of the characterization pipeline.
+/// [`characterize_workload_on`] maps this over every (interval, thread)
+/// pair; the corpus build fans the same units out at (benchmark × stage ×
+/// interval × thread) granularity, so exposing the unit keeps the two
+/// paths bit-identical by construction.
+///
+/// # Errors
+///
+/// Propagates characterization failures ([`OptError::Timing`]). A thread
+/// whose instructions never reach the stage is *not* an error — it yields
+/// the zero-delay activity profile.
+pub fn characterize_thread(
     charac: &StageCharacterizer,
     work: &ThreadWork,
     cfg: &HarnessConfig,
@@ -229,7 +241,7 @@ pub fn characterize_workload_on(
         .iter()
         .flat_map(|interval| interval.iter())
         .collect();
-    let data = pool.try_map(&works, |_, work| thread_data(charac, work, cfg))?;
+    let data = pool.try_map(&works, |_, work| characterize_thread(charac, work, cfg))?;
     let mut data = data.into_iter();
     let intervals = trace
         .intervals

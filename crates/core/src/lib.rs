@@ -74,6 +74,9 @@
 //! * [`cache`] — the persistent, content-addressed characterization
 //!   cache (`SYNTS_CACHE_DIR`): a warm run skips gate simulation
 //!   entirely, bit-identically;
+//! * [`phase`] — process-wide per-phase wall-clock counters
+//!   ([`PhaseStats`]) instrumenting the characterization pipeline, the
+//!   evidence trail for parallel-scaling work;
 //! * [`pareto`] — trait-dispatched θ sweeps behind Figs 6.11–6.16, fanned
 //!   out across the pool;
 //! * [`experiments`] — the end-to-end harness tying workloads, circuits and
@@ -97,6 +100,7 @@ pub mod online;
 pub mod overhead;
 pub mod parallel;
 pub mod pareto;
+pub mod phase;
 mod poly;
 pub mod power_cap;
 pub mod reference;
@@ -106,7 +110,8 @@ pub mod thrifty;
 
 pub use baselines::{no_ts, nominal, per_core_ts};
 pub use cache::{
-    characterize_cached, characterize_workload_cached, CacheStats, CharCache, CACHE_DIR_ENV,
+    characterize_cached, characterize_workload_cached, CacheEntry, CacheStats, CharCache,
+    CACHE_DIR_ENV,
 };
 pub use error::OptError;
 pub use exhaustive::{pruning_stats, synts_exhaustive, PruningStats, EXHAUSTIVE_LIMIT};
@@ -125,6 +130,7 @@ pub use pareto::{
     default_theta_sweep, log_theta_grid, pareto_sweep, pareto_sweep_pooled, theta_equal_weight,
     SweepPoint,
 };
+pub use phase::{time_phase, Phase, PhaseStats};
 pub use poly::synts_poly;
 pub use scenario::{
     Dataset, Experiment, IntervalSelection, Quality, Record, Report, ReportCheck, ScenarioSpec,

@@ -35,15 +35,23 @@ pub const THREADS_ENV: &str = "SYNTS_THREADS";
 ///
 /// # Panics
 ///
-/// If [`THREADS_ENV`] is set to something other than an integer >= 1
-/// (`0`, negative, or non-numeric). A typo'd worker knob silently
-/// falling back to "the whole machine" (or to sequential) is exactly
-/// the kind of misconfiguration that shows up as a mystery perf cliff
-/// on a fleet — fail loudly at the first pool construction instead.
+/// If `explicit` is `Some(0)`, or [`THREADS_ENV`] is set to something
+/// other than an integer >= 1 (`0`, negative, or non-numeric). A typo'd
+/// worker knob silently falling back to "the whole machine" (or to
+/// sequential) is exactly the kind of misconfiguration that shows up as
+/// a mystery perf cliff on a fleet — fail loudly at the first pool
+/// construction instead, and give `workers(0)` and `SYNTS_THREADS=0`
+/// the same loud answer rather than two behaviors.
 #[must_use]
 pub fn worker_count(explicit: Option<usize>) -> usize {
     if let Some(n) = explicit {
-        return n.max(1);
+        assert!(
+            n >= 1,
+            "workers=0 is invalid: expected an integer >= 1 \
+             (use 1 for a sequential run, or no explicit count to use the \
+             machine's available parallelism)"
+        );
+        return n;
     }
     if let Ok(raw) = std::env::var(THREADS_ENV) {
         return threads_from_env(&raw);
@@ -113,6 +121,24 @@ impl ThreadPool {
     /// map runs inline on the calling thread — no spawn, identical
     /// semantics. A panic in `f` is propagated to the caller after all
     /// workers have been joined.
+    ///
+    /// ## Scheduling: greedy one-at-a-time claiming
+    ///
+    /// Workers pull single indices from a shared atomic cursor. For the
+    /// few-expensive-items shape (a corpus build: a handful of
+    /// second-long characterizations) this is the *right* discipline: a
+    /// worker is never idle while unclaimed items remain, so the
+    /// makespan satisfies Graham's bound
+    /// `elapsed ≤ sum(costs)/workers + max(cost)` regardless of cost
+    /// distribution (pinned by
+    /// `greedy_claiming_bounds_worker_idle_on_expensive_items`).
+    /// Pre-chunked assignment ([`ThreadPool::chunk_ranges`], which
+    /// `pareto_sweep` uses to amortize per-chunk setup) has no such
+    /// bound — two expensive items landing in one worker's chunk
+    /// serialize while the other workers drain their cheap chunks and
+    /// idle. The cursor `fetch_add` costs nanoseconds per item; it only
+    /// matters for micro-items, which belong in batched `solve_batch`
+    /// calls anyway.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -248,8 +274,31 @@ mod tests {
     #[test]
     fn worker_count_prefers_explicit_over_env() {
         assert_eq!(worker_count(Some(3)), 3);
-        assert_eq!(worker_count(Some(0)), 1, "clamped to at least one");
+        assert_eq!(worker_count(Some(1)), 1);
         assert!(worker_count(None) >= 1);
+    }
+
+    /// An explicit zero is the same misconfiguration as `SYNTS_THREADS=0`
+    /// and gets the same loud rejection (message shape and all), never a
+    /// silent clamp to sequential.
+    #[test]
+    fn worker_count_rejects_explicit_zero_loudly() {
+        let panic = std::panic::catch_unwind(|| worker_count(Some(0)))
+            .expect_err("workers=0 must be rejected");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("workers=0"), "names the knob: {msg}");
+        assert!(
+            msg.contains("expected an integer >= 1"),
+            "same message shape as the env rejection: {msg}"
+        );
+        assert!(
+            msg.contains("use 1 for a sequential run"),
+            "tells the caller the fix: {msg}"
+        );
     }
 
     #[test]
@@ -313,6 +362,40 @@ mod tests {
                 assert!(ranges.len() <= workers.max(1));
             }
         }
+    }
+
+    /// The satellite contract for the corpus shape (few, expensive
+    /// items): worker idle time is bounded. With greedy one-at-a-time
+    /// claiming no worker idles while unclaimed items remain, so total
+    /// idle is at most `(workers-1) × max(cost)` — equivalently the
+    /// makespan obeys Graham's bound `sum/workers + max`. Sleeps are used
+    /// as costs because they overlap even on a single hardware core,
+    /// which keeps this meaningful on 1-CPU CI runners. The generous
+    /// margin absorbs scheduler jitter; a pathological schedule (two
+    /// expensive items serialized on one worker, or no overlap at all)
+    /// misses the bound by whole sleep-lengths, not by jitter.
+    #[test]
+    fn greedy_claiming_bounds_worker_idle_on_expensive_items() {
+        use std::time::{Duration, Instant};
+        // 12 cheap + 1 expensive item, expensive in the middle — the
+        // distribution that wrecks static chunking.
+        let mut costs_ms: Vec<u64> = vec![30; 12];
+        costs_ms.insert(6, 120);
+        let workers = 4;
+        let sum: u64 = costs_ms.iter().sum(); // 480 ms
+        let max = 120;
+        let start = Instant::now();
+        ThreadPool::new(workers).map(&costs_ms, |_, &ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+        });
+        let elapsed = start.elapsed();
+        let graham = sum / workers as u64 + max; // 240 ms
+        let margin = 60;
+        assert!(
+            elapsed <= Duration::from_millis(graham + margin),
+            "makespan {elapsed:?} exceeds Graham bound {graham}ms + {margin}ms margin \
+             (sequential would be {sum}ms)"
+        );
     }
 
     #[test]

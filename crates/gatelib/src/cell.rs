@@ -268,6 +268,42 @@ impl CellKind {
         }
     }
 
+    /// Evaluate the cell's logic function on 64 independent input sets at
+    /// once: bit `l` of each input word is input lane `l`, and bit `l` of
+    /// the result is that lane's output — the bit-parallel form of
+    /// [`CellKind::eval`] that [`crate::WideTimingSim`] drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        debug_assert_eq!(inputs.len(), self.arity(), "arity checked at build");
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellKind::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            CellKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellKind::Mux2 => (inputs[0] & inputs[2]) | (!inputs[0] & inputs[1]),
+            CellKind::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            CellKind::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            CellKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellKind::Tie0 => 0,
+            CellKind::Tie1 => !0,
+        }
+    }
+
     /// Evaluate the cell's logic function.
     ///
     /// # Panics
@@ -364,6 +400,36 @@ mod tests {
                         "parity mismatch at {a},{b},{c}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_word_matches_eval_on_every_truth_table_row() {
+        // Pack every truth-table row of a kind into one word, lane per row:
+        // lane l's input i is bit i of l. 64 lanes cover all arities (≤ 8
+        // rows used; the rest replicate row 0 and must agree too).
+        for kind in CellKind::ALL {
+            let arity = kind.arity();
+            let rows = 1usize << arity;
+            let mut words = vec![0u64; arity];
+            for lane in 0..64 {
+                let row = lane % rows;
+                for (i, w) in words.iter_mut().enumerate() {
+                    if (row >> i) & 1 == 1 {
+                        *w |= 1 << lane;
+                    }
+                }
+            }
+            let out = kind.eval_word(&words);
+            for lane in 0..64 {
+                let row = lane % rows;
+                let inputs: Vec<bool> = (0..arity).map(|i| (row >> i) & 1 == 1).collect();
+                assert_eq!(
+                    (out >> lane) & 1 == 1,
+                    kind.eval(&inputs),
+                    "{kind}: lane {lane} row {row}"
+                );
             }
         }
     }

@@ -47,6 +47,7 @@ mod sta;
 mod stats;
 pub mod variation;
 mod voltage;
+mod wide;
 
 pub use cell::{CellKind, CellParams, CELL_LIBRARY_NAME};
 pub use error::NetlistError;
@@ -55,3 +56,4 @@ pub use sim::{Step, TimingSim, Transition};
 pub use sta::{CriticalPath, StaticTiming};
 pub use stats::{NetlistStats, PowerEstimate};
 pub use voltage::{Voltage, VoltageTable, VOLTAGE_TABLE_POINTS};
+pub use wide::{WideStep, WideTimingSim, LANES};

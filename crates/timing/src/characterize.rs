@@ -4,7 +4,7 @@
 
 use circuits::{build_stage, AluEvent, PipeStage, StageKind};
 use gatelib::variation::DelayFactors;
-use gatelib::{StaticTiming, TimingSim, Voltage};
+use gatelib::{StaticTiming, TimingSim, Voltage, WideTimingSim, LANES};
 
 use crate::err_curve::ErrorCurve;
 use crate::error::TimingError;
@@ -150,12 +150,21 @@ impl StageCharacterizer {
         DelayTrace::new(delays, self.tnom_v1)
     }
 
-    /// The batched characterization entry point: streams `events` through
-    /// one simulator and appends the sensitized delay of every recorded
-    /// instruction to `delays` — no intermediate event collection, no
-    /// per-vector allocation (the input vector and the simulator's net
-    /// state are reused buffers). `delays` is cleared first, so a caller
-    /// characterizing many intervals can recycle one buffer.
+    /// The batched characterization entry point: replays `events` through
+    /// a 64-lane bit-parallel simulator ([`gatelib::WideTimingSim`]) and
+    /// writes the sensitized delay of every recorded instruction into
+    /// `delays` (cleared first, so a caller characterizing many intervals
+    /// can recycle one buffer).
+    ///
+    /// The recorded delay of instruction `k` depends only on the settled
+    /// circuit state left by instruction `k-1` — a pure function of that
+    /// one vector — so the record list can be cut into up to 64 contiguous
+    /// chunks, each chunk seeded with its predecessor vector and replayed
+    /// in its own lane. One bitwise gate sweep then advances all chunks at
+    /// once, and the result is **bit-identical** to the sequential replay
+    /// (kept as [`Self::delay_trace_into_scalar`] and property-tested
+    /// against it in `tests/bitparallel_sim.rs`), at roughly the cost of
+    /// one lane.
     ///
     /// [`Self::delay_trace_sampled`] is this plus a [`DelayTrace`]
     /// wrapper; the recorded delays are bit-identical.
@@ -165,6 +174,108 @@ impl StageCharacterizer {
     /// Returns [`TimingError::EmptyTrace`] if fewer than two events reach
     /// the stage.
     pub fn delay_trace_into(
+        &self,
+        events: &[AluEvent],
+        max_samples: usize,
+        delays: &mut Vec<f64>,
+    ) -> Result<(), TimingError> {
+        delays.clear();
+        let accepted: Vec<&AluEvent> = events.iter().filter(|e| self.stage.accepts(e.op)).collect();
+        let m = accepted.len();
+        if m < 2 {
+            return Err(TimingError::EmptyTrace);
+        }
+        // Same sampling contract as the scalar path (see
+        // `delay_trace_into_scalar` for why the stride is forced odd).
+        let wanted = max_samples.max(1);
+        let stride = ((m / wanted.saturating_add(1)).max(1)) | 1;
+        // Record j is the transition into accepted event `j*stride + 1`
+        // (stride > 1: disjoint seeded pairs; stride == 1: a chained walk).
+        let records = if stride == 1 {
+            (m - 1).min(wanted)
+        } else {
+            ((m - 2) / stride + 1).min(wanted)
+        };
+
+        // Per-lane schedule: (accepted-event index, record slot). NO_SLOT
+        // marks seed steps whose delay is discarded. Records are split
+        // into contiguous near-equal chunks so every lane replays an
+        // independent slice of the trace.
+        const NO_SLOT: usize = usize::MAX;
+        let lanes = records.min(LANES);
+        let mut ops: Vec<Vec<(usize, usize)>> = Vec::with_capacity(lanes);
+        let base = records / lanes;
+        let extra = records % lanes;
+        let mut next = 0usize;
+        for l in 0..lanes {
+            let len = base + usize::from(l < extra);
+            let (start, end) = (next, next + len);
+            next = end;
+            let mut lane_ops = Vec::new();
+            if stride == 1 {
+                lane_ops.push((start, NO_SLOT));
+                for r in start..end {
+                    lane_ops.push((r + 1, r));
+                }
+            } else {
+                for j in start..end {
+                    lane_ops.push((j * stride, NO_SLOT));
+                    lane_ops.push((j * stride + 1, j));
+                }
+            }
+            ops.push(lane_ops);
+        }
+
+        let mut sim = match &self.die {
+            Some(f) => WideTimingSim::with_factors(self.stage.netlist(), Voltage::NOMINAL, f)?,
+            None => WideTimingSim::new(self.stage.netlist(), Voltage::NOMINAL)?,
+        };
+        let n_pi = self.stage.netlist().primary_inputs().len();
+        let mut words = vec![0u64; n_pi];
+        let mut buf: Vec<bool> = Vec::new();
+        delays.resize(records, 0.0);
+        let depth = ops.iter().map(Vec::len).max().unwrap_or(0);
+        for t in 0..depth {
+            for (lane, lane_ops) in ops.iter().enumerate() {
+                // Lanes past the end of their schedule keep their previous
+                // vector: re-applying it toggles nothing and records
+                // nothing, so ragged chunks cost no extra sweeps.
+                let Some(&(ev, _)) = lane_ops.get(t) else {
+                    continue;
+                };
+                self.stage.encode_into(accepted[ev], &mut buf);
+                let mask = !(1u64 << lane);
+                for (w, &bit) in words.iter_mut().zip(&buf) {
+                    *w = (*w & mask) | (u64::from(bit) << lane);
+                }
+            }
+            let step = sim.step(&words)?;
+            for (lane, lane_ops) in ops.iter().enumerate() {
+                if let Some(&(_, slot)) = lane_ops.get(t) {
+                    if slot != NO_SLOT {
+                        delays[slot] = step.delays[lane];
+                    }
+                }
+            }
+        }
+        if delays.is_empty() {
+            return Err(TimingError::EmptyTrace);
+        }
+        Ok(())
+    }
+
+    /// The sequential reference for [`Self::delay_trace_into`]: one scalar
+    /// [`TimingSim`] streamed through the accepted events — no
+    /// intermediate event collection, no per-vector allocation (the input
+    /// vector and the simulator's net state are reused buffers). The wide
+    /// path must match this bit for bit; it exists as the executable
+    /// specification and for one-off callers timing a handful of vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::EmptyTrace`] if fewer than two events reach
+    /// the stage.
+    pub fn delay_trace_into_scalar(
         &self,
         events: &[AluEvent],
         max_samples: usize,
@@ -399,6 +510,51 @@ mod tests {
         assert!(
             gap < 0.25,
             "subsample should roughly track full curve, gap {gap}"
+        );
+    }
+
+    /// The wide (64-lane) and scalar trace paths must agree bit for bit —
+    /// across chained (stride == 1) and seeded-pair (stride > 1) sampling,
+    /// ragged chunk boundaries, and die-factored delays. The workspace
+    /// proptest in `tests/bitparallel_sim.rs` explores this space
+    /// randomly; these fixed shapes pin the corners.
+    #[test]
+    fn wide_trace_is_bit_identical_to_scalar() {
+        let c = StageCharacterizer::new(StageKind::SimpleAlu, 8).expect("build");
+        let events = lcg_events(17, 900, 0xFF);
+        let mut wide = Vec::new();
+        let mut scalar = Vec::new();
+        // max_samples spans: <64 records (ragged), exactly 64, chained
+        // full trace, and strided subsampling.
+        for max_samples in [1, 3, 63, 64, 65, 50, 200, usize::MAX] {
+            c.delay_trace_into(&events, max_samples, &mut wide)
+                .expect("wide");
+            c.delay_trace_into_scalar(&events, max_samples, &mut scalar)
+                .expect("scalar");
+            let wide_bits: Vec<u64> = wide.iter().map(|d| d.to_bits()).collect();
+            let scalar_bits: Vec<u64> = scalar.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(wide_bits, scalar_bits, "max_samples = {max_samples}");
+        }
+    }
+
+    #[test]
+    fn wide_trace_matches_scalar_on_die() {
+        let stage = circuits::build_stage(StageKind::SimpleAlu, 8).expect("build");
+        let aging = gatelib::variation::AgingModel::nbti_ptm22();
+        let f = aging
+            .factors(stage.netlist().cell_count(), 7.0, None)
+            .expect("ok");
+        let c = StageCharacterizer::from_stage_on_die(stage, f, DieTiming::Binned).expect("build");
+        let events = lcg_events(23, 400, 0xFF);
+        let mut wide = Vec::new();
+        let mut scalar = Vec::new();
+        c.delay_trace_into(&events, usize::MAX, &mut wide)
+            .expect("wide");
+        c.delay_trace_into_scalar(&events, usize::MAX, &mut scalar)
+            .expect("scalar");
+        assert_eq!(
+            wide.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
         );
     }
 

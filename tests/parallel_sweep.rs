@@ -142,13 +142,24 @@ proptest! {
     }
 }
 
-/// The builder's `workers` knob reaches the sweep pool.
+/// The builder's `workers` knob reaches the sweep pool — and an explicit
+/// zero fails as loudly as `SYNTS_THREADS=0` would, instead of silently
+/// clamping to a sequential run.
 #[test]
 fn builder_workers_knob_configures_the_pool() {
     let synts: Synts = Synts::builder().workers(3).build().expect("builds");
     assert_eq!(synts.pool().workers(), 3);
-    let clamped: Synts = Synts::builder().workers(0).build().expect("builds");
-    assert_eq!(clamped.pool().workers(), 1, "clamped to at least one");
+    let panic = std::panic::catch_unwind(|| Synts::builder().workers(0).build())
+        .expect_err("workers(0) must be rejected loudly");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("expected an integer >= 1"),
+        "same message shape as the SYNTS_THREADS rejection: {msg}"
+    );
 }
 
 /// `Synts::sweep` goes through the pooled engine and stays deterministic.
