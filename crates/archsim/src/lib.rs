@@ -24,6 +24,7 @@
 //! assert!(!l1.access(0x1000, false)); // cold miss
 //! assert!(l1.access(0x1000, false));  // hit
 //! ```
+#![forbid(unsafe_code)]
 
 mod cache;
 mod core;

@@ -9,6 +9,7 @@
 //! Each target prints its data table, saves a CSV under `results/`, and
 //! evaluates the paper's qualitative claims (shape checks). Exit status is
 //! non-zero if any requested check fails.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 

@@ -6,6 +6,7 @@
 //!                           [--no-cache] [--cache-dir <dir>] [--quiet]
 //! synts-cli bench [<spec.json>] [--quick|--paper] [--workers N]
 //!                 [--out <bench.json>]
+//! synts-cli check <spec.json> [--max-shards N] [--quick|--paper] [--workers N]
 //! synts-cli submit <spec.json> [--addr HOST:PORT] [--quick|--paper] [--workers N]
 //! synts-cli status <job-id> [--addr HOST:PORT]
 //! synts-cli fetch <job-id> [--addr HOST:PORT] [--csv] [--wait SECS] [--out FILE]
@@ -35,6 +36,7 @@
 //! or CSV — byte-identical to what `run` prints for the same spec.
 //! `schemes` lists every registry key a spec may name, and `template`
 //! prints a starter spec.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -55,6 +57,7 @@ fn usage() -> ExitCode {
         "usage: synts-cli run <spec.json> [--quick|--paper] [--workers N] \
          [--json <out.json>] [--csv <out.csv>] [--no-cache] [--cache-dir <dir>] [--quiet]\n\
          \x20      synts-cli bench [<spec.json>] [--quick|--paper] [--workers N] [--out <bench.json>]\n\
+         \x20      synts-cli check <spec.json> [--max-shards N] [--quick|--paper] [--workers N]\n\
          \x20      synts-cli submit <spec.json> [--addr HOST:PORT] [--quick|--paper] [--workers N]\n\
          \x20      synts-cli status <job-id> [--addr HOST:PORT]\n\
          \x20      synts-cli fetch <job-id> [--addr HOST:PORT] [--csv] [--wait SECS] [--out FILE]\n\
@@ -187,6 +190,182 @@ fn load_spec(args: &RunArgs) -> Result<ScenarioSpec, ExitCode> {
         spec.workers = Some(workers);
     }
     Ok(spec)
+}
+
+/// Arguments of `synts-cli check`.
+struct CheckArgs {
+    spec_path: String,
+    quality: Option<Quality>,
+    workers: Option<usize>,
+    /// Shard cap for the plan preview (the service's `max_shards`).
+    max_shards: usize,
+}
+
+fn parse_check_args(args: &[String]) -> Option<CheckArgs> {
+    let mut out = CheckArgs {
+        spec_path: String::new(),
+        quality: None,
+        workers: None,
+        max_shards: 4,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => out.quality = Some(Quality::Quick),
+            "--paper" => out.quality = Some(Quality::Paper),
+            "--workers" => out.workers = Some(it.next()?.parse().ok()?),
+            "--max-shards" => out.max_shards = it.next()?.parse().ok()?,
+            _ if arg.starts_with('-') || !out.spec_path.is_empty() => return None,
+            _ => out.spec_path = arg.clone(),
+        }
+    }
+    if out.spec_path.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// `synts-cli check`: static validation of a scenario spec — no
+/// characterization, no solving. Catches what would otherwise fail
+/// minutes into a run (or on a service worker): unknown scheme keys
+/// (with "did you mean" from the registry), a degenerate θ grid, an
+/// invalid worker count — and previews how the service would shard the
+/// θ grid ([`ShardPlan`]'s partition, computed from the grid size alone).
+fn check(args: &CheckArgs) -> ExitCode {
+    let run_args = RunArgs {
+        spec_path: args.spec_path.clone(),
+        quality: args.quality,
+        workers: args.workers,
+        json_out: None,
+        csv_out: None,
+        no_cache: false,
+        cache_dir: None,
+        quiet: true,
+        bench_out: None,
+    };
+    let spec = match load_spec(&run_args) {
+        Ok(spec) => spec,
+        Err(code) => return code,
+    };
+    println!("[check] spec '{}' ({})", spec.name, args.spec_path);
+    println!(
+        "[check] benchmark: {}  stage: {}  quality: {}",
+        spec.benchmark.name(),
+        spec.stage.name(),
+        spec.quality.name()
+    );
+    let mut errors = 0usize;
+    let fail = |msg: String| {
+        eprintln!("error: {msg}");
+    };
+
+    // Scheme keys against the registry, with typo suggestions.
+    let registry: SolverRegistry = SolverRegistry::with_defaults();
+    if spec.schemes.is_empty() {
+        errors += 1;
+        fail("schemes: must name at least one registry key".to_string());
+    }
+    for (i, key) in spec.schemes.iter().enumerate() {
+        if let Err(e) = registry.get(key) {
+            errors += 1;
+            fail(format!("schemes[{i}]: {e}"));
+        }
+    }
+    if let Some(key) = &spec.normalize_to {
+        if let Err(e) = registry.get(key) {
+            errors += 1;
+            fail(format!("normalize_to: {e}"));
+        }
+    }
+    if errors == 0 {
+        println!(
+            "[check] schemes: {} — all registered",
+            spec.schemes.join(", ")
+        );
+    }
+
+    // θ-grid sanity. The grid size is statically known for every
+    // ThetaSpec variant, so the shard preview below needs no
+    // characterization.
+    let grid_points = match &spec.thetas {
+        ThetaSpec::EqualWeight => {
+            println!("[check] θ grid: the single equal-weight θ");
+            1
+        }
+        ThetaSpec::Grid(values) => {
+            if values.is_empty() {
+                errors += 1;
+                fail("thetas: explicit grid is empty".to_string());
+            }
+            for (i, v) in values.iter().enumerate() {
+                if !v.is_finite() || *v <= 0.0 {
+                    errors += 1;
+                    fail(format!("thetas[{i}]: θ must be finite and > 0, got {v}"));
+                }
+            }
+            if values.windows(2).any(|w| w[1] <= w[0]) {
+                eprintln!(
+                    "warning: thetas: grid is not strictly increasing; \
+                     reports sweep it in the given order"
+                );
+            }
+            println!("[check] θ grid: {} explicit point(s)", values.len());
+            values.len()
+        }
+        ThetaSpec::LogAroundEqualWeight { points, decades } => {
+            if *points == 0 {
+                errors += 1;
+                fail("thetas: log sweep needs at least 1 point".to_string());
+            }
+            if !decades.is_finite() || *decades <= 0.0 {
+                errors += 1;
+                fail(format!(
+                    "thetas: log sweep half-width must be finite and > 0, got {decades}"
+                ));
+            }
+            println!(
+                "[check] θ grid: {points} log-spaced point(s), ±{decades} decades \
+                 around the equal-weight θ"
+            );
+            *points
+        }
+    };
+
+    if spec.workers == Some(0) {
+        errors += 1;
+        fail("workers: must be >= 1 (or omitted to use SYNTS_THREADS / the machine)".to_string());
+    }
+
+    // Shard-plan preview: the same θ-index chunking ShardPlan::plan
+    // produces, sans benchmark characterization.
+    if grid_points > 0 {
+        let chunks = ThreadPool::new(args.max_shards.max(1)).chunk_ranges(grid_points);
+        println!(
+            "[check] shard plan (max {} shard(s)): {} shard(s) over {} θ point(s)",
+            args.max_shards.max(1),
+            chunks.len(),
+            grid_points
+        );
+        for (i, range) in chunks.iter().enumerate() {
+            let verify = if i == 0 && spec.verify_model {
+                "  (+ model verification)"
+            } else {
+                ""
+            };
+            println!(
+                "[check]   {}@shard{i}: θ[{}..{}){verify}",
+                spec.name, range.start, range.end
+            );
+        }
+    }
+
+    if errors == 0 {
+        println!("[check] OK — spec is statically valid");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[check] {errors} error(s) in {}", args.spec_path);
+        ExitCode::FAILURE
+    }
 }
 
 /// Arguments of the `submit`/`status`/`fetch` service subcommands.
@@ -824,6 +1003,10 @@ fn main() -> ExitCode {
             Some("crates/bench/specs/fig-6-12.json"),
         ) {
             Some(run_args) => bench(run_args),
+            None => usage(),
+        },
+        Some("check") => match parse_check_args(&args[1..]) {
+            Some(check_args) => check(&check_args),
             None => usage(),
         },
         Some("submit") => match parse_service_args(&args[1..]) {

@@ -14,6 +14,7 @@
 //! The `repro` binary dispatches to these; Criterion benches (solver
 //! scaling, gate-sim throughput, characterization cost, online-controller
 //! cost, adder ablation) live under `benches/`.
+#![forbid(unsafe_code)]
 
 pub mod corpus;
 pub mod ext_figures;

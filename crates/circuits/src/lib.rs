@@ -25,6 +25,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod adder;
 mod complex_alu;

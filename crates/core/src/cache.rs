@@ -100,6 +100,7 @@ impl CharCache {
     /// [`CACHE_DIR_ENV`] or [`CACHE_DIR_DEFAULT`].
     #[must_use]
     pub fn from_env() -> CharCache {
+        // synts-lint: allow(env-read) — SYNTS_CACHE_DIR only moves where cache files live, never what they contain
         let dir = std::env::var(CACHE_DIR_ENV)
             .ok()
             .filter(|s| !s.trim().is_empty())

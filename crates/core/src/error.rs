@@ -56,7 +56,11 @@ impl fmt::Display for OptError {
                         f,
                         "unknown solver scheme '{name}' (registered: {})",
                         known.join(", ")
-                    )
+                    )?;
+                    if let Some(best) = closest_match(name, known.iter().map(String::as_str)) {
+                        write!(f, "; did you mean '{best}'?")?;
+                    }
+                    Ok(())
                 }
             }
             OptError::Spec(msg) => write!(f, "scenario: {msg}"),
@@ -67,6 +71,48 @@ impl fmt::Display for OptError {
             ),
         }
     }
+}
+
+/// Classic two-row Levenshtein edit distance (insert/delete/substitute,
+/// unit costs), over `char`s.
+#[must_use]
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return a.len() + b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `target` by edit distance, if any is close
+/// enough to be a plausible typo (distance ≤ max(1, target_len / 3)).
+/// Ties resolve to the earliest candidate, so sorted inputs give a
+/// deterministic suggestion.
+#[must_use]
+pub fn closest_match<'a>(
+    target: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<&'a str> {
+    let budget = (target.chars().count() / 3).max(1);
+    let mut best: Option<(usize, &'a str)> = None;
+    for cand in candidates {
+        let d = levenshtein(target, cand);
+        if d <= budget && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, cand)| cand)
 }
 
 impl Error for OptError {
@@ -118,5 +164,33 @@ mod tests {
             msg.contains("synts_poly") && msg.contains("nominal"),
             "lists the registered keys: {msg}"
         );
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("synts_poly", "synts_poly"), 0);
+        assert_eq!(levenshtein("synts_poly", "synts_polly"), 1);
+    }
+
+    #[test]
+    fn close_typos_earn_a_suggestion_distant_names_do_not() {
+        let known = ["synts_poly", "synts_milp", "nominal", "exhaustive"];
+        assert_eq!(closest_match("synts_polly", known), Some("synts_poly"));
+        assert_eq!(closest_match("nominel", known), Some("nominal"));
+        assert_eq!(closest_match("warp_drive", known), None);
+        let e = OptError::UnknownSolver {
+            name: "synts_pol".to_string(),
+            known: known.iter().map(|s| (*s).to_string()).collect(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("did you mean 'synts_poly'"), "{msg}");
+        let e = OptError::UnknownSolver {
+            name: "warp_drive".to_string(),
+            known: known.iter().map(|s| (*s).to_string()).collect(),
+        };
+        assert!(!e.to_string().contains("did you mean"), "{e}");
     }
 }

@@ -85,6 +85,7 @@
 //!   serializable [`scenario::ScenarioSpec`] run by
 //!   [`scenario::Experiment`] into a typed, JSON/CSV-serializable
 //!   [`scenario::Report`] (specs on disk → reproducible figures).
+#![forbid(unsafe_code)]
 
 mod baselines;
 pub mod cache;
@@ -113,7 +114,7 @@ pub use cache::{
     characterize_cached, characterize_workload_cached, CacheEntry, CacheStats, CharCache,
     CACHE_DIR_ENV,
 };
-pub use error::OptError;
+pub use error::{closest_match, levenshtein, OptError};
 pub use exhaustive::{pruning_stats, synts_exhaustive, PruningStats, EXHAUSTIVE_LIMIT};
 pub use milp_formulation::{synts_milp, synts_milp_with, MilpTuning};
 pub use model::{

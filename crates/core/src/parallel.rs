@@ -53,6 +53,7 @@ pub fn worker_count(explicit: Option<usize>) -> usize {
         );
         return n;
     }
+    // synts-lint: allow(env-read) — SYNTS_THREADS is the sanctioned worker-count knob; results are bit-identical at any count
     if let Ok(raw) = std::env::var(THREADS_ENV) {
         return threads_from_env(&raw);
     }
@@ -213,7 +214,9 @@ impl ThreadPool {
     /// Splits `0..len` into at most `workers` contiguous near-equal index
     /// ranges — the chunking `pareto_sweep` uses so each worker's
     /// `solve_batch` call amortizes shared setup over its whole chunk.
-    pub(crate) fn chunk_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
+    /// Public so `synts-cli check` can preview a shard plan's θ-grid
+    /// partition without characterizing the benchmark.
+    pub fn chunk_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
         let workers = self.workers.min(len).max(1);
         let base = len / workers;
         let extra = len % workers;

@@ -745,6 +745,13 @@ impl<M: ErrorModel + 'static> SolverRegistry<M> {
         self.solvers.keys().copied()
     }
 
+    /// The registered key closest to `name` by edit distance, when close
+    /// enough to be a plausible typo ("did you mean ...?").
+    #[must_use]
+    pub fn suggest(&self, name: &str) -> Option<&'static str> {
+        crate::error::closest_match(name, self.names())
+    }
+
     /// All `(name, solver)` pairs, sorted by name.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Arc<dyn Solver<M>>)> {
         self.solvers.iter().map(|(k, v)| (*k, v))

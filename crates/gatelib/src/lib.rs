@@ -36,6 +36,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod cell;
 mod error;

@@ -398,6 +398,7 @@ pub fn guard_band_with_workers(
 /// sequential, clamped to 1), otherwise the machine's parallelism —
 /// the same resolution order as the optimizer's thread pool.
 fn workers_from_env() -> usize {
+    // synts-lint: allow(env-read) — SYNTS_THREADS is the sanctioned worker-count knob; results are bit-identical at any count
     if let Ok(raw) = std::env::var("SYNTS_THREADS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
             return n.max(1);

@@ -23,6 +23,7 @@
 //! // All 16 lanes look alike: the paper's homogeneity finding.
 //! assert!(report.min_similarity > 0.9);
 //! ```
+#![forbid(unsafe_code)]
 
 mod analysis;
 mod kernels;

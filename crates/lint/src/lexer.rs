@@ -1,0 +1,509 @@
+//! A small, self-contained Rust token scanner.
+//!
+//! The workspace vendors derive-only stand-ins for `serde`/`proptest`, so
+//! there is no `syn` to lean on; this lexer covers exactly what the lint
+//! rules need and nothing more:
+//!
+//! * identifiers and keywords (one token kind — rules match on spelling),
+//! * punctuation, one char per token,
+//! * string / raw-string / byte-string / char literals and numbers,
+//!   collapsed to an opaque [`TokKind::Literal`] so `"HashMap"` inside a
+//!   string can never trip a rule,
+//! * lifetimes, kept distinct from char literals so `&'static mut T`
+//!   cannot be mistaken for `static mut`,
+//! * line comments, surfaced separately (suppression comments live
+//!   there); block comments are skipped and may nest.
+//!
+//! Every token and comment carries its 1-based source line. On top of the
+//! raw stream, [`test_line_ranges`] finds `#[cfg(test)]` / `#[test]`
+//! items so determinism rules can ignore test-only code, where wall-clock
+//! reads and temp dirs are legitimate.
+
+/// What a token is; contents only matter for identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `static`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `:`, ...).
+    Punct(char),
+    /// A lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// The token itself.
+    pub kind: TokKind,
+}
+
+/// One `//` comment (doc comments included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+    /// Whether the comment is the first thing on its line (a standalone
+    /// comment suppresses the *next* code line; a trailing one its own).
+    pub standalone: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Never fails: unterminated literals simply run to EOF,
+/// which is good enough for a linter (rustc reports the real error).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    // Consumes a `"..."` string body starting at the opening quote;
+    // returns the index after the closing quote.
+    let quoted = |chars: &[char], mut j: usize, line: &mut u32| -> usize {
+        j += 1; // opening quote
+        while j < n {
+            match chars[j] {
+                '\\' => {
+                    if j + 1 < n && chars[j + 1] == '\n' {
+                        *line += 1;
+                    }
+                    j += 2;
+                }
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                '"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        j
+    };
+    // Consumes a `'...'` char body starting at the opening quote.
+    let char_lit = |chars: &[char], mut j: usize| -> usize {
+        j += 1;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        j
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+                standalone: !line_has_code,
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            line_has_code = true;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            i = quoted(&chars, i, &mut line);
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokKind::Literal,
+            });
+            line_has_code = true;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let tok_line = line;
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if next.is_some_and(is_ident_start) && after != Some('\'') {
+                // Lifetime: consume the identifier.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                i = j;
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Lifetime,
+                });
+            } else {
+                i = char_lit(&chars, i);
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Literal,
+                });
+            }
+            line_has_code = true;
+            continue;
+        }
+        // Number literal (loose: consumes alphanumerics, `_` and `.`).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '.') {
+                j += 1;
+            }
+            i = j;
+            out.tokens.push(Token {
+                line,
+                kind: TokKind::Literal,
+            });
+            line_has_code = true;
+            continue;
+        }
+        // Identifier / keyword, with raw- and byte-string prefix handling.
+        if is_ident_start(c) {
+            let tok_line = line;
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let ident: String = chars[i..j].iter().collect();
+            i = j;
+            // r"...", r#"..."#, br"...", b"...", b'...' and raw idents.
+            if matches!(ident.as_str(), "r" | "b" | "br") && i < n {
+                let mut hashes = 0usize;
+                let mut k = i;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if ident != "b" && k < n && chars[k] == '"' {
+                    // Raw string: runs to `"` followed by `hashes` hashes.
+                    let mut m = k + 1;
+                    'raw: while m < n {
+                        if chars[m] == '\n' {
+                            line += 1;
+                            m += 1;
+                            continue;
+                        }
+                        if chars[m] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && m + 1 + h < n && chars[m + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                m += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        m += 1;
+                    }
+                    i = m;
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Literal,
+                    });
+                    line_has_code = true;
+                    continue;
+                }
+                if ident == "r" && hashes == 1 && k < n && is_ident_start(chars[k]) {
+                    // Raw identifier r#name.
+                    let mut m = k;
+                    while m < n && is_ident_continue(chars[m]) {
+                        m += 1;
+                    }
+                    let raw: String = chars[k..m].iter().collect();
+                    i = m;
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Ident(raw),
+                    });
+                    line_has_code = true;
+                    continue;
+                }
+                if ident == "b" && hashes == 0 && chars[i] == '"' {
+                    let l = quoted(&chars, i, &mut line);
+                    i = l;
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Literal,
+                    });
+                    line_has_code = true;
+                    continue;
+                }
+                if ident == "b" && hashes == 0 && chars[i] == '\'' {
+                    i = char_lit(&chars, i);
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Literal,
+                    });
+                    line_has_code = true;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokKind::Ident(ident),
+            });
+            line_has_code = true;
+            continue;
+        }
+        out.tokens.push(Token {
+            line,
+            kind: TokKind::Punct(c),
+        });
+        line_has_code = true;
+        i += 1;
+    }
+    out
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items
+/// (attribute line through the item's closing brace or semicolon).
+/// Attributes that also mention `not` (e.g. `#[cfg(not(test))]`) are
+/// conservatively treated as production code.
+#[must_use]
+pub fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let punct =
+        |idx: usize, c: char| matches!(tokens.get(idx), Some(t) if t.kind == TokKind::Punct(c));
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(punct(i, '#') && punct(i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `test` (and `not`).
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => depth -= 1,
+                TokKind::Ident(s) if s == "test" => has_test = true,
+                TokKind::Ident(s) if s == "not" => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j;
+        while punct(k, '#') && punct(k + 1, '[') {
+            let mut d = 1usize;
+            k += 2;
+            while k < tokens.len() && d > 0 {
+                match tokens[k].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Consume the item: up to `;`, or through a balanced `{ ... }`.
+        let mut m = k;
+        while m < tokens.len() {
+            if punct(m, ';') {
+                m += 1;
+                break;
+            }
+            if punct(m, '{') {
+                let mut d = 1usize;
+                m += 1;
+                while m < tokens.len() && d > 0 {
+                    match tokens[m].kind {
+                        TokKind::Punct('{') => d += 1,
+                        TokKind::Punct('}') => d -= 1,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                break;
+            }
+            m += 1;
+        }
+        let start = tokens[i].line;
+        let end = if m > 0 && m <= tokens.len() {
+            tokens[m - 1].line
+        } else {
+            start
+        };
+        ranges.push((start, end));
+        i = m;
+    }
+    ranges
+}
+
+/// Whether `line` falls inside any of `ranges` (inclusive).
+#[must_use]
+pub fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_yield_idents() {
+        let src = r###"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let b = r#"Instant::now() in a raw string"#;
+            let c = b"SystemTime bytes";
+            let d = 'x';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(!ids.iter().any(|s| s == "Instant"), "{ids:?}");
+        assert!(!ids.iter().any(|s| s == "SystemTime"), "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals_or_idents() {
+        let src = "fn f<'a>(x: &'a str, y: &'static mut u8) {}";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        // `'static mut` must not surface a `static` identifier.
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "static"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "mut"));
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_block_comments() {
+        let src = "let a = \"x\ny\";\n/* c\nc */ let b = 1;";
+        let lexed = lex(src);
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(4));
+    }
+
+    #[test]
+    fn standalone_vs_trailing_comments() {
+        let src = "// standalone\nlet x = 1; // trailing\n";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].standalone);
+        assert!(!lexed.comments[1].standalone);
+    }
+
+    #[test]
+    fn cfg_test_mod_ranges_cover_the_body() {
+        let src = "\
+fn prod() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashMap;\n\
+    #[test]\n\
+    fn t() { let _: HashMap<u8, u8> = HashMap::new(); }\n\
+}\n\
+fn prod2() {}\n";
+        let lexed = lex(src);
+        let ranges = test_line_ranges(&lexed.tokens);
+        assert_eq!(ranges, vec![(2, 7)]);
+        assert!(in_ranges(&ranges, 4));
+        assert!(!in_ranges(&ranges, 1));
+        assert!(!in_ranges(&ranges, 8));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn prod() { let _ = 1; }\n";
+        let lexed = lex(src);
+        assert!(test_line_ranges(&lexed.tokens).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_item_ends_at_the_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() {}\n";
+        let lexed = lex(src);
+        assert_eq!(test_line_ranges(&lexed.tokens), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn raw_identifiers_surface_their_name() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.iter().any(|s| s == "type"), "{ids:?}");
+    }
+}

@@ -1,0 +1,292 @@
+//! # synts-lint
+//!
+//! Workspace determinism & robustness static analysis for SynTS.
+//!
+//! The engine's north-star invariant — results bit-identical at any
+//! worker count, cache state and shard partition — is enforced
+//! dynamically by property tests and golden fixtures. This crate adds
+//! the static half: a std-only, hand-rolled token scanner (no `syn`;
+//! the vendored `serde`/`proptest` stand-ins rule out real proc-macro
+//! deps) that walks every workspace `.rs` file and flags source-level
+//! hazards before any test runs:
+//!
+//! | rule | hazard |
+//! |---|---|
+//! | `hash-collections` | `HashMap`/`HashSet` iteration order is random per process |
+//! | `wall-clock` | `Instant::now()`/`SystemTime` outside sanctioned timing modules |
+//! | `env-read` | `std::env` reads outside sanctioned config sites |
+//! | `panic-path` | `.unwrap()`/`.expect()`/indexing/`panic!` in the HTTP request path |
+//! | `static-mut` | racy shared mutable state |
+//! | `no-unsafe` | the workspace is 100% safe Rust |
+//!
+//! Which rules apply where is decided by the per-path policy table in
+//! [`policy`]; intentional exceptions are suppressed in place with
+//! `// synts-lint: allow(rule) — reason` (see [`rules`]).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{check_source, Violation};
+
+/// One linted file's results, with its workspace-relative path.
+#[derive(Debug)]
+pub struct FileFindings {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Unsuppressed violations in this file.
+    pub violations: Vec<Violation>,
+    /// Number of suppressions that matched a violation.
+    pub suppressed: usize,
+}
+
+/// The whole workspace run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Per-file findings for files with at least one violation or
+    /// suppression, sorted by path.
+    pub files: Vec<FileFindings>,
+    /// Total files scanned (in-policy `.rs` files).
+    pub files_scanned: usize,
+    /// Total suppressions honored across the workspace.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Total unsuppressed violations.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.files.iter().map(|f| f.violations.len()).sum()
+    }
+
+    /// `true` when the workspace is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// Renders `file:line: rule: message` diagnostics plus a summary
+    /// line, deterministic (path-sorted, line-sorted).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for file in &self.files {
+            for v in &file.violations {
+                let _ = writeln!(out, "{}:{}: {}: {}", file.path, v.line, v.rule, v.message);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "synts-lint: {} violation(s), {} suppression(s) honored, {} file(s) scanned",
+            self.violation_count(),
+            self.suppressed,
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Renders the machine-readable report. Hand-rolled writer (this
+    /// crate is dependency-free by design); output is deterministic and
+    /// stable-keyed.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"violations\": {},", self.violation_count());
+        let _ = writeln!(out, "  \"suppressions_honored\": {},", self.suppressed);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"findings\": [");
+        let mut first = true;
+        for file in &self.files {
+            for v in &file.violations {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                    json_str(&file.path),
+                    v.line,
+                    json_str(v.rule),
+                    json_str(&v.message)
+                );
+            }
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Recursively collects `.rs` files under `root`, sorted, skipping the
+/// out-of-scope prefixes (deterministic walk order → deterministic
+/// report order on every platform).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = rel_path(root, &path);
+        if policy::SKIP_PREFIXES
+            .iter()
+            .any(|p| rel.starts_with(p) || format!("{rel}/").starts_with(p))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints one file on disk against the policy table. Returns `None` when
+/// the file is out of policy scope.
+pub fn lint_file(root: &Path, path: &Path) -> io::Result<Option<FileFindings>> {
+    let rel = rel_path(root, path);
+    let Some(rules) = policy::policy_for(&rel) else {
+        return Ok(None);
+    };
+    let src = fs::read_to_string(path)?;
+    let report = check_source(&src, &rules);
+    Ok(Some(FileFindings {
+        path: rel,
+        violations: report.violations,
+        suppressed: report.suppressions.len(),
+    }))
+}
+
+/// Walks the workspace rooted at `root` and lints every in-policy file.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    let mut report = LintReport::default();
+    for path in &files {
+        if let Some(findings) = lint_file(root, path)? {
+            report.files_scanned += 1;
+            report.suppressed += findings.suppressed;
+            if !findings.violations.is_empty() || findings.suppressed > 0 {
+                report.files.push(findings);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Re-export for direct fixture checking in tests.
+pub use rules::FileReport;
+
+/// Convenience: check a source snippet under a named policy path (as if
+/// it lived at `rel` in the workspace). Used by the fixture corpus.
+#[must_use]
+pub fn check_as(rel: &str, src: &str) -> Option<FileReport> {
+    policy::policy_for(rel).map(|rules| check_source(src, &rules))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_valid_and_stable() {
+        let report = LintReport {
+            files: vec![FileFindings {
+                path: "crates/x/src/lib.rs".to_string(),
+                violations: vec![Violation {
+                    line: 3,
+                    rule: "no-unsafe",
+                    message: "unsafe code is forbidden in this workspace".to_string(),
+                }],
+                suppressed: 1,
+            }],
+            files_scanned: 2,
+            suppressed: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"violations\": 1"), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json.contains("\"rule\": \"no-unsafe\""), "{json}");
+        // Escaping round-trips quotes and backslashes.
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn text_report_uses_file_line_rule_message_shape() {
+        let report = LintReport {
+            files: vec![FileFindings {
+                path: "crates/x/src/lib.rs".to_string(),
+                violations: vec![Violation {
+                    line: 7,
+                    rule: "static-mut",
+                    message: "static mut is forbidden; use an atomic, Mutex or OnceLock"
+                        .to_string(),
+                }],
+                suppressed: 0,
+            }],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        let text = report.render_text();
+        assert!(
+            text.starts_with("crates/x/src/lib.rs:7: static-mut: "),
+            "{text}"
+        );
+        assert!(text.contains("1 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn check_as_applies_the_policy_for_the_named_path() {
+        let src = "use std::collections::HashMap;\n";
+        let engine = check_as("crates/core/src/model.rs", src).unwrap();
+        assert_eq!(engine.violations.len(), 1);
+        let fixture = check_as("crates/lint/tests/fixtures/bad/x.rs", src);
+        assert!(fixture.is_none());
+    }
+}

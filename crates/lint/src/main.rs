@@ -1,0 +1,127 @@
+//! `synts-lint` binary: walk the workspace, enforce the policy table,
+//! exit nonzero on any unsuppressed violation.
+//!
+//! ```text
+//! synts-lint [--root DIR] [--json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use synts_lint::rules::ALL_RULES;
+
+const USAGE: &str = "\
+synts-lint: workspace determinism & robustness static analysis
+
+USAGE:
+    synts-lint [--root DIR] [--json] [--out FILE] [--list-rules]
+
+OPTIONS:
+    --root DIR     Workspace root (default: discovered upward from cwd)
+    --json         Emit the machine-readable JSON report instead of text
+    --out FILE     Also write the report to FILE
+    --list-rules   Print the rule table and exit
+
+Suppress a finding in place with a mandatory reason:
+    // synts-lint: allow(rule-name) — why this is sound here
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--json" => args.json = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file argument")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        println!("{:<18} WHY", "RULE");
+        for rule in ALL_RULES {
+            println!("{:<18} {}", rule.name(), rule.why());
+        }
+        return Ok(true);
+    }
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            discover_root(&cwd).ok_or("no workspace Cargo.toml found upward from cwd")?
+        }
+    };
+    let report = synts_lint::lint_workspace(&root)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let rendered = if args.json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    print!("{rendered}");
+    if let Some(out) = &args.out {
+        std::fs::write(out, &rendered).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("synts-lint: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The lint rules and the per-file checking engine.
+//!
+//! Rules are deliberately *conservative token-level* checks: without type
+//! information a scanner cannot prove that a given `HashMap` is never
+//! iterated, so engine code is held to the stronger, checkable invariant
+//! — the hazardous names simply do not appear. Anything intentional is
+//! suppressed in place with a reason ([`crate::rules::parse_suppression`]),
+//! which doubles as documentation of *why* the hazard is sound there.
+
+use crate::lexer::{self, TokKind, Token};
+
+/// A lint rule. The policy table ([`crate::policy`]) decides which rules
+/// apply to which files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet`: iteration order varies per process (random
+    /// SipHash keys), breaking the bit-identical-results invariant.
+    HashCollections,
+    /// `Instant::now()` / `SystemTime`: wall-clock reads make results
+    /// depend on when (and how fast) the run happened.
+    WallClock,
+    /// `std::env` reads: results must not depend on ambient process
+    /// state beyond the sanctioned knobs.
+    EnvRead,
+    /// `.unwrap()` / `.expect()` / `panic!` / slice indexing in a
+    /// request path that must answer 4xx/5xx instead of dying.
+    PanicPath,
+    /// `static mut`: shared mutable state, racy by construction.
+    StaticMut,
+    /// `unsafe`: this workspace is 100% safe Rust and stays that way.
+    NoUnsafe,
+}
+
+/// Every rule, in reporting order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::HashCollections,
+    Rule::WallClock,
+    Rule::EnvRead,
+    Rule::PanicPath,
+    Rule::StaticMut,
+    Rule::NoUnsafe,
+];
+
+impl Rule {
+    /// The kebab-case name used in diagnostics and `allow(...)` comments.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::EnvRead => "env-read",
+            Rule::PanicPath => "panic-path",
+            Rule::StaticMut => "static-mut",
+            Rule::NoUnsafe => "no-unsafe",
+        }
+    }
+
+    /// Parses a rule name (as written in `allow(...)`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Why the rule exists — the determinism/robustness invariant it
+    /// protects (also rendered into the README rule table).
+    #[must_use]
+    pub const fn why(self) -> &'static str {
+        match self {
+            Rule::HashCollections => {
+                "HashMap/HashSet iteration order is randomized per process; any ordering that \
+                 leaks into results, reports or schedules breaks the bit-identical guarantee"
+            }
+            Rule::WallClock => {
+                "Instant::now()/SystemTime make outputs depend on when and how fast the run \
+                 happened; engine results must be a pure function of the spec"
+            }
+            Rule::EnvRead => {
+                "std::env reads couple results to ambient process state; only the sanctioned \
+                 knobs (SYNTS_THREADS, SYNTS_CACHE_DIR) may be read, at their one blessed site"
+            }
+            Rule::PanicPath => {
+                "a panic in the request path kills the connection instead of answering 4xx/5xx; \
+                 handlers must surface errors as responses"
+            }
+            Rule::StaticMut => "static mut is racy shared mutable state; use atomics or locks",
+            Rule::NoUnsafe => {
+                "the workspace is 100% safe Rust (#![forbid(unsafe_code)] everywhere)"
+            }
+        }
+    }
+
+    /// The message attached to a violation of this rule.
+    #[must_use]
+    pub const fn message(self) -> &'static str {
+        match self {
+            Rule::HashCollections => {
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or \
+                 an index-ordered collection"
+            }
+            Rule::WallClock => {
+                "wall-clock read (Instant::now/SystemTime) outside the sanctioned timing modules"
+            }
+            Rule::EnvRead => "environment read outside the sanctioned configuration sites",
+            Rule::PanicPath => {
+                "potential panic in the request path; map the failure to a 4xx/5xx response"
+            }
+            Rule::StaticMut => "static mut is forbidden; use an atomic, Mutex or OnceLock",
+            Rule::NoUnsafe => "unsafe code is forbidden in this workspace",
+        }
+    }
+}
+
+/// One diagnostic. `rule` is a rule name, or the meta-diagnostics
+/// `bad-suppression` / `unused-suppression`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule name (kebab-case).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed, well-formed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment is on.
+    pub line: u32,
+    /// Line whose violations it suppresses.
+    pub target_line: u32,
+    /// The rules it allows.
+    pub rules: Vec<Rule>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// The outcome of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed violations, sorted by (line, rule).
+    pub violations: Vec<Violation>,
+    /// Suppressions that matched at least one violation.
+    pub suppressions: Vec<Suppression>,
+}
+
+const SUPPRESSION_MARKER: &str = "synts-lint:";
+
+/// How a comment relates to the suppression syntax.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SuppressionParse {
+    /// Not a suppression comment at all.
+    NotASuppression,
+    /// A well-formed `synts-lint: allow(rule, ...) — reason` comment.
+    Parsed {
+        /// The allowed rules.
+        rules: Vec<Rule>,
+        /// The justification text.
+        reason: String,
+    },
+    /// Carries the marker but is malformed; the message says how.
+    Malformed(String),
+}
+
+/// Parses one comment body (the text after `//`) against the suppression
+/// grammar: `synts-lint: allow(rule[, rule...]) — reason`. The reason is
+/// mandatory — an allow without a why is itself a violation — and may be
+/// separated by an em dash, `--`, `-` or `:`. The marker must *start*
+/// the comment (doc comments that merely mention the syntax mid-sentence
+/// are prose, not suppressions).
+#[must_use]
+pub fn parse_suppression(text: &str) -> SuppressionParse {
+    let trimmed = text.trim_start_matches(|c: char| c == '/' || c == '!' || c.is_whitespace());
+    let Some(rest) = trimmed.strip_prefix(SUPPRESSION_MARKER) else {
+        return SuppressionParse::NotASuppression;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return SuppressionParse::Malformed(
+            "expected `allow(rule, ...)` after `synts-lint:`".to_string(),
+        );
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return SuppressionParse::Malformed("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return SuppressionParse::Malformed("unclosed `allow(` list".to_string());
+    };
+    let mut rules = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return SuppressionParse::Malformed("empty rule name in allow(...)".to_string());
+        }
+        match Rule::from_name(name) {
+            Some(rule) => rules.push(rule),
+            None => {
+                let known: Vec<&str> = ALL_RULES.iter().map(|r| r.name()).collect();
+                return SuppressionParse::Malformed(format!(
+                    "unknown rule '{name}' in allow(...) (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    if rules.is_empty() {
+        return SuppressionParse::Malformed("allow(...) names no rules".to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = ["—", "--", "-", ":"]
+        .iter()
+        .find_map(|sep| after.strip_prefix(sep))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return SuppressionParse::Malformed(
+            "suppression carries no reason; write `synts-lint: allow(rule) — why it is sound`"
+                .to_string(),
+        );
+    }
+    SuppressionParse::Parsed {
+        rules,
+        reason: reason.to_string(),
+    }
+}
+
+/// Method names that panic when called on the wrong variant. Deliberately
+/// excludes the non-panicking `unwrap_or*` family.
+const PANIC_METHODS: [&str; 5] = [
+    "unwrap",
+    "unwrap_err",
+    "unwrap_unchecked",
+    "expect",
+    "expect_err",
+];
+
+/// Macros that panic unconditionally when reached.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// `std::env` functions whose result depends on ambient process state.
+const ENV_READS: [&str; 9] = [
+    "var",
+    "var_os",
+    "vars",
+    "vars_os",
+    "args",
+    "args_os",
+    "temp_dir",
+    "current_dir",
+    "home_dir",
+];
+
+/// Runs `rules` over the token stream, ignoring test-only line ranges.
+fn scan(tokens: &[Token], test_ranges: &[(u32, u32)], rules: &[Rule]) -> Vec<Violation> {
+    let has = |r: Rule| rules.contains(&r);
+    let ident = |idx: usize| match tokens.get(idx).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct =
+        |idx: usize, c: char| matches!(tokens.get(idx), Some(t) if t.kind == TokKind::Punct(c));
+    let mut out = Vec::new();
+    let mut push = |line: u32, rule: Rule| {
+        if !lexer::in_ranges(test_ranges, line) {
+            out.push(Violation {
+                line,
+                rule: rule.name(),
+                message: rule.message().to_string(),
+            });
+        }
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        let line = tok.line;
+        match &tok.kind {
+            TokKind::Ident(name) => match name.as_str() {
+                "HashMap" | "HashSet" if has(Rule::HashCollections) => {
+                    push(line, Rule::HashCollections);
+                }
+                "SystemTime" if has(Rule::WallClock) => push(line, Rule::WallClock),
+                "Instant"
+                    if has(Rule::WallClock)
+                        && punct(i + 1, ':')
+                        && punct(i + 2, ':')
+                        && ident(i + 3) == Some("now") =>
+                {
+                    push(line, Rule::WallClock);
+                }
+                "env"
+                    if has(Rule::EnvRead)
+                        && punct(i + 1, ':')
+                        && punct(i + 2, ':')
+                        && ident(i + 3).is_some_and(|f| ENV_READS.contains(&f)) =>
+                {
+                    push(line, Rule::EnvRead);
+                }
+                "static" if has(Rule::StaticMut) && ident(i + 1) == Some("mut") => {
+                    push(line, Rule::StaticMut);
+                }
+                "unsafe" if has(Rule::NoUnsafe) => push(line, Rule::NoUnsafe),
+                m if has(Rule::PanicPath)
+                    && PANIC_MACROS.contains(&m)
+                    && punct(i + 1, '!')
+                    && (punct(i + 2, '(') || punct(i + 2, '[') || punct(i + 2, '{')) =>
+                {
+                    push(line, Rule::PanicPath);
+                }
+                m if has(Rule::PanicPath)
+                    && PANIC_METHODS.contains(&m)
+                    && i > 0
+                    && punct(i - 1, '.')
+                    && punct(i + 1, '(') =>
+                {
+                    push(line, Rule::PanicPath);
+                }
+                _ => {}
+            },
+            // Index expressions: `expr[...]` can panic out of bounds. A
+            // `[` opens an index iff the previous token could end an
+            // expression (identifier, `)`, `]`); array literals, slice
+            // patterns, attributes and `vec![` are preceded by other
+            // tokens and stay exempt.
+            TokKind::Punct('[') if has(Rule::PanicPath) && i > 0 => {
+                let indexes = matches!(
+                    &tokens[i - 1].kind,
+                    TokKind::Ident(_) | TokKind::Punct(')') | TokKind::Punct(']')
+                );
+                if indexes {
+                    push(line, Rule::PanicPath);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Checks one file's source against `rules`, applying suppression
+/// comments. This is the whole per-file pipeline: lex → find test
+/// ranges → scan → match suppressions → report leftovers.
+#[must_use]
+pub fn check_source(src: &str, rules: &[Rule]) -> FileReport {
+    let lexed = lexer::lex(src);
+    let test_ranges = lexer::test_line_ranges(&lexed.tokens);
+    let mut violations = scan(&lexed.tokens, &test_ranges, rules);
+
+    // Collect suppressions; malformed ones are violations themselves.
+    let mut suppressions: Vec<(Suppression, bool)> = Vec::new();
+    for comment in &lexed.comments {
+        if lexer::in_ranges(&test_ranges, comment.line) {
+            continue; // rules don't run in test code, so neither do allows
+        }
+        match parse_suppression(&comment.text) {
+            SuppressionParse::NotASuppression => {}
+            SuppressionParse::Malformed(msg) => violations.push(Violation {
+                line: comment.line,
+                rule: "bad-suppression",
+                message: msg,
+            }),
+            SuppressionParse::Parsed { rules, reason } => {
+                let target_line = if comment.standalone {
+                    // A standalone comment covers the next code line.
+                    lexed
+                        .tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > comment.line)
+                        .unwrap_or(comment.line)
+                } else {
+                    comment.line
+                };
+                suppressions.push((
+                    Suppression {
+                        line: comment.line,
+                        target_line,
+                        rules,
+                        reason,
+                    },
+                    false,
+                ));
+            }
+        }
+    }
+
+    // Apply: a violation survives unless some suppression targets its
+    // line and allows its rule.
+    violations.retain(|v| {
+        let mut keep = true;
+        for (s, used) in &mut suppressions {
+            if s.target_line == v.line && s.rules.iter().any(|r| r.name() == v.rule) {
+                *used = true;
+                keep = false;
+            }
+        }
+        keep
+    });
+
+    // A suppression that suppresses nothing is stale — flag it so dead
+    // allows can't accumulate.
+    for (s, used) in &suppressions {
+        if !used {
+            violations.push(Violation {
+                line: s.line,
+                rule: "unused-suppression",
+                message: format!(
+                    "suppression allows [{}] but nothing on line {} triggers it",
+                    s.rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    s.target_line
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations.dedup();
+    FileReport {
+        violations,
+        suppressions: suppressions
+            .into_iter()
+            .filter_map(|(s, used)| used.then_some(s))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENGINE: [Rule; 5] = [
+        Rule::HashCollections,
+        Rule::WallClock,
+        Rule::EnvRead,
+        Rule::StaticMut,
+        Rule::NoUnsafe,
+    ];
+
+    fn rules_at(report: &FileReport) -> Vec<(u32, &'static str)> {
+        report.violations.iter().map(|v| (v.line, v.rule)).collect()
+    }
+
+    #[test]
+    fn hash_collections_fire_on_type_mentions_only_in_code() {
+        let src = "use std::collections::HashMap;\nlet s = \"HashMap\"; // HashMap\n";
+        let report = check_source(src, &ENGINE);
+        assert_eq!(rules_at(&report), vec![(1, "hash-collections")]);
+    }
+
+    #[test]
+    fn instant_now_fires_but_a_bare_instant_import_does_not() {
+        let src = "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n";
+        let report = check_source(src, &ENGINE);
+        assert_eq!(rules_at(&report), vec![(2, "wall-clock")]);
+    }
+
+    #[test]
+    fn panic_path_flags_methods_macros_and_indexing() {
+        let src = "\
+fn h(xs: &[u32], o: Option<u32>) -> u32 {\n\
+    let a = o.unwrap();\n\
+    let b = o.expect(\"set\");\n\
+    let c = xs[0];\n\
+    let d = o.unwrap_or(0);\n\
+    let e = vec![1, 2];\n\
+    if a > b { panic!(\"boom\") }\n\
+    a + b + c + d + e[0]\n\
+}\n";
+        let report = check_source(src, &[Rule::PanicPath]);
+        assert_eq!(
+            rules_at(&report),
+            vec![
+                (2, "panic-path"),
+                (3, "panic-path"),
+                (4, "panic-path"),
+                (7, "panic-path"),
+                (8, "panic-path"),
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_suppression_with_reason_suppresses_its_line() {
+        let src = "use std::collections::HashMap; \
+                   // synts-lint: allow(hash-collections) — keys are content-addressed\n";
+        let report = check_source(src, &ENGINE);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.suppressions.len(), 1);
+        assert_eq!(report.suppressions[0].reason, "keys are content-addressed");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_the_next_code_line() {
+        let src = "\
+// synts-lint: allow(env-read) — the one sanctioned worker-count knob\n\
+fn f() -> Option<String> { std::env::var(\"SYNTS_THREADS\").ok() }\n";
+        let report = check_source(src, &ENGINE);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.suppressions[0].target_line, 2);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_violation_and_does_not_suppress() {
+        let src = "use std::collections::HashMap; // synts-lint: allow(hash-collections)\n";
+        let report = check_source(src, &ENGINE);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"bad-suppression"), "{rules:?}");
+        assert!(rules.contains(&"hash-collections"), "{rules:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported_with_the_known_list() {
+        let src = "let x = 1; // synts-lint: allow(hash-iteration) — wrong name\n";
+        let report = check_source(src, &ENGINE);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "bad-suppression");
+        assert!(
+            report.violations[0].message.contains("hash-collections"),
+            "{}",
+            report.violations[0].message
+        );
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let src = "let x = 1; // synts-lint: allow(env-read) — nothing here reads env\n";
+        let report = check_source(src, &ENGINE);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn multi_rule_allow_and_separator_variants_parse() {
+        for sep in ["—", "--", "-", ":"] {
+            let text = format!(" synts-lint: allow(wall-clock, env-read) {sep} bench timing");
+            match parse_suppression(&text) {
+                SuppressionParse::Parsed { rules, reason } => {
+                    assert_eq!(rules, vec![Rule::WallClock, Rule::EnvRead]);
+                    assert_eq!(reason, "bench timing");
+                }
+                other => panic!("separator {sep:?} failed: {other:?}"),
+            }
+        }
+        assert_eq!(
+            parse_suppression(" just a comment"),
+            SuppressionParse::NotASuppression
+        );
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_determinism_rules() {
+        let src = "\
+fn prod() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashMap;\n\
+    #[test]\n\
+    fn t() { let _ = std::time::Instant::now(); }\n\
+}\n";
+        let report = check_source(src, &ENGINE);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn forbid_unsafe_attribute_is_not_an_unsafe_violation() {
+        let src = "#![forbid(unsafe_code)]\nfn safe() {}\n";
+        let report = check_source(src, &[Rule::NoUnsafe]);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn static_mut_fires_but_static_lifetimes_do_not() {
+        let src = "static mut G: u32 = 0;\nfn f(x: &'static mut u32) {}\nstatic OK: u32 = 1;\n";
+        let report = check_source(src, &[Rule::StaticMut]);
+        assert_eq!(rules_at(&report), vec![(1, "static-mut")]);
+    }
+}

@@ -1,0 +1,11 @@
+pub fn threads() -> Option<String> {
+    std::env::var("SYNTS_THREADS").ok() //~ env-read
+}
+
+pub fn environment() -> Vec<(String, String)> {
+    std::env::vars().collect() //~ env-read
+}
+
+pub fn scratch() -> std::path::PathBuf {
+    std::env::temp_dir() //~ env-read
+}

@@ -1,0 +1,11 @@
+// Fixture: every tilde trailing marker names the violation the lint
+// must report on that line. This file is outside the workspace walk
+// (the walker skips crates/lint/tests/fixtures) and is linted only by
+// the fixture-corpus test.
+use std::collections::HashMap; //~ hash-collections
+use std::collections::HashSet; //~ hash-collections
+
+pub fn order(map: &HashMap<String, u32>, seen: &HashSet<u32>) -> Vec<String> { //~ hash-collections
+    let _ = seen.len();
+    map.keys().cloned().collect()
+}

@@ -1,0 +1,5 @@
+pub fn first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() } //~ no-unsafe
+}
+
+pub unsafe fn also_flagged() {} //~ no-unsafe

@@ -1,0 +1,12 @@
+pub fn handler(flag: Option<u32>, xs: &[u32]) -> u32 {
+    let a = flag.unwrap(); //~ panic-path
+    let b = flag.expect("flag must be set"); //~ panic-path
+    let c = xs[0]; //~ panic-path
+    if a > b {
+        panic!("a exceeded b"); //~ panic-path
+    }
+    match a {
+        0 => unreachable!("a is never zero"), //~ panic-path
+        _ => a + b + c,
+    }
+}

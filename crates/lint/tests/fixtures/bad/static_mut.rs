@@ -1,0 +1,5 @@
+static mut COUNTER: u64 = 0; //~ static-mut
+
+pub fn fine() -> u64 {
+    7
+}

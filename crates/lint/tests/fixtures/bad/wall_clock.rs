@@ -1,0 +1,7 @@
+use std::time::{Duration, SystemTime}; //~ wall-clock
+
+pub fn stamp() -> Duration {
+    let started = std::time::Instant::now(); //~ wall-clock
+    let _ = SystemTime::UNIX_EPOCH; //~ wall-clock
+    started.elapsed()
+}

@@ -1,0 +1,34 @@
+// Fixture: everything here is clean under the FULL rule set. Ordered
+// collections, non-panicking fallbacks, trigger words confined to
+// strings/comments, and test-only code using whatever it likes.
+use std::collections::BTreeMap;
+
+pub fn order(map: &BTreeMap<String, u32>) -> Vec<String> {
+    map.keys().cloned().collect()
+}
+
+pub fn careful(flag: Option<u32>, xs: &[u32]) -> u32 {
+    let a = flag.unwrap_or(7);
+    let b = xs.first().copied().unwrap_or_default();
+    a + b
+}
+
+pub fn pinned(slot: &'static mut u32) -> &'static str {
+    *slot += 1;
+    // Mentioning HashMap, Instant::now(), std::env::var, unsafe or
+    // panic!( in a comment is prose, not code.
+    "strings may say HashMap / SystemTime / std::env::var / static mut / unsafe"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_anything() {
+        let mut m = HashMap::new();
+        m.insert("started", std::time::Instant::now());
+        let home = std::env::var("HOME").unwrap_or_default();
+        assert!(m.len() == 1, "{home}");
+    }
+}

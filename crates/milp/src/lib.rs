@@ -28,6 +28,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod bb;
 mod problem;

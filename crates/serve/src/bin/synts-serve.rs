@@ -7,6 +7,7 @@
 //!
 //! Binds the HTTP front end, prints the resolved address, and serves
 //! until `POST /v1/shutdown` (or Ctrl-C, which skips the drain).
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::Arc;

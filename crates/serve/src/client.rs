@@ -200,6 +200,22 @@ impl Client {
         }
     }
 
+    /// `GET /v1/jobs` — every job's status, submission order.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or non-200 replies.
+    pub fn jobs(&self) -> Result<Json, OptError> {
+        let reply = self.request("GET", "/v1/jobs", None)?;
+        if reply.status != 200 {
+            return Err(OptError::Spec(format!(
+                "job listing failed: HTTP {}",
+                reply.status
+            )));
+        }
+        reply.json()
+    }
+
     /// `GET /v1/stats` — the service counters.
     ///
     /// # Errors

@@ -13,6 +13,7 @@
 //! | method & path                  | reply                                        |
 //! |--------------------------------|----------------------------------------------|
 //! | `POST /v1/jobs`                | 202 + job status (body: a `ScenarioSpec`)     |
+//! | `GET /v1/jobs`                 | 200 + all job statuses, submission order     |
 //! | `GET /v1/jobs/<id>`            | 200 + job status                             |
 //! | `GET /v1/jobs/<id>/report`     | 200 + merged report (`?format=csv` for CSV); 202 while pending; 410 if failed/cancelled |
 //! | `DELETE /v1/jobs/<id>`         | 200 + job status (cancels a live job)        |
@@ -29,13 +30,13 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use synts_core::scenario::{Json, ScenarioSpec};
 
-use crate::queue::{ReportOutcome, Service, Shutdown};
+use crate::queue::{JobStatus, ReportOutcome, Service, Shutdown};
 
 /// Longest accepted request head (request line + headers), bytes.
 const MAX_HEAD: usize = 16 * 1024;
@@ -94,7 +95,13 @@ impl Server {
     /// is called from another thread) and returns the requested mode.
     #[must_use]
     pub fn wait_shutdown(&self) -> Shutdown {
-        let mut requested = self.inner.requested.lock().expect("shutdown flag poisoned");
+        // The guarded value is a plain Option<Shutdown>; a poisoned
+        // guard is still consistent, so recover instead of propagating.
+        let mut requested = self
+            .inner
+            .requested
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(mode) = *requested {
                 return mode;
@@ -103,7 +110,7 @@ impl Server {
                 .inner
                 .cv
                 .wait(requested)
-                .expect("shutdown flag poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -141,7 +148,10 @@ impl std::fmt::Debug for Server {
 impl Inner {
     fn request_stop(&self, mode: Shutdown) {
         self.stopping.store(true, Ordering::SeqCst);
-        let mut requested = self.requested.lock().expect("shutdown flag poisoned");
+        let mut requested = self
+            .requested
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         *requested = match (*requested, mode) {
             (Some(Shutdown::Now), _) | (_, Shutdown::Now) => Some(Shutdown::Now),
             _ => Some(Shutdown::Drain),
@@ -289,6 +299,10 @@ fn route(req: &Request, inner: &Inner) -> Response {
             },
             Err(e) => error_response(400, &e.to_string()),
         },
+        ("GET", ["v1", "jobs"]) => {
+            let listed: Vec<Json> = service.jobs().iter().map(JobStatus::to_json).collect();
+            json_response(200, &Json::obj().field("jobs", Json::arr(listed)))
+        }
         ("GET", ["v1", "jobs", id]) => match service.status(id) {
             Some(status) => json_response(200, &status.to_json()),
             None => error_response(404, &format!("no such job: {id}")),

@@ -23,6 +23,7 @@
 //!
 //! No external dependencies: sockets, threads and the repo's own
 //! canonical-JSON tree are the whole stack.
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod http;

@@ -20,9 +20,9 @@
 //! join) and [`Shutdown::Now`] (finish only in-flight tasks, leave the
 //! rest queued, then join) — either way no work is torn down mid-shard.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use synts_core::scenario::{Experiment, Json, Report, ScenarioSpec, Shard, ShardPlan};
@@ -229,10 +229,15 @@ pub enum Shutdown {
     Now,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Parses a wire job id (`job-<n>`) back to its store key.
+fn job_seq(id: &str) -> Option<u64> {
+    id.strip_prefix("job-")?.parse().ok()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Task {
-    Plan { job: String },
-    Shard { job: String, idx: usize },
+    Plan { job: u64 },
+    Shard { job: u64, idx: usize },
 }
 
 enum ShardState {
@@ -285,7 +290,10 @@ impl Job {
 }
 
 struct Store {
-    jobs: HashMap<String, Job>,
+    // Keyed by numeric sequence (not the `job-<n>` string, which would
+    // sort job-10 before job-2): iteration is submission order, so
+    // listings and merged snapshots are deterministic.
+    jobs: BTreeMap<u64, Job>,
     queue: VecDeque<Task>,
     next_seq: u64,
     shutdown: Option<Shutdown>,
@@ -299,11 +307,11 @@ struct Store {
 
 enum Claimed {
     Plan {
-        job: String,
+        job: u64,
         spec: ScenarioSpec,
     },
     Shard {
-        job: String,
+        job: u64,
         idx: usize,
         spec: ScenarioSpec,
     },
@@ -338,7 +346,7 @@ impl Service {
             registry: cfg.registry,
             worker_total: cfg.workers.max(1),
             store: Mutex::new(Store {
-                jobs: HashMap::new(),
+                jobs: BTreeMap::new(),
                 queue: VecDeque::new(),
                 next_seq: 1,
                 shutdown: None,
@@ -387,11 +395,11 @@ impl Service {
                 "service: shutting down, not accepting jobs".to_string(),
             ));
         }
-        let id = format!("job-{}", store.next_seq);
+        let seq = store.next_seq;
         store.next_seq += 1;
         store.submitted += 1;
         let job = Job {
-            id: id.clone(),
+            id: format!("job-{seq}"),
             spec,
             state: JobState::Queued,
             plan: None,
@@ -401,8 +409,8 @@ impl Service {
             merged: None,
         };
         let status = job.status();
-        store.jobs.insert(id.clone(), job);
-        store.queue.push_back(Task::Plan { job: id });
+        store.jobs.insert(seq, job);
+        store.queue.push_back(Task::Plan { job: seq });
         drop(store);
         self.state.cv.notify_one();
         Ok(status)
@@ -411,14 +419,26 @@ impl Service {
     /// The status snapshot of a job.
     #[must_use]
     pub fn status(&self, id: &str) -> Option<JobStatus> {
-        self.state.locked().jobs.get(id).map(Job::status)
+        let seq = job_seq(id)?;
+        self.state.locked().jobs.get(&seq).map(Job::status)
+    }
+
+    /// Status snapshots of every job the service knows, in submission
+    /// order (`job-1`, `job-2`, ... — the store is keyed by numeric
+    /// sequence, so the listing is deterministic).
+    #[must_use]
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        self.state.locked().jobs.values().map(Job::status).collect()
     }
 
     /// The merged report of a job, or why there isn't one (yet).
     #[must_use]
     pub fn report(&self, id: &str) -> ReportOutcome {
+        let Some(seq) = job_seq(id) else {
+            return ReportOutcome::Unknown;
+        };
         let store = self.state.locked();
-        let Some(job) = store.jobs.get(id) else {
+        let Some(job) = store.jobs.get(&seq) else {
             return ReportOutcome::Unknown;
         };
         match (&job.merged, job.state) {
@@ -432,14 +452,15 @@ impl Service {
     /// shards are skipped, in-flight ones finish and are discarded.
     #[must_use]
     pub fn cancel(&self, id: &str) -> Option<JobStatus> {
+        let seq = job_seq(id)?;
         let mut store = self.state.locked();
-        let job = store.jobs.get_mut(id)?;
+        let job = store.jobs.get_mut(&seq)?;
         if job.state.is_live() {
             job.state = JobState::Cancelled;
             job.error = Some("cancelled by client".to_string());
             store.cancelled += 1;
         }
-        store.jobs.get(id).map(Job::status)
+        store.jobs.get(&seq).map(Job::status)
     }
 
     /// Service-wide counters.
@@ -476,7 +497,7 @@ impl Service {
         }
         self.state.cv.notify_all();
         let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
         for handle in handles {
             let _ = handle.join();
         }
@@ -498,8 +519,13 @@ impl std::fmt::Debug for Service {
 }
 
 impl SvcState {
+    // Poisoning is recovered, not propagated: the store is only ever
+    // mutated through small invariant-preserving transactions (the heavy
+    // compute — characterization, shard runs, merges — happens outside
+    // the lock behind catch_unwind), so a poisoned guard still holds a
+    // consistent Store and the request path must keep answering.
     fn locked(&self) -> MutexGuard<'_, Store> {
-        self.store.lock().expect("job store poisoned")
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Blocks for the next runnable task; `None` means "exit the worker".
@@ -517,18 +543,18 @@ impl SvcState {
             if store.shutdown == Some(Shutdown::Drain) {
                 return None;
             }
-            store = self.cv.wait(store).expect("job store poisoned");
+            store = self.cv.wait(store).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    fn run_plan(&self, job_id: &str, spec: &ScenarioSpec) {
+    fn run_plan(&self, job_id: u64, spec: &ScenarioSpec) {
         let planned = std::panic::catch_unwind(AssertUnwindSafe(|| {
             ShardPlan::plan_cached_with(spec, self.max_shards, &self.cache)
         }))
         .unwrap_or_else(|panic| Err(panic_error("shard planning", &panic)));
         let mut store = self.locked();
         store.in_flight -= 1;
-        let Some(job) = store.jobs.get_mut(job_id) else {
+        let Some(job) = store.jobs.get_mut(&job_id) else {
             return;
         };
         if job.state != JobState::Planning {
@@ -548,10 +574,7 @@ impl SvcState {
                 job.plan = Some(plan);
                 job.state = JobState::Running;
                 let tasks: Vec<Task> = (0..job.slots.len())
-                    .map(|idx| Task::Shard {
-                        job: job_id.to_string(),
-                        idx,
-                    })
+                    .map(|idx| Task::Shard { job: job_id, idx })
                     .collect();
                 store.queue.extend(tasks);
                 drop(store);
@@ -565,14 +588,14 @@ impl SvcState {
         }
     }
 
-    fn run_shard(&self, job_id: &str, idx: usize, spec: ScenarioSpec) {
+    fn run_shard(&self, job_id: u64, idx: usize, spec: ScenarioSpec) {
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             Experiment::new(spec).with_cache(self.cache.clone()).run()
         }))
         .unwrap_or_else(|panic| Err(panic_error("shard execution", &panic)));
         let mut store = self.locked();
         store.in_flight -= 1;
-        let Some(job) = store.jobs.get_mut(job_id) else {
+        let Some(job) = store.jobs.get_mut(&job_id) else {
             return;
         };
         if job.state != JobState::Running {
@@ -580,27 +603,39 @@ impl SvcState {
         }
         match result {
             Ok(report) => {
-                job.slots[idx].state = ShardState::Done(Box::new(report));
-                let all_done = job
-                    .slots
-                    .iter()
-                    .all(|s| matches!(s.state, ShardState::Done(_)));
-                if !all_done {
-                    return;
-                }
+                let Some(slot) = job.slots.get_mut(idx) else {
+                    return; // stale task for a slot that no longer exists
+                };
+                slot.state = ShardState::Done(Box::new(report));
                 // Last shard in: merge under the lock (cheap — record
                 // concatenation + front recomputation) so cancellation
-                // cannot race a half-published report.
-                let parts: Vec<Report> = job
+                // cannot race a half-published report. `collect` over
+                // Options doubles as the all-done check.
+                let parts: Option<Vec<Report>> = job
                     .slots
                     .iter()
                     .map(|s| match &s.state {
-                        ShardState::Done(r) => (**r).clone(),
-                        _ => unreachable!("all_done checked above"),
+                        ShardState::Done(r) => Some((**r).clone()),
+                        _ => None,
                     })
                     .collect();
-                let plan = job.plan.as_ref().expect("planned before running");
-                match plan.merge(&parts, &self.registry) {
+                let Some(parts) = parts else {
+                    return; // shards still outstanding
+                };
+                let merged = job.plan.as_ref().map_or_else(
+                    || {
+                        Err(OptError::Spec(
+                            "service: job ran without a plan".to_string(),
+                        ))
+                    },
+                    |plan| {
+                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            plan.merge(&parts, &self.registry)
+                        }))
+                        .unwrap_or_else(|panic| Err(panic_error("report merge", &panic)))
+                    },
+                );
+                match merged {
                     Ok(merged) => {
                         job.merged = Some(Arc::new(merged));
                         job.state = JobState::Done;
@@ -614,23 +649,23 @@ impl SvcState {
                 }
             }
             Err(e) => {
-                job.slots[idx].attempts += 1;
-                if job.slots[idx].attempts < self.max_attempts {
-                    job.slots[idx].state = ShardState::Queued;
+                let Some(slot) = job.slots.get_mut(idx) else {
+                    return; // stale task for a slot that no longer exists
+                };
+                slot.attempts += 1;
+                let attempts = slot.attempts;
+                if attempts < self.max_attempts {
+                    slot.state = ShardState::Queued;
                     job.retries += 1;
                     store.shard_retries += 1;
-                    store.queue.push_back(Task::Shard {
-                        job: job_id.to_string(),
-                        idx,
-                    });
+                    store.queue.push_back(Task::Shard { job: job_id, idx });
                     drop(store);
                     self.cv.notify_one();
                 } else {
-                    job.slots[idx].state = ShardState::Failed;
+                    slot.state = ShardState::Failed;
                     job.state = JobState::Failed;
                     job.error = Some(format!(
-                        "shard {idx} failed after {} attempt(s): {e}",
-                        job.slots[idx].attempts
+                        "shard {idx} failed after {attempts} attempt(s): {e}"
                     ));
                     store.failed += 1;
                 }
@@ -652,21 +687,26 @@ fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
             j.state = JobState::Planning;
             store.in_flight += 1;
             Some(Claimed::Plan {
-                job: job.clone(),
+                job: *job,
                 spec: j.spec.clone(),
             })
         }
         Task::Shard { job, idx } => {
             let j = store.jobs.get_mut(job)?;
-            if j.state != JobState::Running || !matches!(j.slots[*idx].state, ShardState::Queued) {
+            if j.state != JobState::Running {
                 return None;
             }
-            j.slots[*idx].state = ShardState::Running;
+            let slot = j.slots.get_mut(*idx)?;
+            if !matches!(slot.state, ShardState::Queued) {
+                return None;
+            }
+            slot.state = ShardState::Running;
+            let spec = slot.shard.spec.clone();
             store.in_flight += 1;
             Some(Claimed::Shard {
-                job: job.clone(),
+                job: *job,
                 idx: *idx,
-                spec: j.slots[*idx].shard.spec.clone(),
+                spec,
             })
         }
     }
@@ -675,8 +715,8 @@ fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
 fn worker_loop(state: &SvcState) {
     while let Some(claimed) = state.next_task() {
         match claimed {
-            Claimed::Plan { job, spec } => state.run_plan(&job, &spec),
-            Claimed::Shard { job, idx, spec } => state.run_shard(&job, idx, spec),
+            Claimed::Plan { job, spec } => state.run_plan(job, &spec),
+            Claimed::Shard { job, idx, spec } => state.run_shard(job, idx, spec),
         }
     }
 }
@@ -788,6 +828,24 @@ mod tests {
             .submit(quick_spec("late"))
             .expect_err("post-shutdown submit");
         assert!(err.to_string().contains("shutting down"), "{err}");
+    }
+
+    #[test]
+    fn job_listing_is_submission_ordered_numerically() {
+        let service = test_service(1);
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            let status = service
+                .submit(quick_spec(&format!("list-{i}")))
+                .expect("submits");
+            ids.push(status.id);
+        }
+        let _ = service.cancel(&ids[3]);
+        // 12 jobs so a lexicographic store would list job-10..job-12
+        // before job-2; the numeric key must keep submission order.
+        let listed: Vec<String> = service.jobs().into_iter().map(|s| s.id).collect();
+        assert_eq!(listed, ids);
+        service.shutdown(Shutdown::Now);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod characterize;
 mod edp;

@@ -26,6 +26,7 @@
 //! // Every thread did real work in the first interval.
 //! assert!(trace.intervals[0].thread(0).events.len() > 100);
 //! ```
+#![forbid(unsafe_code)]
 
 mod kernels;
 mod recorder;

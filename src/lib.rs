@@ -72,6 +72,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub use archsim;
 pub use circuits;
