@@ -7,7 +7,7 @@
 //! synts-cli bench [<spec.json>] [--quick|--paper] [--workers N]
 //!                 [--out <bench.json>]
 //! synts-cli check <spec.json> [--max-shards N] [--quick|--paper] [--workers N]
-//! synts-cli submit <spec.json> [--addr HOST:PORT] [--quick|--paper] [--workers N]
+//! synts-cli submit <spec.json> [--addr HOST:PORT] [--key TOKEN] [--quick|--paper] [--workers N]
 //! synts-cli status <job-id> [--addr HOST:PORT]
 //! synts-cli fetch <job-id> [--addr HOST:PORT] [--csv] [--wait SECS] [--out FILE]
 //! synts-cli schemes
@@ -47,10 +47,10 @@ use synts_bench::render::{report_text_with_cache, save_csv, write_csv};
 use synts_core::scenario::Json;
 use synts_core::{
     characterize_cached, default_theta_sweep, reference, worker_count, CacheStats, CharCache,
-    Experiment, IntervalSelection, PhaseStats, Quality, ScenarioSpec, SolveRequest, Solver,
-    SolverRegistry, ThetaSpec, ThreadPool,
+    Experiment, FaultPlan, IntervalSelection, PhaseStats, Quality, ScenarioSpec, SolveRequest,
+    Solver, SolverRegistry, ThetaSpec, ThreadPool,
 };
-use synts_serve::{Client, Server, Service, ServiceConfig, Shutdown};
+use synts_serve::{Client, ReportOutcome, Server, Service, ServiceConfig, Shutdown};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -58,7 +58,7 @@ fn usage() -> ExitCode {
          [--json <out.json>] [--csv <out.csv>] [--no-cache] [--cache-dir <dir>] [--quiet]\n\
          \x20      synts-cli bench [<spec.json>] [--quick|--paper] [--workers N] [--out <bench.json>]\n\
          \x20      synts-cli check <spec.json> [--max-shards N] [--quick|--paper] [--workers N]\n\
-         \x20      synts-cli submit <spec.json> [--addr HOST:PORT] [--quick|--paper] [--workers N]\n\
+         \x20      synts-cli submit <spec.json> [--addr HOST:PORT] [--key TOKEN] [--quick|--paper] [--workers N]\n\
          \x20      synts-cli status <job-id> [--addr HOST:PORT]\n\
          \x20      synts-cli fetch <job-id> [--addr HOST:PORT] [--csv] [--wait SECS] [--out FILE]\n\
          \x20      synts-cli schemes\n\
@@ -378,6 +378,9 @@ struct ServiceArgs {
     csv: bool,
     wait_s: Option<u64>,
     out: Option<String>,
+    /// Idempotency key: `submit --key` retries safely (a replayed POST
+    /// with the same key returns the same job).
+    key: Option<String>,
 }
 
 fn parse_service_args(args: &[String]) -> Option<ServiceArgs> {
@@ -389,6 +392,7 @@ fn parse_service_args(args: &[String]) -> Option<ServiceArgs> {
         csv: false,
         wait_s: None,
         out: None,
+        key: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -400,6 +404,7 @@ fn parse_service_args(args: &[String]) -> Option<ServiceArgs> {
             "--csv" => out.csv = true,
             "--wait" => out.wait_s = Some(it.next()?.parse().ok()?),
             "--out" => out.out = Some(it.next()?.clone()),
+            "--key" => out.key = Some(it.next()?.clone()),
             _ if arg.starts_with('-') || !out.target.is_empty() => return None,
             _ => out.target = arg.clone(),
         }
@@ -428,7 +433,12 @@ fn submit(args: &ServiceArgs) -> ExitCode {
         Ok(spec) => spec,
         Err(code) => return code,
     };
-    match Client::new(&args.addr).submit(&spec.to_json_string()) {
+    let client = Client::new(&args.addr);
+    let outcome = match &args.key {
+        Some(key) => client.submit_idempotent(&spec.to_json_string(), key),
+        None => client.submit(&spec.to_json_string()),
+    };
+    match outcome {
         Ok(id) => {
             eprintln!("[submit] '{}' accepted by {}", spec.name, args.addr);
             println!("{id}");
@@ -681,6 +691,8 @@ fn service_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, Strin
         max_attempts: 2,
         cache: CharCache::at_dir(&cache_dir),
         registry: SolverRegistry::with_defaults(),
+        journal: None,
+        faults: None,
     }));
     let mut server =
         Server::bind("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
@@ -712,6 +724,63 @@ fn service_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, Strin
     server.shutdown(Shutdown::Now);
     let _ = std::fs::remove_dir_all(&cache_dir);
     result
+}
+
+/// The chaos leg: the same spec through a service with an **armed
+/// fault plan** — a third of cache writes dropped, every shard's first
+/// attempt panicked — which must still converge to the monolithic
+/// bytes. Records the deterministic fired-site ledger so two bench runs
+/// on one machine can be diffed for fault-schedule drift.
+fn chaos_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, String> {
+    const PLAN: &str = "seed=29;cache.write=1/3;exec.panic=~#a0";
+    let plan = Arc::new(FaultPlan::parse(PLAN).map_err(|e| e.to_string())?);
+    let cache_dir = std::env::temp_dir().join(format!("synts-bench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache_before = CacheStats::snapshot();
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        max_shards: 4,
+        max_attempts: 3,
+        cache: CharCache::at_dir(&cache_dir),
+        registry: SolverRegistry::with_defaults(),
+        journal: None,
+        faults: Some(Arc::clone(&plan)),
+    }));
+    let t = Instant::now();
+    let id = service.submit(spec.clone()).map_err(|e| e.to_string())?.id;
+    let deadline = Instant::now() + Duration::from_secs(1800);
+    let result = loop {
+        match service.report(&id) {
+            ReportOutcome::Ready(report) => break Ok(report.to_json_string()),
+            ReportOutcome::Pending(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => break Err(format!("chaos job did not finish: {other:?}")),
+        }
+    };
+    let elapsed_s = t.elapsed().as_secs_f64();
+    let retries = service.status(&id).map_or(0, |s| s.retries);
+    let cache_stats = CacheStats::snapshot().since(cache_before);
+    service.shutdown(Shutdown::Now);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let body = result?;
+    if body != monolithic_json {
+        return Err("chaos-run report diverged from the monolithic run".to_string());
+    }
+    let mut fired = Json::obj();
+    for (site, count) in plan.fired_counts() {
+        fired = fired.field(&site, Json::num(count as f64));
+    }
+    Ok(Json::obj()
+        .field("plan", Json::str(PLAN))
+        .field("submit_to_report_s", Json::num(elapsed_s))
+        .field("retries", Json::num(f64::from(retries)))
+        .field(
+            "cache_write_errors",
+            Json::num(cache_stats.write_errors as f64),
+        )
+        .field("fired", fired)
+        .field("matches_monolithic", Json::Bool(true)))
 }
 
 /// The gate-sim leg behind `BENCH_PR7.json`: the same sampled delay
@@ -944,6 +1013,16 @@ fn bench(args: RunArgs) -> ExitCode {
         }
     };
 
+    // Chaos leg: the same spec through an armed fault plan must still
+    // produce the monolithic bytes (and a deterministic fault ledger).
+    let chaos = match chaos_leg(&spec, &report.to_json_string()) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("chaos bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let record = Json::obj()
         .field("spec", Json::str(&report.spec.name))
         .field("benchmark", Json::str(report.spec.benchmark.name()))
@@ -979,7 +1058,8 @@ fn bench(args: RunArgs) -> ExitCode {
                 ),
         )
         .field("gatesim", gatesim)
-        .field("service", service);
+        .field("service", service)
+        .field("chaos", chaos);
     let text = record.render_pretty();
     print!("{text}");
     if let Err(e) = std::fs::write(&out_path, &text) {

@@ -128,8 +128,8 @@ pub fn report_text_with_cache(report: &Report, cache: Option<CacheStats>) -> Str
     let mut out = report_text(report);
     if let Some(stats) = cache.filter(|s| s.lookups() > 0) {
         out.push_str(&format!(
-            "characterization cache: {} hit(s), {} miss(es)\n",
-            stats.hits, stats.misses
+            "characterization cache: {} hit(s), {} miss(es), {} write error(s)\n",
+            stats.hits, stats.misses, stats.write_errors
         ));
     }
     out

@@ -27,6 +27,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use circuits::StageKind;
 use workloads::{Benchmark, WorkloadTrace};
@@ -36,6 +37,7 @@ use crate::experiments::{
     characterize_workload_on, characterize_workload_pooled, BenchmarkData, HarnessConfig,
     IntervalData, ThreadData,
 };
+use crate::faults::{site, FaultPlan};
 use crate::parallel::ThreadPool;
 use crate::scenario::Json;
 use timing::{ErrorCurve, StageCharacterizer, TimingError};
@@ -52,6 +54,7 @@ const CACHE_FORMAT_VERSION: f64 = 1.0;
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide cache hit/miss counters (monotonic snapshots).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +63,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Characterizations recomputed (and stored).
     pub misses: u64,
+    /// Store attempts that failed to land (mkdir/write/rename errors,
+    /// including injected ones). The run is unaffected — the entry just
+    /// stays cold — but silent drops would mask a broken cache volume.
+    pub write_errors: u64,
 }
 
 impl CacheStats {
@@ -69,6 +76,7 @@ impl CacheStats {
         CacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
+            write_errors: WRITE_ERRORS.load(Ordering::Relaxed),
         }
     }
 
@@ -84,6 +92,7 @@ impl CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            write_errors: self.write_errors.saturating_sub(earlier.write_errors),
         }
     }
 }
@@ -93,6 +102,7 @@ impl CacheStats {
 pub struct CharCache {
     enabled: bool,
     dir: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl CharCache {
@@ -105,7 +115,11 @@ impl CharCache {
             .ok()
             .filter(|s| !s.trim().is_empty())
             .map_or_else(|| PathBuf::from(CACHE_DIR_DEFAULT), PathBuf::from);
-        CharCache { enabled: true, dir }
+        CharCache {
+            enabled: true,
+            dir,
+            faults: None,
+        }
     }
 
     /// An enabled cache rooted at an explicit directory.
@@ -114,6 +128,7 @@ impl CharCache {
         CharCache {
             enabled: true,
             dir: dir.into(),
+            faults: None,
         }
     }
 
@@ -124,6 +139,7 @@ impl CharCache {
         CharCache {
             enabled: false,
             dir: PathBuf::new(),
+            faults: None,
         }
     }
 
@@ -137,6 +153,21 @@ impl CharCache {
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Arms (or disarms, with `None`) deterministic fault injection on
+    /// this cache's read/write/rename paths. The plan is shared, so fired
+    /// counts aggregate across clones handed to worker threads.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> CharCache {
+        self.faults = faults;
+        self
+    }
+
+    /// The armed fault plan, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     fn entry_path(&self, key_hash: u64) -> PathBuf {
@@ -158,7 +189,10 @@ impl CharCache {
         netlist: &gatelib::Netlist,
     ) -> CacheEntry {
         if !self.enabled {
-            return CacheEntry { slot: None };
+            return CacheEntry {
+                slot: None,
+                faults: None,
+            };
         }
         // Key construction hashes the full trace; charge it to the
         // lookup phase so the breakdown shows the probe's true cost.
@@ -168,6 +202,7 @@ impl CharCache {
             h.write_str(&key.render());
             CacheEntry {
                 slot: Some((self.entry_path(h.finish()), key)),
+                faults: self.faults.clone(),
             }
         })
     }
@@ -179,6 +214,8 @@ pub struct CacheEntry {
     /// `(path, full key)`; `None` for a disabled cache, which never
     /// touches disk or the hit/miss counters.
     slot: Option<(PathBuf, Json)>,
+    /// Fault plan inherited from the owning [`CharCache`].
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl CacheEntry {
@@ -189,6 +226,14 @@ impl CacheEntry {
     #[must_use]
     pub fn load(&self) -> Option<BenchmarkData> {
         let (path, key) = self.slot.as_ref()?;
+        if let Some(plan) = &self.faults {
+            // An injected read fault turns this probe into a miss — the
+            // exact behaviour of a corrupt or torn entry on disk.
+            if plan.should(site::CACHE_READ, &entry_token(path)) {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         match crate::phase::time_phase(crate::phase::Phase::CacheLookup, || load_entry(path, key)) {
             Some(data) => {
                 HITS.fetch_add(1, Ordering::Relaxed);
@@ -206,7 +251,7 @@ impl CacheEntry {
     pub fn store(&self, data: &BenchmarkData) {
         if let Some((path, key)) = &self.slot {
             crate::phase::time_phase(crate::phase::Phase::CacheStore, || {
-                store_entry(path, key, data);
+                store_entry(path, key, data, self.faults.as_deref());
             });
         }
     }
@@ -492,20 +537,53 @@ fn load_entry(path: &Path, key: &Json) -> Option<BenchmarkData> {
     benchmark_data_from_json(entry.get("data")?).ok()
 }
 
-fn store_entry(path: &Path, key: &Json, data: &BenchmarkData) {
-    // Best-effort: a read-only or full disk must never fail the run.
-    let Some(dir) = path.parent() else { return };
+/// Stable identity token for one cache slot — the entry file name —
+/// used both for fault-plan decisions and nothing else.
+fn entry_token(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn store_entry(path: &Path, key: &Json, data: &BenchmarkData, faults: Option<&FaultPlan>) {
+    // Best-effort: a read-only or full disk must never fail the run —
+    // but every store that fails to land is counted (write_errors).
+    let token = entry_token(path);
+    if let Some(plan) = faults {
+        if plan.should(site::CACHE_WRITE, &token) {
+            WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    let Some(dir) = path.parent() else {
+        WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
     if std::fs::create_dir_all(dir).is_err() {
+        WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
         return;
     }
     let entry = Json::obj()
         .field("key", key.clone())
         .field("data", benchmark_data_to_json(data));
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, entry.render_pretty()).is_ok() {
-        // Atomic within one filesystem: concurrent writers of the same
-        // entry race benignly (identical content).
-        let _ = std::fs::rename(&tmp, path);
+    if std::fs::write(&tmp, entry.render_pretty()).is_err() {
+        WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if let Some(plan) = faults {
+        if plan.should(site::CACHE_RENAME, &token) {
+            // The tmp file was written but the publish step "fails":
+            // clean up like a crashed renamer would not have.
+            let _ = std::fs::remove_file(&tmp);
+            WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    // Atomic within one filesystem: concurrent writers of the same
+    // entry race benignly (identical content).
+    if std::fs::rename(&tmp, path).is_err() {
+        WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
     }
 }
 

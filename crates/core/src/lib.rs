@@ -94,6 +94,7 @@ mod error;
 mod exhaustive;
 pub mod experiments;
 pub mod extensions;
+pub mod faults;
 pub mod leakage;
 mod milp_formulation;
 mod model;
@@ -116,6 +117,7 @@ pub use cache::{
 };
 pub use error::{closest_match, levenshtein, OptError};
 pub use exhaustive::{pruning_stats, synts_exhaustive, PruningStats, EXHAUSTIVE_LIMIT};
+pub use faults::{FaultPlan, FAULTS_ENV};
 pub use milp_formulation::{synts_milp, synts_milp_with, MilpTuning};
 pub use model::{
     evaluate, thread_energy, thread_time, weighted_cost, Assignment, OperatingPoint, SystemConfig,

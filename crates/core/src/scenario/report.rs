@@ -209,6 +209,94 @@ impl Report {
         self.to_json().render_pretty()
     }
 
+    /// Parses a report back from its canonical JSON tree — the inverse
+    /// of [`Report::to_json`]. Numbers survive bit-exactly (the JSON
+    /// layer stores `f64`s and renders shortest-round-trip), so
+    /// `Report::from_json(&r.to_json()).to_json_string()` reproduces
+    /// `r.to_json_string()` byte for byte. That exactness is what lets
+    /// the service journal persist partial shard reports and merge them
+    /// after a crash into a report identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::OptError::Spec`] naming the offending field.
+    pub fn from_json(json: &Json) -> Result<Report, crate::OptError> {
+        let bad = |path: &str, expected: &str| {
+            crate::OptError::Spec(format!("report: {path}: {expected}"))
+        };
+        let num = |key: &str| -> Result<f64, crate::OptError> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(key, "expected a number"))
+        };
+        let spec =
+            ScenarioSpec::from_json(json.get("spec").ok_or_else(|| bad("spec", "missing"))?)?;
+        let intervals_used = json
+            .get("intervals_used")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("intervals_used", "expected an array"))?
+            .iter()
+            .map(|v| v.as_usize())
+            .collect::<Option<Vec<usize>>>()
+            .ok_or_else(|| bad("intervals_used", "expected integer indices"))?;
+        let theta_grid = json
+            .get("theta_grid")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("theta_grid", "expected an array"))?
+            .iter()
+            .map(Json::as_f64)
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| bad("theta_grid", "expected numbers"))?;
+        let baseline = match json.get("baseline") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(parse_energy_delay(value, "baseline")?),
+        };
+        let datasets = json
+            .get("datasets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("datasets", "expected an array"))?
+            .iter()
+            .map(parse_dataset)
+            .collect::<Result<Vec<Dataset>, _>>()?;
+        let checks = json
+            .get("checks")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("checks", "expected an array"))?
+            .iter()
+            .map(|c| {
+                let claim = c
+                    .get("claim")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("checks[].claim", "expected a string"))?;
+                let pass = c
+                    .get("pass")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("checks[].pass", "expected a bool"))?;
+                Ok(ReportCheck::new(claim, pass))
+            })
+            .collect::<Result<Vec<ReportCheck>, crate::OptError>>()?;
+        Ok(Report {
+            spec,
+            tnom_v1: num("tnom_v1")?,
+            intervals_used,
+            theta_center: num("theta_center")?,
+            theta_grid,
+            baseline,
+            datasets,
+            checks,
+        })
+    }
+
+    /// Parses a report from canonical JSON text (journal payloads,
+    /// fixture files).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::OptError::Spec`] on malformed JSON or an invalid field.
+    pub fn from_json_str(src: &str) -> Result<Report, crate::OptError> {
+        Report::from_json(&Json::parse(src)?)
+    }
+
     /// CSV payload: header plus one row per (scheme, θ) record.
     #[must_use]
     pub fn to_csv(&self) -> (Vec<&'static str>, Vec<Vec<String>>) {
@@ -238,4 +326,104 @@ impl Report {
         }
         (header, rows)
     }
+}
+
+fn parse_energy_delay(json: &Json, path: &str) -> Result<EnergyDelay, crate::OptError> {
+    let field = |key: &str| -> Result<f64, crate::OptError> {
+        json.get(key).and_then(Json::as_f64).ok_or_else(|| {
+            crate::OptError::Spec(format!("report: {path}.{key}: expected a number"))
+        })
+    };
+    Ok(EnergyDelay::new(field("energy")?, field("time")?))
+}
+
+fn parse_record(json: &Json) -> Result<Record, crate::OptError> {
+    let bad =
+        |path: &str, expected: &str| crate::OptError::Spec(format!("report: {path}: {expected}"));
+    let num = |key: &str| -> Result<f64, crate::OptError> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(&format!("records[].{key}"), "expected a number"))
+    };
+    // `edp` is derived (energy × time) — recomputed by the writer, so the
+    // parser ignores it rather than trusting a possibly stale copy.
+    let normalized = match json.get("norm_energy") {
+        None => None,
+        Some(_) => Some(EnergyDelay::new(num("norm_energy")?, num("norm_time")?)),
+    };
+    let assignments = match json.get("assignments") {
+        None => None,
+        Some(value) => {
+            let per_interval = value
+                .as_arr()
+                .ok_or_else(|| bad("records[].assignments", "expected an array"))?;
+            let mut out = Vec::with_capacity(per_interval.len());
+            for interval in per_interval {
+                let pairs = interval
+                    .as_arr()
+                    .ok_or_else(|| bad("records[].assignments[]", "expected an array"))?;
+                let mut points = Vec::with_capacity(pairs.len());
+                for pair in pairs {
+                    let idxs = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        bad(
+                            "records[].assignments[][]",
+                            "expected a [voltage, tsr] pair",
+                        )
+                    })?;
+                    let voltage_idx = idxs[0]
+                        .as_usize()
+                        .ok_or_else(|| bad("records[].assignments[][][0]", "expected an index"))?;
+                    let tsr_idx = idxs[1]
+                        .as_usize()
+                        .ok_or_else(|| bad("records[].assignments[][][1]", "expected an index"))?;
+                    points.push(crate::model::OperatingPoint {
+                        voltage_idx,
+                        tsr_idx,
+                    });
+                }
+                out.push(Assignment { points });
+            }
+            Some(out)
+        }
+    };
+    Ok(Record {
+        theta: num("theta")?,
+        ed: EnergyDelay::new(num("energy")?, num("time")?),
+        normalized,
+        assignments,
+    })
+}
+
+fn parse_dataset(json: &Json) -> Result<Dataset, crate::OptError> {
+    let bad =
+        |path: &str, expected: &str| crate::OptError::Spec(format!("report: {path}: {expected}"));
+    let scheme = json
+        .get("scheme")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("datasets[].scheme", "expected a string"))?;
+    let label = json
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("datasets[].label", "expected a string"))?;
+    let records = json
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("datasets[].records", "expected an array"))?
+        .iter()
+        .map(parse_record)
+        .collect::<Result<Vec<Record>, _>>()?;
+    let pareto = json
+        .get("pareto")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("datasets[].pareto", "expected an array"))?
+        .iter()
+        .map(|v| v.as_usize())
+        .collect::<Option<Vec<usize>>>()
+        .ok_or_else(|| bad("datasets[].pareto", "expected integer indices"))?;
+    Ok(Dataset {
+        scheme: scheme.to_string(),
+        label: label.to_string(),
+        records,
+        pareto,
+    })
 }

@@ -143,6 +143,11 @@ pub struct ScenarioSpec {
     /// Whether the report includes the model-vs-simulation agreement
     /// check (analytic Eq 4.1–4.3 vs the cycle-level Razor simulator).
     pub verify_model: bool,
+    /// Fault-injection plan armed for runs of this spec (the
+    /// [`crate::faults::FaultPlan`] grammar), `None` for production runs.
+    /// Omitted from the JSON form when unset so existing spec files and
+    /// golden fixtures are byte-unchanged.
+    pub faults: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -162,6 +167,7 @@ impl ScenarioSpec {
             normalize_to: None,
             record_assignments: false,
             verify_model: false,
+            faults: None,
         }
     }
 
@@ -221,6 +227,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Arms a fault-injection plan (the [`crate::faults::FaultPlan`]
+    /// grammar) for runs of this spec.
+    #[must_use]
+    pub fn faults(mut self, plan: impl Into<String>) -> Self {
+        self.faults = Some(plan.into());
+        self
+    }
+
     /// The JSON tree of this spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -242,7 +256,7 @@ impl ScenarioSpec {
             IntervalSelection::MostHeterogeneous => Json::str("most_heterogeneous"),
             IntervalSelection::Index(i) => Json::obj().field("index", Json::num(i as f64)),
         };
-        Json::obj()
+        let mut spec = Json::obj()
             .field("name", Json::str(&self.name))
             .field("benchmark", Json::str(self.benchmark.name()))
             .field("stage", Json::str(self.stage.name()))
@@ -268,7 +282,13 @@ impl ScenarioSpec {
                 },
             )
             .field("record_assignments", Json::Bool(self.record_assignments))
-            .field("verify_model", Json::Bool(self.verify_model))
+            .field("verify_model", Json::Bool(self.verify_model));
+        // Emitted only when armed: unset plans leave the rendering (and
+        // every committed fixture) byte-identical to the pre-faults form.
+        if let Some(plan) = &self.faults {
+            spec = spec.field("faults", Json::str(plan));
+        }
+        spec
     }
 
     /// Pretty JSON — the committed spec-file format.
@@ -449,6 +469,15 @@ impl ScenarioSpec {
             normalize_to,
             record_assignments: flag("record_assignments")?,
             verify_model: flag("verify_model")?,
+            faults: match json.get("faults") {
+                None | Some(Json::Null) => None,
+                Some(value) => Some(
+                    value
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad("faults", "expected a fault-plan string or null"))?,
+                ),
+            },
         })
     }
 

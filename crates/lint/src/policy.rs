@@ -61,7 +61,9 @@ pub fn policy_for(rel: &str) -> Option<Vec<Rule>> {
             Rule::EnvRead,
             Rule::PanicPath,
         ]),
-        // The client polls with deadlines (sanctioned wall-clock site).
+        // The client polls with deadlines and sleeps its retry backoff
+        // (sanctioned wall-clock sites; the backoff *schedule* is a pure
+        // function of the policy, so determinism is unaffected).
         "crates/serve/src/client.rs" => with(&[Rule::HashCollections]),
         _ => {
             if rel.starts_with("crates/serve/src/bin/") {
@@ -120,6 +122,22 @@ mod tests {
         assert!(!policy_for("crates/serve/src/client.rs")
             .unwrap()
             .contains(&Rule::PanicPath));
+    }
+
+    #[test]
+    fn crash_safety_modules_stay_under_the_clock_rules() {
+        // The journal and the fault harness are determinism-critical:
+        // any new wall-clock or env read there must carry an explicit
+        // suppression, not ride on a policy carve-out. (The two
+        // sanctioned sites today: `SYNTS_FAULTS` arming in faults.rs and
+        // the read-deadline clock in http.rs, both inline-suppressed.)
+        let journal = policy_for("crates/serve/src/journal.rs").unwrap();
+        assert!(journal.contains(&Rule::WallClock));
+        assert!(journal.contains(&Rule::EnvRead));
+        let faults = policy_for("crates/core/src/faults.rs").unwrap();
+        for r in [Rule::WallClock, Rule::EnvRead, Rule::HashCollections] {
+            assert!(faults.contains(&r), "missing {r:?}");
+        }
     }
 
     #[test]

@@ -3,43 +3,58 @@
 //! ```text
 //! synts-serve [--addr 127.0.0.1:7070] [--workers N] [--max-shards N]
 //!             [--max-attempts N] [--cache-dir DIR | --no-cache]
+//!             [--journal-dir DIR] [--faults PLAN]
 //! ```
 //!
 //! Binds the HTTP front end, prints the resolved address, and serves
 //! until `POST /v1/shutdown` (or Ctrl-C, which skips the drain).
+//!
+//! With `--journal-dir` the service journals every job durably and, on
+//! startup, replays the directory: finished jobs serve their journaled
+//! reports, interrupted jobs resume from their completed shards.
+//! `--faults` (or the `SYNTS_FAULTS` environment variable) arms the
+//! deterministic fault-injection harness — see `synts_core::faults`.
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use synts_core::{CharCache, SolverRegistry};
-use synts_serve::{Server, Service, ServiceConfig, Shutdown};
+use synts_core::{CharCache, FaultPlan, SolverRegistry};
+use synts_serve::{Journal, Server, Service, ServiceConfig, Shutdown};
 
+#[derive(Debug)]
 struct Args {
     addr: String,
     workers: usize,
     max_shards: usize,
     max_attempts: u32,
     cache: CharCache,
+    journal_dir: Option<String>,
+    faults: Option<String>,
 }
 
 const USAGE: &str = "usage: synts-serve [--addr HOST:PORT] [--workers N] [--max-shards N] \
-[--max-attempts N] [--cache-dir DIR | --no-cache]
+[--max-attempts N] [--cache-dir DIR | --no-cache] [--journal-dir DIR] [--faults PLAN]
 
-Serves the SynTS scenario API (POST /v1/jobs, GET /v1/jobs/<id>[/report],
+Serves the SynTS scenario API (POST /v1/jobs[?key=..], GET /v1/jobs/<id>[/report],
 GET /v1/healthz, GET /v1/stats, POST /v1/shutdown). Defaults: --addr
 127.0.0.1:7070, --workers 2, --max-shards 4, --max-attempts 2, cache per
-SYNTS_CACHE_DIR (target/synts-cache).";
+SYNTS_CACHE_DIR (target/synts-cache). --journal-dir enables the durable
+job journal (replayed on startup); --faults arms deterministic fault
+injection (grammar: 'seed=N;site=NUM/DEN;site=~substr', overriding the
+SYNTS_FAULTS environment variable).";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7070".to_string(),
         workers: 2,
         max_shards: 4,
         max_attempts: 2,
         cache: CharCache::from_env(),
+        journal_dir: None,
+        faults: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
             it.next()
@@ -64,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--cache-dir" => args.cache = CharCache::at_dir(value("a directory")?),
             "--no-cache" => args.cache = CharCache::disabled(),
+            "--journal-dir" => args.journal_dir = Some(value("a directory")?),
+            "--faults" => args.faults = Some(value("a fault plan")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'; see --help")),
         }
@@ -71,20 +88,53 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Resolves the armed fault plan: the `--faults` flag wins, otherwise
+/// the `SYNTS_FAULTS` environment variable, otherwise unarmed.
+fn resolve_faults(flag: Option<&str>) -> Result<Option<Arc<FaultPlan>>, String> {
+    let plan = match flag {
+        Some(src) => FaultPlan::parse(src).map(Some),
+        None => FaultPlan::from_env(),
+    };
+    plan.map(|p| p.filter(FaultPlan::is_armed).map(Arc::new))
+        .map_err(|e| format!("synts-serve: invalid fault plan: {e}"))
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    let faults = match resolve_faults(args.faults.as_deref()) {
+        Ok(faults) => faults,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = match args.journal_dir.as_deref().map(Journal::open).transpose() {
+        Ok(journal) => journal,
+        Err(e) => {
+            eprintln!(
+                "synts-serve: cannot open journal dir {}: {e}",
+                args.journal_dir.as_deref().unwrap_or_default()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(plan) = &faults {
+        println!("synts-serve: fault injection armed: {}", plan.source());
+    }
     let service = Arc::new(Service::start(ServiceConfig {
         workers: args.workers,
         max_shards: args.max_shards,
         max_attempts: args.max_attempts,
         cache: args.cache,
         registry: SolverRegistry::with_defaults(),
+        journal,
+        faults,
     }));
     let mut server = match Server::bind(&args.addr, service) {
         Ok(server) => server,
@@ -109,4 +159,79 @@ fn main() -> ExitCode {
     );
     server.shutdown(mode);
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        parse_args(words.iter().map(|w| (*w).to_string()))
+    }
+
+    #[test]
+    fn defaults_and_new_flags_parse() {
+        let args = parse(&[]).expect("defaults");
+        assert_eq!(args.addr, "127.0.0.1:7070");
+        assert!(args.journal_dir.is_none());
+        assert!(args.faults.is_none());
+
+        let args = parse(&[
+            "--journal-dir",
+            "target/j",
+            "--faults",
+            "seed=7;exec.panic=~#a0",
+        ])
+        .expect("new flags");
+        assert_eq!(args.journal_dir.as_deref(), Some("target/j"));
+        assert_eq!(args.faults.as_deref(), Some("seed=7;exec.panic=~#a0"));
+    }
+
+    #[test]
+    fn flag_errors_are_one_clear_line() {
+        let err = parse(&["--journal-dir"]).expect_err("missing value");
+        assert!(err.contains("--journal-dir expects"), "{err}");
+        let err = parse(&["--bogus"]).expect_err("unknown flag");
+        assert!(err.contains("unknown flag '--bogus'"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_plan_is_rejected_with_the_parse_error() {
+        let err = resolve_faults(Some("seed=7;nope.site=1/2")).expect_err("bad site");
+        assert!(err.starts_with("synts-serve: invalid fault plan:"), "{err}");
+        let armed = resolve_faults(Some("seed=1;cache.write=1/2")).expect("valid plan");
+        assert!(armed.is_some());
+        let inert = resolve_faults(Some("")).expect("empty plan is inert");
+        assert!(inert.is_none());
+    }
+
+    #[test]
+    fn bind_failure_is_a_clear_error_not_a_panic() {
+        // Occupy a port, then confirm a second bind to it fails with an
+        // ordinary error (main() turns this into the one-line message).
+        let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe port");
+        let addr = holder.local_addr().expect("probe addr").to_string();
+        let service = Arc::new(Service::start(ServiceConfig {
+            workers: 1,
+            cache: CharCache::disabled(),
+            ..ServiceConfig::default()
+        }));
+        let err = Server::bind(&addr, Arc::clone(&service)).expect_err("port is taken");
+        let line = format!("synts-serve: cannot bind {addr}: {err}");
+        assert!(line.contains(&addr), "{line}");
+        assert!(!line.contains('\n'), "error must be one line: {line}");
+        service.shutdown(Shutdown::Now);
+    }
+
+    #[test]
+    fn bad_addr_is_a_clear_error() {
+        let service = Arc::new(Service::start(ServiceConfig {
+            workers: 1,
+            cache: CharCache::disabled(),
+            ..ServiceConfig::default()
+        }));
+        let err = Server::bind("not-an-addr", Arc::clone(&service)).expect_err("unparseable addr");
+        assert!(!err.to_string().is_empty());
+        service.shutdown(Shutdown::Now);
+    }
 }

@@ -7,13 +7,63 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use synts_core::faults::{site, FaultPlan};
 use synts_core::scenario::Json;
 use synts_core::OptError;
 
-/// Per-request connect/read/write timeout.
+/// Default per-request connect/read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Retry discipline for idempotent requests (GETs, and keyed submits —
+/// the idempotency key is what makes a retried POST safe).
+///
+/// Backoff is *deterministic* exponential — `base_delay * 2^attempt`
+/// capped at `max_delay`, no jitter — so chaos tests replay the exact
+/// same schedule every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (>= 1; 1 means no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Socket read/write timeout per attempt.
+    pub request_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            request_timeout: IO_TIMEOUT,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt per request).
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (zero-based: the delay
+    /// *after* attempt 0 failed).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 2u32.saturating_pow(attempt);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
 
 /// One parsed HTTP reply.
 #[derive(Debug, Clone)]
@@ -46,16 +96,44 @@ impl HttpReply {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    policy: RetryPolicy,
+    /// Deterministic fault plan for the client-side `net.refuse` site.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Client {
-    /// Creates a client for `addr` (e.g. `127.0.0.1:7070`).
+    /// Creates a client for `addr` (e.g. `127.0.0.1:7070`) with the
+    /// default [`RetryPolicy`].
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            policy: RetryPolicy::default(),
+            faults: None,
+        }
     }
 
-    /// Issues one request and reads the full reply.
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Client {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms (or disarms) deterministic connection-fault injection.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Client {
+        self.faults = faults;
+        self
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Issues one request (single attempt) and reads the full reply.
     ///
     /// # Errors
     ///
@@ -67,12 +145,58 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<HttpReply, OptError> {
+        self.request_once(method, path, body, 0)
+    }
+
+    /// Issues an idempotent request with bounded retries: each transport
+    /// failure backs off per the [`RetryPolicy`] and tries again; the
+    /// last error surfaces when attempts run out. Only transport errors
+    /// retry — an HTTP status (even a 5xx) is a *reply* and is returned.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's transport error.
+    pub fn request_idempotent(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpReply, OptError> {
+        let mut last = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+            }
+            match self.request_once(method, path, body, attempt) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            OptError::Spec("service client: retry loop ran zero attempts".to_string())
+        }))
+    }
+
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        attempt: u32,
+    ) -> Result<HttpReply, OptError> {
         let fail = |what: &str| OptError::Spec(format!("service client: {what} ({})", self.addr));
+        if let Some(plan) = &self.faults {
+            // The attempt number is in the token, so `~#a0` refuses
+            // exactly the first attempt and the retry goes through.
+            if plan.should(site::NET_REFUSE, &format!("{method} {path}#a{attempt}")) {
+                return Err(fail("connect failed: injected connection refusal"));
+            }
+        }
         let mut stream =
             TcpStream::connect(&self.addr).map_err(|e| fail(&format!("connect failed: {e}")))?;
         stream
-            .set_read_timeout(Some(IO_TIMEOUT))
-            .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+            .set_read_timeout(Some(self.policy.request_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.policy.request_timeout)))
             .map_err(|e| fail(&format!("socket setup failed: {e}")))?;
         let payload = body.unwrap_or("");
         let head = format!(
@@ -106,7 +230,7 @@ impl Client {
     /// `GET /v1/healthz` — true when the service answers.
     #[must_use]
     pub fn healthy(&self) -> bool {
-        self.request("GET", "/v1/healthz", None)
+        self.request_idempotent("GET", "/v1/healthz", None)
             .is_ok_and(|r| r.status == 200)
     }
 
@@ -117,19 +241,31 @@ impl Client {
     /// Transport errors, or [`OptError::Spec`] carrying the service's
     /// rejection message.
     pub fn submit(&self, spec_json: &str) -> Result<String, OptError> {
-        let reply = self.request("POST", "/v1/jobs", Some(spec_json))?;
-        if reply.status != 202 {
-            let msg = reply
-                .error_message()
-                .unwrap_or_else(|| format!("HTTP {}", reply.status));
-            return Err(OptError::Spec(format!("service rejected the spec: {msg}")));
+        // Unkeyed: one attempt only — retrying a plain POST could
+        // double-enqueue. Use [`Client::submit_idempotent`] for retries.
+        parse_submit_reply(&self.request("POST", "/v1/jobs", Some(spec_json))?)
+    }
+
+    /// `POST /v1/jobs?key=<key>` with bounded retries: the key makes the
+    /// submit idempotent on the server (a replayed POST returns the same
+    /// job), which is what makes retrying it safe.
+    ///
+    /// # Errors
+    ///
+    /// An invalid key, transport errors after the last retry, or
+    /// [`OptError::Spec`] carrying the service's rejection message.
+    pub fn submit_idempotent(&self, spec_json: &str, key: &str) -> Result<String, OptError> {
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(OptError::Spec(format!(
+                "service client: idempotency key {key:?} must be non-empty [A-Za-z0-9._-]"
+            )));
         }
-        reply
-            .json()?
-            .get("job")
-            .and_then(Json::as_str)
-            .map(String::from)
-            .ok_or_else(|| OptError::Spec("service reply names no job id".to_string()))
+        let path = format!("/v1/jobs?key={key}");
+        parse_submit_reply(&self.request_idempotent("POST", &path, Some(spec_json))?)
     }
 
     /// `GET /v1/jobs/<id>` — the status JSON.
@@ -138,7 +274,7 @@ impl Client {
     ///
     /// Transport errors, or [`OptError::Spec`] for unknown ids.
     pub fn status(&self, id: &str) -> Result<Json, OptError> {
-        let reply = self.request("GET", &format!("/v1/jobs/{id}"), None)?;
+        let reply = self.request_idempotent("GET", &format!("/v1/jobs/{id}"), None)?;
         if reply.status != 200 {
             return Err(OptError::Spec(format!(
                 "status fetch failed: HTTP {}: {}",
@@ -161,39 +297,52 @@ impl Client {
         } else {
             format!("/v1/jobs/{id}/report")
         };
-        self.request("GET", &path, None)
+        self.request_idempotent("GET", &path, None)
     }
 
     /// Polls `GET /v1/jobs/<id>/report` until the job settles, then
-    /// returns the report body (JSON or CSV per `csv`).
+    /// returns the report body (JSON or CSV per `csv`). Transport
+    /// failures inside the deadline (server restarting, torn replies)
+    /// reconnect and keep polling rather than giving up — the deadline,
+    /// not the first broken socket, decides when to stop.
     ///
     /// # Errors
     ///
-    /// Transport errors, [`OptError::Spec`] when the job fails, is
-    /// cancelled, or `timeout` elapses first.
+    /// [`OptError::Spec`] when the job fails, is cancelled, or the
+    /// deadline elapses first (carrying the last transport error, if
+    /// the service never answered).
     pub fn wait_report(&self, id: &str, csv: bool, timeout: Duration) -> Result<String, OptError> {
         let deadline = Instant::now() + timeout;
+        let mut last_transport: Option<OptError>;
         loop {
-            let reply = self.fetch_report(id, csv)?;
-            match reply.status {
-                200 => return Ok(reply.body),
-                202 => {}
-                _ => {
-                    return Err(OptError::Spec(format!(
-                        "job {id} will not produce a report: HTTP {}: {}",
-                        reply.status,
-                        reply
-                            .json()
-                            .ok()
-                            .and_then(|j| j.get("error").and_then(Json::as_str).map(String::from))
-                            .unwrap_or_default()
-                    )))
-                }
+            match self.fetch_report(id, csv) {
+                Ok(reply) => match reply.status {
+                    200 => return Ok(reply.body),
+                    202 => last_transport = None,
+                    _ => {
+                        return Err(OptError::Spec(format!(
+                            "job {id} will not produce a report: HTTP {}: {}",
+                            reply.status,
+                            reply
+                                .json()
+                                .ok()
+                                .and_then(|j| j
+                                    .get("error")
+                                    .and_then(Json::as_str)
+                                    .map(String::from))
+                                .unwrap_or_default()
+                        )))
+                    }
+                },
+                Err(e) => last_transport = Some(e),
             }
             if Instant::now() >= deadline {
+                let detail = match last_transport {
+                    Some(e) => format!(" (last error: {e})"),
+                    None => String::new(),
+                };
                 return Err(OptError::Spec(format!(
-                    "timed out waiting for job {id} after {:.0?}",
-                    timeout
+                    "timed out waiting for job {id} after {timeout:.0?}{detail}"
                 )));
             }
             std::thread::sleep(Duration::from_millis(100));
@@ -206,7 +355,7 @@ impl Client {
     ///
     /// Transport errors, or non-200 replies.
     pub fn jobs(&self) -> Result<Json, OptError> {
-        let reply = self.request("GET", "/v1/jobs", None)?;
+        let reply = self.request_idempotent("GET", "/v1/jobs", None)?;
         if reply.status != 200 {
             return Err(OptError::Spec(format!(
                 "job listing failed: HTTP {}",
@@ -222,7 +371,7 @@ impl Client {
     ///
     /// Transport errors, or non-200 replies.
     pub fn stats(&self) -> Result<Json, OptError> {
-        let reply = self.request("GET", "/v1/stats", None)?;
+        let reply = self.request_idempotent("GET", "/v1/stats", None)?;
         if reply.status != 200 {
             return Err(OptError::Spec(format!(
                 "stats fetch failed: HTTP {}",
@@ -245,4 +394,20 @@ impl Client {
         };
         self.request("POST", "/v1/shutdown", Some(body)).map(|_| ())
     }
+}
+
+/// Extracts the job id from a submit reply (202 + `{"job": ...}`).
+fn parse_submit_reply(reply: &HttpReply) -> Result<String, OptError> {
+    if reply.status != 202 {
+        let msg = reply
+            .error_message()
+            .unwrap_or_else(|| format!("HTTP {}", reply.status));
+        return Err(OptError::Spec(format!("service rejected the spec: {msg}")));
+    }
+    reply
+        .json()?
+        .get("job")
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or_else(|| OptError::Spec("service reply names no job id".to_string()))
 }

@@ -12,7 +12,7 @@
 //!
 //! | method & path                  | reply                                        |
 //! |--------------------------------|----------------------------------------------|
-//! | `POST /v1/jobs`                | 202 + job status (body: a `ScenarioSpec`)     |
+//! | `POST /v1/jobs[?key=<token>]`  | 202 + job status (body: a `ScenarioSpec`; `key` makes the submit idempotent — a retried POST returns the existing job) |
 //! | `GET /v1/jobs`                 | 200 + all job statuses, submission order     |
 //! | `GET /v1/jobs/<id>`            | 200 + job status                             |
 //! | `GET /v1/jobs/<id>/report`     | 200 + merged report (`?format=csv` for CSV); 202 while pending; 410 if failed/cancelled |
@@ -22,18 +22,20 @@
 //! | `POST /v1/shutdown`            | 200, then winds the server down (`{"mode": "drain"\|"now"}`) |
 //!
 //! Malformed requests (bad request line, oversized headers/bodies,
-//! invalid JSON, unknown routes) get 4xx JSON errors; nothing a client
-//! sends can panic the server ([`std::panic::catch_unwind`] backstops
-//! every connection thread).
+//! invalid JSON, unknown routes) get 4xx JSON errors; a connection that
+//! stalls past the [`ServerConfig::read_deadline`] gets a 408; nothing a
+//! client sends can panic the server ([`std::panic::catch_unwind`]
+//! backstops every connection thread).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use synts_core::faults::{site, FaultPlan};
 use synts_core::scenario::{Json, ScenarioSpec};
 
 use crate::queue::{JobStatus, ReportOutcome, Service, Shutdown};
@@ -45,8 +47,33 @@ const MAX_BODY: usize = 1024 * 1024;
 /// Per-connection socket read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Tunables of one [`Server`] instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Total budget for reading one request (line, headers and body).
+    /// A connection that stalls past it — slow-loris, torn body — gets
+    /// a 408 and is closed; it can never pin a handler thread.
+    pub read_deadline: Duration,
+    /// Deterministic fault plan for the `net.*` server sites (torn
+    /// writes, mid-body disconnects). `None` serves faithfully.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_deadline: IO_TIMEOUT,
+            faults: None,
+        }
+    }
+}
+
 struct Inner {
     service: Arc<Service>,
+    cfg: ServerConfig,
+    /// Requests handled so far — the identity token for server-side
+    /// fault decisions (`#r<n>`).
+    requests: AtomicU64,
     stopping: AtomicBool,
     requested: Mutex<Option<Shutdown>>,
     cv: Condvar,
@@ -68,10 +95,25 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: &str, service: Arc<Service>) -> std::io::Result<Server> {
+        Server::bind_with(addr, service, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit tunables (read deadline, faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        addr: &str,
+        service: Arc<Service>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
             service,
+            cfg,
+            requests: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
             requested: Mutex::new(None),
             cv: Condvar::new(),
@@ -189,28 +231,82 @@ struct Request {
 enum ReadError {
     Malformed(&'static str),
     TooLarge(&'static str),
+    Timeout,
     Io,
 }
 
+/// Tracks the per-connection read budget. The clock is read only to
+/// *bound* how long a client may take, never to shape a result.
+struct ReadBudget {
+    started: Instant,
+    deadline: Duration,
+}
+
+impl ReadBudget {
+    fn new(deadline: Duration) -> ReadBudget {
+        // synts-lint: allow(wall-clock) — read-deadline enforcement: the clock bounds client I/O, results never depend on it
+        let started = Instant::now();
+        ReadBudget { started, deadline }
+    }
+
+    /// Time left before the 408, `None` once exhausted.
+    fn remaining(&self) -> Option<Duration> {
+        self.deadline.checked_sub(self.started.elapsed())
+    }
+
+    /// Classifies a failed read: past the deadline it was the stall
+    /// (408); otherwise a genuine transport error (drop silently).
+    fn classify(&self) -> ReadError {
+        if self.remaining().is_none() {
+            ReadError::Timeout
+        } else {
+            ReadError::Io
+        }
+    }
+
+    /// Arms the socket timeout with what's left of the budget so a
+    /// stalled peer wakes the read at the deadline, not 10 s later.
+    fn arm(&self, reader: &BufReader<TcpStream>) -> Result<(), ReadError> {
+        let Some(remaining) = self.remaining() else {
+            return Err(ReadError::Timeout);
+        };
+        reader
+            .get_ref()
+            .set_read_timeout(Some(remaining))
+            .map_err(|_| ReadError::Io)
+    }
+}
+
 fn handle_connection(stream: TcpStream, inner: &Inner) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let response = match read_request(&mut reader) {
+    let budget = ReadBudget::new(inner.cfg.read_deadline);
+    let request_n = inner.requests.fetch_add(1, Ordering::SeqCst);
+    let response = match read_request(&mut reader, &budget) {
         Ok(req) => route(&req, inner),
         Err(ReadError::Malformed(what)) => error_response(400, what),
         Err(ReadError::TooLarge(what)) => error_response(413, what),
+        Err(ReadError::Timeout) => error_response(408, "request read deadline exceeded"),
         Err(ReadError::Io) => return,
     };
-    write_response(stream, &response);
+    write_response(
+        stream,
+        &response,
+        inner.cfg.faults.as_deref(),
+        &format!("#r{request_n}"),
+    );
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    budget: &ReadBudget,
+) -> Result<Request, ReadError> {
+    budget.arm(reader)?;
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(|_| ReadError::Io)?;
+    reader.read_line(&mut line).map_err(|_| budget.classify())?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -233,8 +329,11 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError>
     let mut content_length = 0usize;
     let mut head_bytes = line.len();
     loop {
+        budget.arm(reader)?;
         let mut header = String::new();
-        reader.read_line(&mut header).map_err(|_| ReadError::Io)?;
+        reader
+            .read_line(&mut header)
+            .map_err(|_| budget.classify())?;
         head_bytes += header.len();
         if head_bytes > MAX_HEAD {
             return Err(ReadError::TooLarge("request head exceeds 16 KiB"));
@@ -256,7 +355,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError>
         return Err(ReadError::TooLarge("request body exceeds 1 MiB"));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
+    budget.arm(reader)?;
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| budget.classify())?;
     let body = String::from_utf8(body).map_err(|_| ReadError::Malformed("body is not UTF-8"))?;
     Ok(Request {
         method,
@@ -293,10 +395,16 @@ fn route(req: &Request, inner: &Inner) -> Response {
         }
         ("GET", ["v1", "stats"]) => json_response(200, &service.stats().to_json()),
         ("POST", ["v1", "jobs"]) => match ScenarioSpec::from_json_str(&req.body) {
-            Ok(spec) => match service.submit(spec) {
-                Ok(status) => json_response(202, &status.to_json()),
-                Err(e) => error_response(400, &e.to_string()),
-            },
+            Ok(spec) => {
+                // `?key=<token>` makes the submit idempotent: a client
+                // retrying a dropped 202 gets the same job back. 202
+                // either way, so retries cannot tell a replay apart.
+                let key = query_value(req.query.as_deref(), "key");
+                match service.submit_keyed(spec, key) {
+                    Ok(status) => json_response(202, &status.to_json()),
+                    Err(e) => error_response(400, &e.to_string()),
+                }
+            }
             Err(e) => error_response(400, &e.to_string()),
         },
         ("GET", ["v1", "jobs"]) => {
@@ -372,12 +480,29 @@ fn report_route(req: &Request, inner: &Inner, id: &str) -> Response {
     }
 }
 
-fn write_response(mut stream: TcpStream, response: &Response) {
+/// Extracts a value from a `k=v&k2=v2` query string (no percent
+/// decoding — keys are restricted to plain tokens by convention).
+fn query_value<'q>(query: Option<&'q str>, name: &str) -> Option<&'q str> {
+    query?
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+        .filter(|v| !v.is_empty())
+}
+
+fn write_response(
+    mut stream: TcpStream,
+    response: &Response,
+    faults: Option<&FaultPlan>,
+    token: &str,
+) {
     let reason = match response.status {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         410 => "Gone",
         413 => "Payload Too Large",
         _ => "Internal Server Error",
@@ -389,6 +514,24 @@ fn write_response(mut stream: TcpStream, response: &Response) {
         response.content_type,
         response.body.len()
     );
+    if let Some(plan) = faults {
+        if plan.should(site::NET_TORN, token) {
+            // Torn write: half the head, then drop the socket — the
+            // client sees an unparseable reply and must retry.
+            if let Some(part) = head.as_bytes().get(..head.len() / 2) {
+                let _ = stream.write_all(part);
+            }
+            return;
+        }
+        if plan.should(site::NET_DISCONNECT, token) {
+            // Mid-body disconnect: full head, half the body, drop.
+            let _ = stream.write_all(head.as_bytes());
+            if let Some(part) = response.body.as_bytes().get(..response.body.len() / 2) {
+                let _ = stream.write_all(part);
+            }
+            return;
+        }
+    }
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(response.body.as_bytes());
     let _ = stream.flush();

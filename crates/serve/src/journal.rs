@@ -1,0 +1,349 @@
+//! Durable job journal: the crash-safety substrate of the service.
+//!
+//! The queue keeps jobs in memory; this module makes them survive a
+//! `kill -9`. The journal is a **directory of append-only records** —
+//! one canonical-JSON file per event, written atomically (temp file →
+//! `fsync` → rename → directory `fsync`) so a record either exists whole
+//! or not at all. Partial shard reports are **content-addressed**: the
+//! payload lands under `payloads/<fnv64>.json` once, and records refer
+//! to it by hash, so a shard retried after recovery costs no duplicate
+//! bytes.
+//!
+//! Layout under the journal root:
+//!
+//! ```text
+//! journal/
+//!   records/0000000000000000001.json   {"record":"submitted", "job":1, "key":null, "spec":{...}}
+//!   records/0000000000000000002.json   {"record":"shard_done", "job":1, "shard":0, "payload":"9f3a..."}
+//!   records/0000000000000000003.json   {"record":"done", "job":1, "payload":"c41b..."}
+//!   payloads/9f3a....json              canonical report JSON
+//! ```
+//!
+//! Record kinds: `submitted` (spec + optional idempotency key),
+//! `shard_done` (partial report by payload hash), and the terminal
+//! `done` / `failed` / `cancelled`. There is deliberately **no planned
+//! record**: shard planning is a deterministic function of the spec, the
+//! shard cap and the cache, so recovery re-plans and the shard indices
+//! line up by construction.
+//!
+//! [`Journal::replay`] folds the record stream into per-job
+//! [`RecoveredJob`]s. Torn or unparseable records (a crash mid-`rename`
+//! can leave a stale temp file; a payload may be missing) are *skipped
+//! and counted*, never fatal — losing a shard record only costs its
+//! recompute.
+//!
+//! The journal assumes a single writer (one service process per
+//! directory), matching the one-listener-per-`--journal-dir` deployment.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use synts_core::scenario::Json;
+use synts_core::{Report, ScenarioSpec};
+
+/// Terminal state of a recovered job.
+#[derive(Debug)]
+pub enum Terminal {
+    /// The merged report was journaled; the job serves it immediately.
+    Done(Box<Report>),
+    /// The job failed with this error.
+    Failed(String),
+    /// The job was cancelled.
+    Cancelled,
+}
+
+/// Everything the journal knows about one job after replay.
+#[derive(Debug)]
+pub struct RecoveredJob {
+    /// The job's sequence number (its id is `job-<seq>`).
+    pub seq: u64,
+    /// The submitted spec.
+    pub spec: ScenarioSpec,
+    /// The client-supplied idempotency key, if any.
+    pub key: Option<String>,
+    /// The terminal state, or `None` for a job that must resume.
+    pub terminal: Option<Terminal>,
+    /// Completed shard reports by shard index, for resumed jobs.
+    pub shards: BTreeMap<usize, Report>,
+}
+
+/// The outcome of replaying a journal directory.
+#[derive(Debug)]
+pub struct Replay {
+    /// Jobs by sequence number, in submission order.
+    pub jobs: BTreeMap<u64, RecoveredJob>,
+    /// Records (or payloads) that were present but unusable — torn
+    /// writes, missing payload files, unknown kinds. Never fatal.
+    pub skipped: usize,
+}
+
+/// An open journal directory (see the module docs for the layout).
+#[derive(Debug)]
+pub struct Journal {
+    records: PathBuf,
+    payloads: PathBuf,
+    /// Next record file sequence number. Records are globally ordered by
+    /// this counter so replay sees events in write order.
+    next: Mutex<u64>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal rooted at `dir` and scans
+    /// existing records so new ones append after them.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or listing the directories — an unusable
+    /// journal directory must stop service startup loudly, not silently
+    /// run without durability.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Journal> {
+        let root = dir.into();
+        let records = root.join("records");
+        let payloads = root.join("payloads");
+        fs::create_dir_all(&records)?;
+        fs::create_dir_all(&payloads)?;
+        let mut max = 0u64;
+        for entry in fs::read_dir(&records)? {
+            let name = entry?.file_name();
+            if let Some(seq) = record_seq(&name.to_string_lossy()) {
+                max = max.max(seq);
+            }
+        }
+        Ok(Journal {
+            records,
+            payloads,
+            next: Mutex::new(max + 1),
+        })
+    }
+
+    /// Journals a job submission. Written *before* the job is queued so
+    /// an accepted job is always recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures — the caller refuses the submission
+    /// rather than accept work it could lose.
+    pub fn record_submitted(
+        &self,
+        job: u64,
+        key: Option<&str>,
+        spec: &ScenarioSpec,
+    ) -> io::Result<()> {
+        self.append(
+            Json::obj()
+                .field("record", Json::str("submitted"))
+                .field("job", Json::num(job as f64))
+                .field(
+                    "key",
+                    match key {
+                        Some(k) => Json::str(k),
+                        None => Json::Null,
+                    },
+                )
+                .field("spec", spec.to_json()),
+        )
+    }
+
+    /// Journals one completed shard: stores the partial report
+    /// content-addressed, then the record referencing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (the caller logs and carries on — a
+    /// lost shard record only costs a recompute after a crash).
+    pub fn record_shard_done(&self, job: u64, shard: usize, report: &Report) -> io::Result<()> {
+        let payload = self.store_payload(report)?;
+        self.append(
+            Json::obj()
+                .field("record", Json::str("shard_done"))
+                .field("job", Json::num(job as f64))
+                .field("shard", Json::num(shard as f64))
+                .field("payload", Json::str(&payload)),
+        )
+    }
+
+    /// Journals successful completion with the merged report, so a
+    /// restarted service serves the byte-identical result without
+    /// recomputing anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn record_done(&self, job: u64, report: &Report) -> io::Result<()> {
+        let payload = self.store_payload(report)?;
+        self.append(
+            Json::obj()
+                .field("record", Json::str("done"))
+                .field("job", Json::num(job as f64))
+                .field("payload", Json::str(&payload)),
+        )
+    }
+
+    /// Journals terminal failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn record_failed(&self, job: u64, error: &str) -> io::Result<()> {
+        self.append(
+            Json::obj()
+                .field("record", Json::str("failed"))
+                .field("job", Json::num(job as f64))
+                .field("error", Json::str(error)),
+        )
+    }
+
+    /// Journals cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn record_cancelled(&self, job: u64) -> io::Result<()> {
+        self.append(
+            Json::obj()
+                .field("record", Json::str("cancelled"))
+                .field("job", Json::num(job as f64)),
+        )
+    }
+
+    /// Replays the record stream into per-job recovery state. Later
+    /// records win (a `done` after `shard_done`s supersedes them);
+    /// unusable records are skipped and counted.
+    #[must_use]
+    pub fn replay(&self) -> Replay {
+        let mut names: Vec<(u64, PathBuf)> = Vec::new();
+        if let Ok(dir) = fs::read_dir(&self.records) {
+            for entry in dir.flatten() {
+                let path = entry.path();
+                if let Some(seq) = record_seq(&entry.file_name().to_string_lossy()) {
+                    names.push((seq, path));
+                }
+            }
+        }
+        names.sort();
+        let mut jobs: BTreeMap<u64, RecoveredJob> = BTreeMap::new();
+        let mut skipped = 0usize;
+        for (_, path) in names {
+            if self.apply_record(&path, &mut jobs).is_none() {
+                skipped += 1;
+            }
+        }
+        Replay { jobs, skipped }
+    }
+
+    fn apply_record(&self, path: &Path, jobs: &mut BTreeMap<u64, RecoveredJob>) -> Option<()> {
+        let record = Json::parse(&fs::read_to_string(path).ok()?).ok()?;
+        let kind = record.get("record")?.as_str()?;
+        let job = record.get("job")?.as_usize()? as u64;
+        match kind {
+            "submitted" => {
+                let spec = ScenarioSpec::from_json(record.get("spec")?).ok()?;
+                let key = record.get("key").and_then(Json::as_str).map(str::to_string);
+                jobs.insert(
+                    job,
+                    RecoveredJob {
+                        seq: job,
+                        spec,
+                        key,
+                        terminal: None,
+                        shards: BTreeMap::new(),
+                    },
+                );
+            }
+            "shard_done" => {
+                let shard = record.get("shard")?.as_usize()?;
+                let report = self.load_payload(record.get("payload")?.as_str()?)?;
+                jobs.get_mut(&job)?.shards.insert(shard, report);
+            }
+            "done" => {
+                let report = self.load_payload(record.get("payload")?.as_str()?)?;
+                jobs.get_mut(&job)?.terminal = Some(Terminal::Done(Box::new(report)));
+            }
+            "failed" => {
+                let error = record.get("error")?.as_str()?.to_string();
+                jobs.get_mut(&job)?.terminal = Some(Terminal::Failed(error));
+            }
+            "cancelled" => {
+                jobs.get_mut(&job)?.terminal = Some(Terminal::Cancelled);
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// Stores a report payload content-addressed; returns its hash name.
+    /// An already-present payload (same bytes, same hash) is reused.
+    fn store_payload(&self, report: &Report) -> io::Result<String> {
+        let text = report.to_json_string();
+        let hash = format!("{:016x}", fnv64(text.as_bytes()));
+        let path = self.payloads.join(format!("{hash}.json"));
+        if !path.exists() {
+            write_atomic(&path, text.as_bytes())?;
+        }
+        Ok(hash)
+    }
+
+    fn load_payload(&self, hash: &str) -> Option<Report> {
+        let text = fs::read_to_string(self.payloads.join(format!("{hash}.json"))).ok()?;
+        Report::from_json_str(&text).ok()
+    }
+
+    fn append(&self, record: Json) -> io::Result<()> {
+        let seq = {
+            let mut next = self
+                .next
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let seq = *next;
+            *next += 1;
+            seq
+        };
+        let path = self.records.join(format!("{seq:019}.json"));
+        write_atomic(&path, record.render_pretty().as_bytes())
+    }
+}
+
+/// Parses `<seq>.json` record file names; anything else (temp files,
+/// strays) is ignored.
+fn record_seq(name: &str) -> Option<u64> {
+    name.strip_suffix(".json")?.parse().ok()
+}
+
+/// Atomic durable write: temp file in the same directory → flush +
+/// `fsync` → rename over the target → `fsync` the directory so the
+/// rename itself survives power loss.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "journal path has no parent"))?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Directory fsync makes the rename durable; non-fatal where the
+    // platform refuses to open a directory for writing metadata.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// FNV-1a, matching the cache's content-addressing (stable across
+/// platforms and Rust versions).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

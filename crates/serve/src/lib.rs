@@ -9,12 +9,16 @@
 //! cache, and the partial reports are merged back into a report
 //! **byte-identical** (canonical JSON) to the monolithic run.
 //!
-//! Three layers, separable on purpose:
+//! Four layers, separable on purpose:
 //!
 //! * [`queue`] — the job model, FIFO task queue and executor pool
 //!   ([`Service`]): submission, per-shard bounded retries, cancellation,
 //!   and drain-on-shutdown. Usable fully in-process (the tests and
 //!   `synts-cli bench` do).
+//! * [`journal`] — the durable job journal ([`Journal`]): append-only
+//!   canonical-JSON records with content-addressed shard payloads, so a
+//!   service killed mid-job replays the journal on restart and resumes
+//!   to a byte-identical report.
 //! * [`http`] — a hand-rolled `std::net` HTTP/1.1 front end
 //!   ([`Server`]): `POST /v1/jobs`, `GET /v1/jobs/<id>[/report]`,
 //!   `GET /v1/healthz`, `GET /v1/stats`, `POST /v1/shutdown`.
@@ -27,10 +31,12 @@
 
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod queue;
 
-pub use client::{Client, HttpReply};
-pub use http::Server;
+pub use client::{Client, HttpReply, RetryPolicy};
+pub use http::{Server, ServerConfig};
+pub use journal::{Journal, RecoveredJob, Replay, Terminal};
 pub use queue::{
     JobState, JobStatus, ReportOutcome, Service, ServiceConfig, ServiceStats, ShardCounts, Shutdown,
 };

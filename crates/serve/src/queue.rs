@@ -25,9 +25,12 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+use synts_core::faults::FaultPlan;
 use synts_core::scenario::{Experiment, Json, Report, ScenarioSpec, Shard, ShardPlan};
 use synts_core::{CacheStats, CharCache, OptError, SolverRegistry};
 use timing::ErrorCurve;
+
+use crate::journal::{Journal, Terminal};
 
 /// Configuration of one [`Service`] instance.
 pub struct ServiceConfig {
@@ -42,6 +45,11 @@ pub struct ServiceConfig {
     pub cache: CharCache,
     /// The solver registry specs resolve their scheme keys against.
     pub registry: SolverRegistry<ErrorCurve>,
+    /// Durable job journal (pre-opened so an unusable directory fails
+    /// startup loudly). `None` runs fully in-memory, as before.
+    pub journal: Option<Journal>,
+    /// Service-wide fault plan; per-spec `faults` fields override it.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +60,8 @@ impl Default for ServiceConfig {
             max_attempts: 2,
             cache: CharCache::from_env(),
             registry: SolverRegistry::with_defaults(),
+            journal: None,
+            faults: None,
         }
     }
 }
@@ -127,6 +137,8 @@ pub struct JobStatus {
     pub retries: u32,
     /// The failure message, for failed/cancelled jobs.
     pub error: Option<String>,
+    /// The client-supplied idempotency key, when one was submitted.
+    pub key: Option<String>,
 }
 
 impl JobStatus {
@@ -151,6 +163,13 @@ impl JobStatus {
                 "error",
                 match &self.error {
                     Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            )
+            .field(
+                "key",
+                match &self.key {
+                    Some(k) => Json::str(k),
                     None => Json::Null,
                 },
             )
@@ -201,7 +220,8 @@ impl ServiceStats {
                 "cache",
                 Json::obj()
                     .field("hits", Json::num(self.cache.hits as f64))
-                    .field("misses", Json::num(self.cache.misses as f64)),
+                    .field("misses", Json::num(self.cache.misses as f64))
+                    .field("write_errors", Json::num(self.cache.write_errors as f64)),
             )
     }
 }
@@ -262,6 +282,14 @@ struct Job {
     retries: u32,
     error: Option<String>,
     merged: Option<Arc<Report>>,
+    /// Client-supplied idempotency key, when submitted with one.
+    key: Option<String>,
+    /// The fault plan this job's tasks run under (per-spec plan, else
+    /// the service-wide one, else none).
+    faults: Option<Arc<FaultPlan>>,
+    /// Journal-recovered shard reports, spliced into the slots once the
+    /// (deterministic) plan is rebuilt.
+    recovered: BTreeMap<usize, Report>,
 }
 
 impl Job {
@@ -285,6 +313,7 @@ impl Job {
             shards,
             retries: self.retries,
             error: self.error.clone(),
+            key: self.key.clone(),
         }
     }
 }
@@ -295,6 +324,9 @@ struct Store {
     // listings and merged snapshots are deterministic.
     jobs: BTreeMap<u64, Job>,
     queue: VecDeque<Task>,
+    /// Idempotency key -> job sequence; a keyed resubmission returns the
+    /// existing job instead of enqueueing a duplicate.
+    keys: BTreeMap<String, u64>,
     next_seq: u64,
     shutdown: Option<Shutdown>,
     in_flight: usize,
@@ -309,11 +341,16 @@ enum Claimed {
     Plan {
         job: u64,
         spec: ScenarioSpec,
+        faults: Option<Arc<FaultPlan>>,
     },
     Shard {
         job: u64,
         idx: usize,
         spec: ScenarioSpec,
+        /// Zero-based attempt number, baked into the fault-injection
+        /// identity token so plans can target first attempts only.
+        attempt: u32,
+        faults: Option<Arc<FaultPlan>>,
     },
 }
 
@@ -323,6 +360,8 @@ struct SvcState {
     cache: CharCache,
     registry: SolverRegistry<ErrorCurve>,
     worker_total: usize,
+    journal: Option<Journal>,
+    faults: Option<Arc<FaultPlan>>,
     store: Mutex<Store>,
     cv: Condvar,
 }
@@ -337,26 +376,40 @@ pub struct Service {
 
 impl Service {
     /// Starts the executor pool and returns the running service.
+    ///
+    /// With a journal configured, the journal is replayed first
+    /// (recovery): terminal jobs are restored verbatim — a `done` job
+    /// serves the byte-identical journaled report — and unfinished jobs
+    /// are re-queued, reusing every journaled shard report so only the
+    /// interrupted remainder recomputes. Workers spawn after the store
+    /// is rebuilt, so recovered tasks are simply first in line.
     #[must_use]
     pub fn start(cfg: ServiceConfig) -> Service {
+        let mut store = Store {
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            keys: BTreeMap::new(),
+            next_seq: 1,
+            shutdown: None,
+            in_flight: 0,
+            submitted: 0,
+            done: 0,
+            failed: 0,
+            cancelled: 0,
+            shard_retries: 0,
+        };
+        if let Some(journal) = &cfg.journal {
+            recover(&mut store, journal, cfg.faults.as_ref());
+        }
         let state = Arc::new(SvcState {
             max_shards: cfg.max_shards.max(1),
             max_attempts: cfg.max_attempts.max(1),
             cache: cfg.cache,
             registry: cfg.registry,
             worker_total: cfg.workers.max(1),
-            store: Mutex::new(Store {
-                jobs: BTreeMap::new(),
-                queue: VecDeque::new(),
-                next_seq: 1,
-                shutdown: None,
-                in_flight: 0,
-                submitted: 0,
-                done: 0,
-                failed: 0,
-                cancelled: 0,
-                shard_retries: 0,
-            }),
+            journal: cfg.journal,
+            faults: cfg.faults,
+            store: Mutex::new(store),
             cv: Condvar::new(),
         });
         let workers = (0..cfg.workers.max(1))
@@ -381,6 +434,24 @@ impl Service {
     /// [`OptError::Spec`] when the spec names no schemes or the service
     /// is shutting down.
     pub fn submit(&self, spec: ScenarioSpec) -> Result<JobStatus, OptError> {
+        self.submit_keyed(spec, None)
+    }
+
+    /// [`Service::submit`] with an optional client-supplied idempotency
+    /// key: resubmitting the same key returns the existing job's status
+    /// instead of enqueueing a duplicate, which is what makes a client's
+    /// retried `POST /v1/jobs` safe.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Service::submit`] rejects, plus a malformed per-spec
+    /// fault plan and a failed journal write (a job the journal cannot
+    /// make durable is refused, not half-accepted).
+    pub fn submit_keyed(
+        &self,
+        spec: ScenarioSpec,
+        key: Option<&str>,
+    ) -> Result<JobStatus, OptError> {
         if spec.schemes.is_empty() {
             return Err(OptError::Spec(
                 "scenario spec: schemes: must name at least one registry key".to_string(),
@@ -389,14 +460,37 @@ impl Service {
         for key in spec.schemes.iter().chain(&spec.normalize_to) {
             self.state.registry.get(key)?;
         }
+        // Parse the per-spec fault plan up front so a typo is a 4xx at
+        // submission, not a planning failure minutes later.
+        let faults = match spec.faults.as_deref() {
+            Some(src) => Some(Arc::new(FaultPlan::parse(src)?)),
+            None => self.state.faults.clone(),
+        };
         let mut store = self.state.locked();
         if store.shutdown.is_some() {
             return Err(OptError::Spec(
                 "service: shutting down, not accepting jobs".to_string(),
             ));
         }
+        if let Some(k) = key {
+            if let Some(&seq) = store.keys.get(k) {
+                if let Some(job) = store.jobs.get(&seq) {
+                    return Ok(job.status());
+                }
+            }
+        }
         let seq = store.next_seq;
         store.next_seq += 1;
+        // Write-ahead: the submission record lands before the job is
+        // visible, so every accepted job is recoverable. A journal that
+        // cannot take the record refuses the job (the client retries).
+        if let Some(journal) = &self.state.journal {
+            if let Err(e) = journal.record_submitted(seq, key, &spec) {
+                return Err(OptError::Spec(format!(
+                    "service: journal write failed, job refused: {e}"
+                )));
+            }
+        }
         store.submitted += 1;
         let job = Job {
             id: format!("job-{seq}"),
@@ -407,9 +501,15 @@ impl Service {
             retries: 0,
             error: None,
             merged: None,
+            key: key.map(str::to_string),
+            faults,
+            recovered: BTreeMap::new(),
         };
         let status = job.status();
         store.jobs.insert(seq, job);
+        if let Some(k) = key {
+            store.keys.insert(k.to_string(), seq);
+        }
         store.queue.push_back(Task::Plan { job: seq });
         drop(store);
         self.state.cv.notify_one();
@@ -459,6 +559,11 @@ impl Service {
             job.state = JobState::Cancelled;
             job.error = Some("cancelled by client".to_string());
             store.cancelled += 1;
+            if let Some(journal) = &self.state.journal {
+                if let Err(e) = journal.record_cancelled(seq) {
+                    eprintln!("synts-serve: journal: cancel record for job-{seq} failed: {e}");
+                }
+            }
         }
         store.jobs.get(&seq).map(Job::status)
     }
@@ -547,9 +652,19 @@ impl SvcState {
         }
     }
 
-    fn run_plan(&self, job_id: u64, spec: &ScenarioSpec) {
+    /// The shared cache, with the job's fault plan (if any) armed on a
+    /// clone so cache-site injection follows the job, not the service.
+    fn task_cache(&self, faults: Option<&Arc<FaultPlan>>) -> CharCache {
+        match faults {
+            Some(plan) => self.cache.clone().with_faults(Some(Arc::clone(plan))),
+            None => self.cache.clone(),
+        }
+    }
+
+    fn run_plan(&self, job_id: u64, spec: &ScenarioSpec, faults: Option<&Arc<FaultPlan>>) {
+        let cache = self.task_cache(faults);
         let planned = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            ShardPlan::plan_cached_with(spec, self.max_shards, &self.cache)
+            ShardPlan::plan_cached_with(spec, self.max_shards, &cache)
         }))
         .unwrap_or_else(|panic| Err(panic_error("shard planning", &panic)));
         let mut store = self.locked();
@@ -573,26 +688,75 @@ impl SvcState {
                     .collect();
                 job.plan = Some(plan);
                 job.state = JobState::Running;
-                let tasks: Vec<Task> = (0..job.slots.len())
-                    .map(|idx| Task::Shard { job: job_id, idx })
+                // Splice journal-recovered shard reports into their
+                // slots. Planning is deterministic, so the indices line
+                // up; the spec comparison guards against a payload from
+                // a different plan shape (it just reruns instead).
+                let recovered = std::mem::take(&mut job.recovered);
+                for (idx, report) in recovered {
+                    if let Some(slot) = job.slots.get_mut(idx) {
+                        if report.spec == slot.shard.spec {
+                            slot.state = ShardState::Done(Box::new(report));
+                        }
+                    }
+                }
+                let tasks: Vec<Task> = job
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, slot)| matches!(slot.state, ShardState::Queued))
+                    .map(|(idx, _)| Task::Shard { job: job_id, idx })
                     .collect();
-                store.queue.extend(tasks);
+                if tasks.is_empty() {
+                    // Every shard was recovered: merge immediately.
+                    self.finish_if_complete(&mut store, job_id);
+                } else {
+                    store.queue.extend(tasks);
+                }
                 drop(store);
                 self.cv.notify_all();
             }
             Err(e) => {
+                let msg = format!("planning failed: {e}");
                 job.state = JobState::Failed;
-                job.error = Some(format!("planning failed: {e}"));
+                job.error = Some(msg.clone());
                 store.failed += 1;
+                self.journal_failed(job_id, &msg);
             }
         }
     }
 
-    fn run_shard(&self, job_id: u64, idx: usize, spec: ScenarioSpec) {
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            Experiment::new(spec).with_cache(self.cache.clone()).run()
+    fn run_shard(
+        &self,
+        job_id: u64,
+        idx: usize,
+        spec: ScenarioSpec,
+        attempt: u32,
+        faults: Option<&Arc<FaultPlan>>,
+    ) {
+        // Identity token for fault decisions: the shard spec's name is
+        // already `<job-spec>@shard<idx>`, so `~@shard1#a0` targets one
+        // shard's first attempt and nothing else.
+        let token = format!("{}#a{attempt}", spec.name);
+        let cache = self.task_cache(faults);
+        let injected = faults.map(Arc::clone);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            if let Some(plan) = &injected {
+                plan.maybe_kill(&token);
+                plan.maybe_slow(&token);
+                plan.maybe_panic(&token);
+            }
+            Experiment::new(spec).with_cache(cache).run()
         }))
         .unwrap_or_else(|panic| Err(panic_error("shard execution", &panic)));
+        // Journal the completed shard before publishing it, outside the
+        // lock (payload writes are the journal's slowest path). An
+        // orphan record for a since-cancelled job is harmless.
+        if let (Some(journal), Ok(report)) = (&self.journal, &result) {
+            if let Err(e) = journal.record_shard_done(job_id, idx, report) {
+                eprintln!("synts-serve: journal: shard record for job-{job_id}/{idx} failed: {e}");
+            }
+        }
         let mut store = self.locked();
         store.in_flight -= 1;
         let Some(job) = store.jobs.get_mut(&job_id) else {
@@ -607,46 +771,7 @@ impl SvcState {
                     return; // stale task for a slot that no longer exists
                 };
                 slot.state = ShardState::Done(Box::new(report));
-                // Last shard in: merge under the lock (cheap — record
-                // concatenation + front recomputation) so cancellation
-                // cannot race a half-published report. `collect` over
-                // Options doubles as the all-done check.
-                let parts: Option<Vec<Report>> = job
-                    .slots
-                    .iter()
-                    .map(|s| match &s.state {
-                        ShardState::Done(r) => Some((**r).clone()),
-                        _ => None,
-                    })
-                    .collect();
-                let Some(parts) = parts else {
-                    return; // shards still outstanding
-                };
-                let merged = job.plan.as_ref().map_or_else(
-                    || {
-                        Err(OptError::Spec(
-                            "service: job ran without a plan".to_string(),
-                        ))
-                    },
-                    |plan| {
-                        std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            plan.merge(&parts, &self.registry)
-                        }))
-                        .unwrap_or_else(|panic| Err(panic_error("report merge", &panic)))
-                    },
-                );
-                match merged {
-                    Ok(merged) => {
-                        job.merged = Some(Arc::new(merged));
-                        job.state = JobState::Done;
-                        store.done += 1;
-                    }
-                    Err(e) => {
-                        job.state = JobState::Failed;
-                        job.error = Some(format!("merge failed: {e}"));
-                        store.failed += 1;
-                    }
-                }
+                self.finish_if_complete(&mut store, job_id);
             }
             Err(e) => {
                 let Some(slot) = job.slots.get_mut(idx) else {
@@ -662,15 +787,143 @@ impl SvcState {
                     drop(store);
                     self.cv.notify_one();
                 } else {
+                    let msg = format!("shard {idx} failed after {attempts} attempt(s): {e}");
                     slot.state = ShardState::Failed;
                     job.state = JobState::Failed;
-                    job.error = Some(format!(
-                        "shard {idx} failed after {attempts} attempt(s): {e}"
-                    ));
+                    job.error = Some(msg.clone());
                     store.failed += 1;
+                    self.journal_failed(job_id, &msg);
                 }
             }
         }
+    }
+
+    /// When every slot of a running job is `Done`, merges under the lock
+    /// (cheap — record concatenation + front recomputation, so
+    /// cancellation cannot race a half-published report), journals the
+    /// terminal state and publishes it. No-op while shards are
+    /// outstanding.
+    fn finish_if_complete(&self, store: &mut Store, job_id: u64) {
+        let Some(job) = store.jobs.get_mut(&job_id) else {
+            return;
+        };
+        if job.state != JobState::Running || job.slots.is_empty() {
+            return;
+        }
+        // `collect` over Options doubles as the all-done check.
+        let parts: Option<Vec<Report>> = job
+            .slots
+            .iter()
+            .map(|s| match &s.state {
+                ShardState::Done(r) => Some((**r).clone()),
+                _ => None,
+            })
+            .collect();
+        let Some(parts) = parts else {
+            return; // shards still outstanding
+        };
+        let merged = job.plan.as_ref().map_or_else(
+            || {
+                Err(OptError::Spec(
+                    "service: job ran without a plan".to_string(),
+                ))
+            },
+            |plan| {
+                std::panic::catch_unwind(AssertUnwindSafe(|| plan.merge(&parts, &self.registry)))
+                    .unwrap_or_else(|panic| Err(panic_error("report merge", &panic)))
+            },
+        );
+        match merged {
+            Ok(merged) => {
+                let merged = Arc::new(merged);
+                if let Some(journal) = &self.journal {
+                    if let Err(e) = journal.record_done(job_id, &merged) {
+                        eprintln!("synts-serve: journal: done record for job-{job_id} failed: {e}");
+                    }
+                }
+                job.merged = Some(merged);
+                job.state = JobState::Done;
+                store.done += 1;
+            }
+            Err(e) => {
+                let msg = format!("merge failed: {e}");
+                job.state = JobState::Failed;
+                job.error = Some(msg.clone());
+                store.failed += 1;
+                self.journal_failed(job_id, &msg);
+            }
+        }
+    }
+
+    fn journal_failed(&self, job_id: u64, msg: &str) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.record_failed(job_id, msg) {
+                eprintln!("synts-serve: journal: failed record for job-{job_id} failed: {e}");
+            }
+        }
+    }
+}
+
+/// Rebuilds the store from a journal replay: terminal jobs restore
+/// verbatim (a `done` job serves its journaled report byte-identically),
+/// live jobs re-queue with their recovered shard reports attached.
+fn recover(store: &mut Store, journal: &Journal, service_faults: Option<&Arc<FaultPlan>>) {
+    let replay = journal.replay();
+    if replay.skipped > 0 {
+        eprintln!(
+            "synts-serve: journal: skipped {} unusable record(s) during recovery",
+            replay.skipped
+        );
+    }
+    for (seq, rec) in replay.jobs {
+        store.next_seq = store.next_seq.max(seq + 1);
+        store.submitted += 1;
+        if let Some(k) = &rec.key {
+            store.keys.insert(k.clone(), seq);
+        }
+        // A spec that journaled with a fault plan was validated at
+        // submission; a plan that no longer parses just disarms.
+        let faults = rec
+            .spec
+            .faults
+            .as_deref()
+            .and_then(|src| FaultPlan::parse(src).ok())
+            .map(Arc::new)
+            .or_else(|| service_faults.map(Arc::clone));
+        let mut job = Job {
+            id: format!("job-{seq}"),
+            spec: rec.spec,
+            state: JobState::Queued,
+            plan: None,
+            slots: Vec::new(),
+            retries: 0,
+            error: None,
+            merged: None,
+            key: rec.key,
+            faults,
+            recovered: rec.shards,
+        };
+        match rec.terminal {
+            Some(Terminal::Done(report)) => {
+                job.state = JobState::Done;
+                job.merged = Some(Arc::new(*report));
+                store.done += 1;
+            }
+            Some(Terminal::Failed(error)) => {
+                job.state = JobState::Failed;
+                job.error = Some(error);
+                store.failed += 1;
+            }
+            Some(Terminal::Cancelled) => {
+                job.state = JobState::Cancelled;
+                job.error = Some("cancelled by client".to_string());
+                store.cancelled += 1;
+            }
+            None => {
+                store.queue.push_back(Task::Plan { job: seq });
+            }
+        }
+        store.jobs.insert(seq, job);
     }
 }
 
@@ -689,6 +942,7 @@ fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
             Some(Claimed::Plan {
                 job: *job,
                 spec: j.spec.clone(),
+                faults: j.faults.clone(),
             })
         }
         Task::Shard { job, idx } => {
@@ -696,17 +950,21 @@ fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
             if j.state != JobState::Running {
                 return None;
             }
+            let faults = j.faults.clone();
             let slot = j.slots.get_mut(*idx)?;
             if !matches!(slot.state, ShardState::Queued) {
                 return None;
             }
             slot.state = ShardState::Running;
             let spec = slot.shard.spec.clone();
+            let attempt = slot.attempts;
             store.in_flight += 1;
             Some(Claimed::Shard {
                 job: *job,
                 idx: *idx,
                 spec,
+                attempt,
+                faults,
             })
         }
     }
@@ -715,8 +973,14 @@ fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
 fn worker_loop(state: &SvcState) {
     while let Some(claimed) = state.next_task() {
         match claimed {
-            Claimed::Plan { job, spec } => state.run_plan(job, &spec),
-            Claimed::Shard { job, idx, spec } => state.run_shard(job, idx, spec),
+            Claimed::Plan { job, spec, faults } => state.run_plan(job, &spec, faults.as_ref()),
+            Claimed::Shard {
+                job,
+                idx,
+                spec,
+                attempt,
+                faults,
+            } => state.run_shard(job, idx, spec, attempt, faults.as_ref()),
         }
     }
 }
@@ -765,6 +1029,8 @@ mod tests {
             max_attempts: 2,
             cache: CharCache::at_dir(dir),
             registry: SolverRegistry::with_defaults(),
+            journal: None,
+            faults: None,
         })
     }
 
@@ -845,6 +1111,57 @@ mod tests {
         // before job-2; the numeric key must keep submission order.
         let listed: Vec<String> = service.jobs().into_iter().map(|s| s.id).collect();
         assert_eq!(listed, ids);
+        service.shutdown(Shutdown::Now);
+    }
+
+    #[test]
+    fn keyed_resubmission_returns_the_existing_job() {
+        let service = test_service(1);
+        let a = service
+            .submit_keyed(quick_spec("idem"), Some("key-1"))
+            .expect("submits");
+        let b = service
+            .submit_keyed(quick_spec("idem"), Some("key-1"))
+            .expect("idempotent resubmit");
+        assert_eq!(a.id, b.id, "same key must reuse the job");
+        assert_eq!(service.stats().submitted, 1, "no duplicate enqueue");
+        let c = service
+            .submit_keyed(quick_spec("idem-other"), Some("key-2"))
+            .expect("submits");
+        assert_ne!(a.id, c.id);
+        service.shutdown(Shutdown::Now);
+    }
+
+    #[test]
+    fn injected_first_attempt_panics_retry_to_done() {
+        // Every shard's first attempt panics (`~#a0`); with two attempts
+        // per shard the retries succeed and the job completes normally.
+        let dir = std::env::temp_dir().join(format!(
+            "synts-serve-queue-test-faults-{}",
+            std::process::id()
+        ));
+        let plan = Arc::new(FaultPlan::parse("exec.panic=~#a0").expect("parses"));
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            max_shards: 3,
+            max_attempts: 2,
+            cache: CharCache::at_dir(dir),
+            registry: SolverRegistry::with_defaults(),
+            journal: None,
+            faults: Some(Arc::clone(&plan)),
+        });
+        let status = service.submit(quick_spec("chaotic")).expect("submits");
+        let settled = wait_done(&service, &status.id);
+        assert_eq!(settled.state, JobState::Done, "{:?}", settled.error);
+        assert_eq!(
+            settled.retries as usize, settled.shards.total,
+            "every shard should have retried exactly once"
+        );
+        let fired = plan.fired_counts();
+        assert_eq!(
+            fired.get("exec.panic").copied().unwrap_or(0) as usize,
+            settled.shards.total
+        );
         service.shutdown(Shutdown::Now);
     }
 

@@ -94,11 +94,11 @@ pub use synts_core::{
     run_interval, run_interval_full, run_interval_offline, run_interval_with,
     run_intervals_batched, synts_exhaustive, synts_milp, synts_milp_with, synts_poly,
     theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
-    CacheStats, Capabilities, CharCache, Dataset, Experiment, IntervalOutcome, IntervalSelection,
-    MilpTuning, Objective, OperatingPoint, OptError, PruningStats, Quality, Record, Report,
-    ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver, SolverRegistry, SweepPoint,
-    SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV,
-    THREADS_ENV,
+    CacheStats, Capabilities, CharCache, Dataset, Experiment, FaultPlan, IntervalOutcome,
+    IntervalSelection, MilpTuning, Objective, OperatingPoint, OptError, PruningStats, Quality,
+    Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, SolveRequest, Solver, SolverRegistry,
+    SweepPoint, SyntsBuilder, SystemConfig, ThetaSpec, ThreadPool, ThreadProfile, ThreadTrace,
+    CACHE_DIR_ENV, FAULTS_ENV, THREADS_ENV,
 };
 
 // Keep the builder's name free at the root for the facade struct itself.
@@ -125,11 +125,11 @@ pub mod prelude {
         pruning_stats, run_interval, run_interval_full, run_interval_offline, run_interval_with,
         run_intervals_batched, synts_exhaustive, synts_milp, synts_milp_with, synts_poly,
         theta_equal_weight, thread_energy, thread_time, weighted_cost, worker_count, Assignment,
-        CacheStats, Capabilities, CharCache, Dataset, Experiment, IntervalOutcome,
+        CacheStats, Capabilities, CharCache, Dataset, Experiment, FaultPlan, IntervalOutcome,
         IntervalSelection, MilpTuning, Objective, OperatingPoint, OptError, PruningStats, Quality,
         Record, Report, ReportCheck, SamplingPlan, ScenarioSpec, Shard, ShardPlan, SolveRequest,
         Solver, SolverRegistry, SweepPoint, Synts, SyntsBuilder, SystemConfig, ThetaSpec,
-        ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV, THREADS_ENV,
+        ThreadPool, ThreadProfile, ThreadTrace, CACHE_DIR_ENV, FAULTS_ENV, THREADS_ENV,
     };
 
     pub use circuits::StageKind;

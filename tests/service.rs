@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use synts::prelude::*;
-use synts_serve::{Client, Server, Service, ServiceConfig, Shutdown};
+use synts_serve::{Client, Server, ServerConfig, Service, ServiceConfig, Shutdown};
 
 fn radix_decode_quick() -> &'static BenchmarkData {
     static DATA: OnceLock<BenchmarkData> = OnceLock::new();
@@ -86,6 +86,8 @@ fn test_service(name: &str, workers: usize) -> Arc<Service> {
         max_attempts: 2,
         cache: CharCache::at_dir(cache_dir),
         registry: SolverRegistry::with_defaults(),
+        journal: None,
+        faults: None,
     }))
 }
 
@@ -304,4 +306,75 @@ fn immediate_shutdown_mid_job_leaves_consistent_state() {
         ),
         "{status:?}"
     );
+}
+
+/// Torn requests: a half-written request line still gets its 400, a
+/// body cut short of its Content-Length is dropped silently (no thread
+/// pinned, no panic), and a connection that sends nothing hits the
+/// read deadline with a 408. The server answers normally afterwards.
+#[test]
+fn torn_and_stalled_requests_never_pin_the_server() {
+    let service = test_service("torn", 1);
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            read_deadline: Duration::from_millis(400),
+            faults: None,
+        },
+    )
+    .expect("binds");
+    let addr = server.addr();
+
+    // Torn header: the request line stops mid-path, then the write side
+    // closes. The server sees a malformed request line -> 400.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.write_all(b"GET /v1/hea").expect("partial line");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut reply = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout set");
+    let _ = stream.read_to_string(&mut reply);
+    assert_eq!(
+        reply.split_whitespace().nth(1),
+        Some("400"),
+        "torn header: {reply:?}"
+    );
+
+    // Torn body: Content-Length promises more than arrives. The read
+    // fails inside the deadline -> transport error -> silent close.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"torn")
+        .expect("torn body");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut reply = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout set");
+    let _ = stream.read_to_string(&mut reply);
+    assert!(reply.is_empty(), "torn body must close silently: {reply:?}");
+
+    // Stalled connection: bytes never come. The read budget expires and
+    // the server answers 408 rather than pinning the handler thread.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let mut reply = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout set");
+    let _ = stream.read_to_string(&mut reply);
+    assert_eq!(
+        reply.split_whitespace().nth(1),
+        Some("408"),
+        "stalled connection: {reply:?}"
+    );
+
+    // And the server still serves.
+    let client = Client::new(addr.to_string());
+    assert!(client.healthy(), "server survived torn/stalled clients");
 }
