@@ -221,6 +221,19 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| fail("reply carries no status code"))?;
+        // A dropped connection ends `read_to_string` cleanly (FIN, not
+        // an error), so a server dying mid-body would otherwise come
+        // back as a short body under a 200. Hold the body to the head's
+        // declared length so a torn reply is a transport error the
+        // retry loop handles, never a silently truncated success.
+        if let Some(declared) = content_length(head) {
+            if reply_body.len() < declared {
+                return Err(fail(&format!(
+                    "reply body truncated: {} of {declared} declared bytes",
+                    reply_body.len()
+                )));
+            }
+        }
         Ok(HttpReply {
             status,
             body: reply_body.to_string(),
@@ -394,6 +407,19 @@ impl Client {
         };
         self.request("POST", "/v1/shutdown", Some(body)).map(|_| ())
     }
+}
+
+/// The `Content-Length` a reply head declares, when present and
+/// parseable.
+fn content_length(head: &str) -> Option<usize> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.eq_ignore_ascii_case("content-length") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
 }
 
 /// Extracts the job id from a submit reply (202 + `{"job": ...}`).

@@ -205,8 +205,19 @@ impl Inner {
 
 fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent accept failure (EMFILE once
+                // thread-per-connection exhausts fds) must not busy-spin
+                // a core; back off and retry — the condition clears when
+                // connections finish.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
         };
         if inner.stopping.load(Ordering::SeqCst) {
             return;
@@ -300,13 +311,36 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
     );
 }
 
+/// Reads one head line through a [`Read::take`] capped at the remaining
+/// head budget, so a peer streaming an endless line (no newline) can
+/// never grow the buffer past [`MAX_HEAD`] — the size check must fire
+/// *during* the read, not after a complete line lands.
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &ReadBudget,
+    remaining: &mut usize,
+) -> Result<String, ReadError> {
+    budget.arm(reader)?;
+    let mut line = String::new();
+    // +1 so a line that exactly fills the budget keeps its newline and
+    // an over-budget one is detectable by length.
+    (&mut *reader)
+        .take(*remaining as u64 + 1)
+        .read_line(&mut line)
+        .map_err(|_| budget.classify())?;
+    if line.len() > *remaining {
+        return Err(ReadError::TooLarge("request head exceeds 16 KiB"));
+    }
+    *remaining -= line.len();
+    Ok(line)
+}
+
 fn read_request(
     reader: &mut BufReader<TcpStream>,
     budget: &ReadBudget,
 ) -> Result<Request, ReadError> {
-    budget.arm(reader)?;
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(|_| budget.classify())?;
+    let mut head_remaining = MAX_HEAD;
+    let line = read_head_line(reader, budget, &mut head_remaining)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -327,17 +361,8 @@ fn read_request(
     };
 
     let mut content_length = 0usize;
-    let mut head_bytes = line.len();
     loop {
-        budget.arm(reader)?;
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|_| budget.classify())?;
-        head_bytes += header.len();
-        if head_bytes > MAX_HEAD {
-            return Err(ReadError::TooLarge("request head exceeds 16 KiB"));
-        }
+        let header = read_head_line(reader, budget, &mut head_remaining)?;
         let trimmed = header.trim_end();
         if trimmed.is_empty() {
             break;

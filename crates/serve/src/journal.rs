@@ -39,6 +39,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use synts_core::scenario::Json;
@@ -319,7 +320,13 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path
         .parent()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "journal path has no parent"))?;
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    // The temp name carries pid *and* a process-wide counter: two worker
+    // threads storing the same payload hash concurrently must not share
+    // a temp path, or one rename could publish the other's half-written
+    // file (`store_payload`'s exists() check is advisory, not a lock).
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let unique = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{unique}", std::process::id()));
     {
         let mut file = fs::File::create(&tmp)?;
         file.write_all(bytes)?;

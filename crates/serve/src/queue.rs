@@ -354,6 +354,16 @@ enum Claimed {
     },
 }
 
+/// A terminal journal record staged under the store lock and written
+/// after it drops, so the fsync never serializes the request path. The
+/// gap is crash-safe: a lost terminal record only means replay resumes
+/// the job from its (already journaled) shard records and re-derives
+/// the same terminal state deterministically.
+enum TerminalRecord {
+    Done { job: u64, report: Arc<Report> },
+    Failed { job: u64, msg: String },
+}
+
 struct SvcState {
     max_shards: usize,
     max_attempts: u32,
@@ -467,29 +477,61 @@ impl Service {
             None => self.state.faults.clone(),
         };
         let mut store = self.state.locked();
-        if store.shutdown.is_some() {
-            return Err(OptError::Spec(
-                "service: shutting down, not accepting jobs".to_string(),
-            ));
-        }
-        if let Some(k) = key {
-            if let Some(&seq) = store.keys.get(k) {
-                if let Some(job) = store.jobs.get(&seq) {
-                    return Ok(job.status());
+        let seq = loop {
+            if store.shutdown.is_some() {
+                return Err(OptError::Spec(
+                    "service: shutting down, not accepting jobs".to_string(),
+                ));
+            }
+            match key.and_then(|k| store.keys.get(k).copied()) {
+                Some(seq) => {
+                    if let Some(job) = store.jobs.get(&seq) {
+                        return Ok(job.status());
+                    }
+                    // The key is reserved by a concurrent submit that is
+                    // journaling its record outside the lock; wait for
+                    // it to publish (or roll back on a failed write).
+                    store = self
+                        .state
+                        .cv
+                        .wait(store)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => {
+                    let seq = store.next_seq;
+                    store.next_seq += 1;
+                    // Reserve the key now so a concurrent same-key
+                    // submit cannot also allocate a job while the lock
+                    // is down for the journal write.
+                    if let Some(k) = key {
+                        store.keys.insert(k.to_string(), seq);
+                    }
+                    break seq;
                 }
             }
-        }
-        let seq = store.next_seq;
-        store.next_seq += 1;
-        // Write-ahead: the submission record lands before the job is
-        // visible, so every accepted job is recoverable. A journal that
-        // cannot take the record refuses the job (the client retries).
-        if let Some(journal) = &self.state.journal {
-            if let Err(e) = journal.record_submitted(seq, key, &spec) {
-                return Err(OptError::Spec(format!(
-                    "service: journal write failed, job refused: {e}"
-                )));
+        };
+        drop(store);
+        // Write-ahead, but outside the lock (the fsync is the slow
+        // path; status/stats requests must not stall behind it): the
+        // submission record lands before the job is visible, so every
+        // accepted job is recoverable, and a journal that cannot take
+        // the record refuses the job (the client retries).
+        let journaled = self
+            .state
+            .journal
+            .as_ref()
+            .map_or(Ok(()), |journal| journal.record_submitted(seq, key, &spec));
+        let mut store = self.state.locked();
+        if let Err(e) = journaled {
+            if let Some(k) = key {
+                store.keys.remove(k);
             }
+            drop(store);
+            // Wake same-key submitters waiting on the reservation.
+            self.state.cv.notify_all();
+            return Err(OptError::Spec(format!(
+                "service: journal write failed, job refused: {e}"
+            )));
         }
         store.submitted += 1;
         let job = Job {
@@ -507,12 +549,12 @@ impl Service {
         };
         let status = job.status();
         store.jobs.insert(seq, job);
-        if let Some(k) = key {
-            store.keys.insert(k.to_string(), seq);
-        }
         store.queue.push_back(Task::Plan { job: seq });
         drop(store);
-        self.state.cv.notify_one();
+        // notify_all, not notify_one: a worker must pick up the task,
+        // and any same-key submitter parked on the reservation must
+        // re-check and return this job.
+        self.state.cv.notify_all();
         Ok(status)
     }
 
@@ -555,17 +597,25 @@ impl Service {
         let seq = job_seq(id)?;
         let mut store = self.state.locked();
         let job = store.jobs.get_mut(&seq)?;
-        if job.state.is_live() {
+        let newly_cancelled = job.state.is_live();
+        if newly_cancelled {
             job.state = JobState::Cancelled;
             job.error = Some("cancelled by client".to_string());
             store.cancelled += 1;
+        }
+        let status = store.jobs.get(&seq).map(Job::status);
+        drop(store);
+        // The journal fsync runs after the lock drops; a crash in the
+        // gap loses only the cancellation (the job resumes on restart),
+        // never consistency.
+        if newly_cancelled {
             if let Some(journal) = &self.state.journal {
                 if let Err(e) = journal.record_cancelled(seq) {
                     eprintln!("synts-serve: journal: cancel record for job-{seq} failed: {e}");
                 }
             }
         }
-        store.jobs.get(&seq).map(Job::status)
+        status
     }
 
     /// Service-wide counters.
@@ -675,7 +725,7 @@ impl SvcState {
         if job.state != JobState::Planning {
             return; // cancelled while planning
         }
-        match planned {
+        let staged = match planned {
             Ok(plan) => {
                 job.slots = plan
                     .shards()
@@ -709,21 +759,23 @@ impl SvcState {
                     .collect();
                 if tasks.is_empty() {
                     // Every shard was recovered: merge immediately.
-                    self.finish_if_complete(&mut store, job_id);
+                    self.finish_if_complete(&mut store, job_id)
                 } else {
                     store.queue.extend(tasks);
+                    None
                 }
-                drop(store);
-                self.cv.notify_all();
             }
             Err(e) => {
                 let msg = format!("planning failed: {e}");
                 job.state = JobState::Failed;
                 job.error = Some(msg.clone());
                 store.failed += 1;
-                self.journal_failed(job_id, &msg);
+                Some(TerminalRecord::Failed { job: job_id, msg })
             }
-        }
+        };
+        drop(store);
+        self.cv.notify_all();
+        self.write_terminal(staged);
     }
 
     fn run_shard(
@@ -771,7 +823,9 @@ impl SvcState {
                     return; // stale task for a slot that no longer exists
                 };
                 slot.state = ShardState::Done(Box::new(report));
-                self.finish_if_complete(&mut store, job_id);
+                let staged = self.finish_if_complete(&mut store, job_id);
+                drop(store);
+                self.write_terminal(staged);
             }
             Err(e) => {
                 let Some(slot) = job.slots.get_mut(idx) else {
@@ -792,7 +846,8 @@ impl SvcState {
                     job.state = JobState::Failed;
                     job.error = Some(msg.clone());
                     store.failed += 1;
-                    self.journal_failed(job_id, &msg);
+                    drop(store);
+                    self.write_terminal(Some(TerminalRecord::Failed { job: job_id, msg }));
                 }
             }
         }
@@ -800,15 +855,15 @@ impl SvcState {
 
     /// When every slot of a running job is `Done`, merges under the lock
     /// (cheap — record concatenation + front recomputation, so
-    /// cancellation cannot race a half-published report), journals the
-    /// terminal state and publishes it. No-op while shards are
-    /// outstanding.
-    fn finish_if_complete(&self, store: &mut Store, job_id: u64) {
-        let Some(job) = store.jobs.get_mut(&job_id) else {
-            return;
-        };
+    /// cancellation cannot race a half-published report) and publishes
+    /// the result. The terminal journal record is *staged*, not written:
+    /// the caller hands it to [`SvcState::write_terminal`] once the lock
+    /// is dropped, so the fsync never stalls status/submit requests.
+    /// No-op (`None`) while shards are outstanding.
+    fn finish_if_complete(&self, store: &mut Store, job_id: u64) -> Option<TerminalRecord> {
+        let job = store.jobs.get_mut(&job_id)?;
         if job.state != JobState::Running || job.slots.is_empty() {
-            return;
+            return None;
         }
         // `collect` over Options doubles as the all-done check.
         let parts: Option<Vec<Report>> = job
@@ -819,9 +874,7 @@ impl SvcState {
                 _ => None,
             })
             .collect();
-        let Some(parts) = parts else {
-            return; // shards still outstanding
-        };
+        let parts = parts?; // shards still outstanding
         let merged = job.plan.as_ref().map_or_else(
             || {
                 Err(OptError::Spec(
@@ -836,30 +889,41 @@ impl SvcState {
         match merged {
             Ok(merged) => {
                 let merged = Arc::new(merged);
-                if let Some(journal) = &self.journal {
-                    if let Err(e) = journal.record_done(job_id, &merged) {
-                        eprintln!("synts-serve: journal: done record for job-{job_id} failed: {e}");
-                    }
-                }
-                job.merged = Some(merged);
+                job.merged = Some(Arc::clone(&merged));
                 job.state = JobState::Done;
                 store.done += 1;
+                Some(TerminalRecord::Done {
+                    job: job_id,
+                    report: merged,
+                })
             }
             Err(e) => {
                 let msg = format!("merge failed: {e}");
                 job.state = JobState::Failed;
                 job.error = Some(msg.clone());
                 store.failed += 1;
-                self.journal_failed(job_id, &msg);
+                Some(TerminalRecord::Failed { job: job_id, msg })
             }
         }
     }
 
-    fn journal_failed(&self, job_id: u64, msg: &str) {
-        if let Some(journal) = &self.journal {
-            if let Err(e) = journal.record_failed(job_id, msg) {
-                eprintln!("synts-serve: journal: failed record for job-{job_id} failed: {e}");
+    /// Writes a staged terminal record (outside the store lock). A
+    /// failed write only costs a recompute after a crash, so it is
+    /// logged, never propagated.
+    fn write_terminal(&self, staged: Option<TerminalRecord>) {
+        let Some(journal) = &self.journal else { return };
+        match staged {
+            Some(TerminalRecord::Done { job, report }) => {
+                if let Err(e) = journal.record_done(job, &report) {
+                    eprintln!("synts-serve: journal: done record for job-{job} failed: {e}");
+                }
             }
+            Some(TerminalRecord::Failed { job, msg }) => {
+                if let Err(e) = journal.record_failed(job, &msg) {
+                    eprintln!("synts-serve: journal: failed record for job-{job} failed: {e}");
+                }
+            }
+            None => {}
         }
     }
 }

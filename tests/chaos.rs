@@ -187,6 +187,88 @@ fn client_retries_through_torn_server_replies() {
     );
 }
 
+/// Mid-body disconnects (`net.disconnect`): the server sends the full
+/// head plus half the body, then drops the socket. The FIN ends the
+/// client's read *cleanly*, so only the Content-Length check stands
+/// between a torn report and a silently truncated 200 — a no-retry
+/// client must surface it as a transport error, and the retry loop
+/// must ride through to the complete report bytes.
+#[test]
+fn truncated_reply_bodies_are_transport_errors_not_short_200s() {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        cache: CharCache::at_dir(fresh_dir("disconnect-cache")),
+        ..ServiceConfig::default()
+    }));
+    let id = service
+        .submit(quick_spec("disconnect"))
+        .expect("submits")
+        .id;
+    let expected = loop {
+        match service.report(&id) {
+            ReportOutcome::Ready(report) => break report.to_json_string(),
+            ReportOutcome::Pending(_) => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("job must finish: {other:?}"),
+        }
+    };
+
+    let server_plan = Arc::new(FaultPlan::parse("seed=3;net.disconnect=1/2").expect("plan parses"));
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            read_deadline: Duration::from_secs(10),
+            faults: Some(Arc::clone(&server_plan)),
+        },
+    )
+    .expect("binds");
+
+    // Single-shot fetches: every reply is either the complete report or
+    // a truncated-body transport error — never a short 200.
+    let impatient = Client::new(server.addr().to_string()).with_policy(RetryPolicy::none());
+    let mut truncated = 0;
+    for _ in 0..8 {
+        match impatient.fetch_report(&id, false) {
+            Ok(reply) => {
+                assert_eq!(reply.status, 200);
+                assert_eq!(
+                    reply.body, expected,
+                    "a 200 must never carry a truncated body"
+                );
+            }
+            Err(e) => {
+                assert!(e.to_string().contains("truncated"), "{e}");
+                truncated += 1;
+            }
+        }
+    }
+    assert!(
+        truncated > 0,
+        "with net.disconnect=1/2 a no-retry client must see truncated bodies"
+    );
+    assert!(
+        server_plan
+            .fired_counts()
+            .get("net.disconnect")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "the disconnect site must have fired"
+    );
+
+    // The retrying path lands the complete bytes despite the faults.
+    let patient = Client::new(server.addr().to_string()).with_policy(RetryPolicy {
+        attempts: 8,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        request_timeout: Duration::from_secs(10),
+    });
+    let body = patient
+        .wait_report(&id, false, Duration::from_secs(30))
+        .expect("retries must ride out mid-body disconnects");
+    assert_eq!(body, expected, "the fetched report must be complete");
+}
+
 /// Client-side refused connections: `net.refuse=~#a0` rejects every
 /// first attempt before a byte is sent; the retrying path succeeds on
 /// attempt 1 and the single-shot path fails outright.

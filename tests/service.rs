@@ -203,6 +203,18 @@ fn malformed_requests_get_4xx_and_never_kill_the_server() {
     let reply = raw_request(addr, &huge);
     assert_eq!(reply.split_whitespace().nth(1), Some("413"));
 
+    // A single endless header line (no newline at all): the head bound
+    // must fire mid-line, not per complete line, so a client streaming
+    // one giant line can never grow server memory past the 16 KiB cap.
+    let mut endless = b"GET /v1/healthz HTTP/1.1\r\nX-Endless: ".to_vec();
+    endless.resize(endless.len() + 64 * 1024, b'y');
+    let reply = raw_request(addr, &endless);
+    assert_eq!(
+        reply.split_whitespace().nth(1),
+        Some("413"),
+        "endless header line: {reply:?}"
+    );
+
     // The server is still alive and serving.
     let client = Client::new(addr.to_string());
     assert!(client.healthy(), "server survived the abuse");
