@@ -693,6 +693,7 @@ fn service_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, Strin
         registry: SolverRegistry::with_defaults(),
         journal: None,
         faults: None,
+        ..ServiceConfig::default()
     }));
     let mut server =
         Server::bind("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
@@ -745,6 +746,7 @@ fn chaos_leg(spec: &ScenarioSpec, monolithic_json: &str) -> Result<Json, String>
         registry: SolverRegistry::with_defaults(),
         journal: None,
         faults: Some(Arc::clone(&plan)),
+        ..ServiceConfig::default()
     }));
     let t = Instant::now();
     let id = service.submit(spec.clone()).map_err(|e| e.to_string())?.id;

@@ -55,11 +55,13 @@ const CACHE_FORMAT_VERSION: f64 = 1.0;
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
+static REMOTE_HITS: AtomicU64 = AtomicU64::new(0);
+static COALESCED: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide cache hit/miss counters (monotonic snapshots).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Characterizations served from disk.
+    /// Characterizations served from local disk.
     pub hits: u64,
     /// Characterizations recomputed (and stored).
     pub misses: u64,
@@ -67,6 +69,12 @@ pub struct CacheStats {
     /// including injected ones). The run is unaffected — the entry just
     /// stays cold — but silent drops would mask a broken cache volume.
     pub write_errors: u64,
+    /// Characterizations served by the remote tier after a local miss
+    /// (the entry is then replicated locally).
+    pub remote_hits: u64,
+    /// Lookups that blocked on another thread's in-flight
+    /// characterization of the same key instead of recomputing.
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -77,13 +85,15 @@ impl CacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
             write_errors: WRITE_ERRORS.load(Ordering::Relaxed),
+            remote_hits: REMOTE_HITS.load(Ordering::Relaxed),
+            coalesced: COALESCED.load(Ordering::Relaxed),
         }
     }
 
-    /// Hits + misses.
+    /// Hits (local + remote) + misses.
     #[must_use]
     pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.remote_hits + self.misses
     }
 
     /// The counters accumulated since an earlier snapshot.
@@ -93,17 +103,66 @@ impl CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             write_errors: self.write_errors.saturating_sub(earlier.write_errors),
+            remote_hits: self.remote_hits.saturating_sub(earlier.remote_hits),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
         }
     }
 }
 
+/// Outcome of probing a remote characterization tier.
+#[derive(Debug)]
+pub enum RemoteFetch {
+    /// The tier holds the entry: the full entry text (`{"key":…,"data":…}`,
+    /// same format as the on-disk file). It is verified against the local
+    /// key before use, so a lying tier degrades to a miss.
+    Hit(String),
+    /// The tier does not hold the entry (or is down, or told this caller
+    /// it holds the characterization claim): compute locally.
+    Compute,
+}
+
+/// A shared characterization tier behind the local directory — in the
+/// fleet, the coordinator's `GET/PUT /v1/cache/<name>` endpoints. Entries
+/// are immutable and content-addressed by file name, so replication is
+/// trivially coherent: any byte-for-byte copy is as good as the original.
+///
+/// Implementations must be cheap to call on the miss path and must never
+/// panic; a flaky tier should return [`RemoteFetch::Compute`] / `false`
+/// rather than block indefinitely.
+pub trait RemoteCacheTier: Send + Sync + std::fmt::Debug {
+    /// Looks up an entry by file name (`<hash>.json`).
+    fn fetch(&self, name: &str) -> RemoteFetch;
+    /// Publishes a freshly computed entry. Returns `false` when the
+    /// publish was dropped (counted as a write error; the run proceeds).
+    fn publish(&self, name: &str, entry: &str) -> bool;
+}
+
 /// Configuration of the on-disk characterization cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CharCache {
     enabled: bool,
     dir: PathBuf,
     faults: Option<Arc<FaultPlan>>,
+    remote: Option<Arc<dyn RemoteCacheTier>>,
 }
+
+impl PartialEq for CharCache {
+    fn eq(&self, other: &Self) -> bool {
+        // The remote tier compares by identity: two caches pointing at
+        // the same tier instance are the same cache; tiers have no
+        // value semantics of their own.
+        self.enabled == other.enabled
+            && self.dir == other.dir
+            && self.faults == other.faults
+            && match (&self.remote, &other.remote) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for CharCache {}
 
 impl CharCache {
     /// The environment-resolved cache: enabled, rooted at
@@ -119,6 +178,7 @@ impl CharCache {
             enabled: true,
             dir,
             faults: None,
+            remote: None,
         }
     }
 
@@ -129,6 +189,7 @@ impl CharCache {
             enabled: true,
             dir: dir.into(),
             faults: None,
+            remote: None,
         }
     }
 
@@ -140,6 +201,7 @@ impl CharCache {
             enabled: false,
             dir: PathBuf::new(),
             faults: None,
+            remote: None,
         }
     }
 
@@ -170,6 +232,22 @@ impl CharCache {
         self.faults.as_ref()
     }
 
+    /// Attaches (or detaches, with `None`) a remote tier consulted after
+    /// a local miss and published to after a local store. The local
+    /// directory stays authoritative for this process; the tier only
+    /// spares recomputation across machines.
+    #[must_use]
+    pub fn with_remote(mut self, remote: Option<Arc<dyn RemoteCacheTier>>) -> CharCache {
+        self.remote = remote;
+        self
+    }
+
+    /// The attached remote tier, if any.
+    #[must_use]
+    pub fn remote(&self) -> Option<&Arc<dyn RemoteCacheTier>> {
+        self.remote.as_ref()
+    }
+
     fn entry_path(&self, key_hash: u64) -> PathBuf {
         self.dir.join(format!("{key_hash:016x}.json"))
     }
@@ -192,6 +270,7 @@ impl CharCache {
             return CacheEntry {
                 slot: None,
                 faults: None,
+                remote: None,
             };
         }
         // Key construction hashes the full trace; charge it to the
@@ -203,6 +282,7 @@ impl CharCache {
             CacheEntry {
                 slot: Some((self.entry_path(h.finish()), key)),
                 faults: self.faults.clone(),
+                remote: self.remote.clone(),
             }
         })
     }
@@ -216,42 +296,92 @@ pub struct CacheEntry {
     slot: Option<(PathBuf, Json)>,
     /// Fault plan inherited from the owning [`CharCache`].
     faults: Option<Arc<FaultPlan>>,
+    /// Remote tier inherited from the owning [`CharCache`].
+    remote: Option<Arc<dyn RemoteCacheTier>>,
 }
 
 impl CacheEntry {
-    /// Probes the slot: a verified entry counts a hit and returns the
-    /// cached data; anything else (absent, corrupt, key-mismatched, or a
+    /// The entry's identity token (its file name) — the coalescing and
+    /// remote-tier key. `None` for a disabled cache.
+    #[must_use]
+    pub fn token(&self) -> Option<String> {
+        self.slot.as_ref().map(|(path, _)| entry_token(path))
+    }
+
+    /// Probes the slot: a verified local entry counts a hit; on a local
+    /// miss the remote tier (if any) is consulted, and a verified remote
+    /// entry counts a `remote_hit` and is replicated into the local
+    /// directory. Anything else (absent, corrupt, key-mismatched, or a
     /// disabled cache) is a miss. The disabled cache skips the counters,
     /// like [`characterize_workload_cached`] always has.
     #[must_use]
     pub fn load(&self) -> Option<BenchmarkData> {
         let (path, key) = self.slot.as_ref()?;
+        let token = entry_token(path);
         if let Some(plan) = &self.faults {
             // An injected read fault turns this probe into a miss — the
             // exact behaviour of a corrupt or torn entry on disk.
-            if plan.should(site::CACHE_READ, &entry_token(path)) {
+            if plan.should(site::CACHE_READ, &token) {
                 MISSES.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         }
-        match crate::phase::time_phase(crate::phase::Phase::CacheLookup, || load_entry(path, key)) {
-            Some(data) => {
-                HITS.fetch_add(1, Ordering::Relaxed);
-                Some(data)
-            }
-            None => {
-                MISSES.fetch_add(1, Ordering::Relaxed);
-                None
+        if let Some(data) =
+            crate::phase::time_phase(crate::phase::Phase::CacheLookup, || load_entry(path, key))
+        {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(data);
+        }
+        if let Some(remote) = &self.remote {
+            // An injected cache.remote fault models an unreachable tier:
+            // the lookup degrades to an ordinary local miss.
+            let blocked = self
+                .faults
+                .as_ref()
+                .is_some_and(|plan| plan.should(site::CACHE_REMOTE, &token));
+            if !blocked {
+                if let RemoteFetch::Hit(text) = remote.fetch(&token) {
+                    if let Some(data) =
+                        crate::phase::time_phase(crate::phase::Phase::CacheLookup, || {
+                            parse_entry(&text, key)
+                        })
+                    {
+                        REMOTE_HITS.fetch_add(1, Ordering::Relaxed);
+                        // Replicate locally (best-effort) so the next
+                        // probe on this machine is a plain local hit.
+                        if write_local_copy(path, &text).is_err() {
+                            WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(data);
+                    }
+                }
             }
         }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Persists freshly computed data into the slot (best-effort, like
-    /// every cache write: I/O failure only costs a future recompute).
+    /// every cache write: I/O failure only costs a future recompute) and
+    /// publishes it to the remote tier, if one is attached.
     pub fn store(&self, data: &BenchmarkData) {
         if let Some((path, key)) = &self.slot {
             crate::phase::time_phase(crate::phase::Phase::CacheStore, || {
-                store_entry(path, key, data, self.faults.as_deref());
+                let text = Json::obj()
+                    .field("key", key.clone())
+                    .field("data", benchmark_data_to_json(data))
+                    .render_pretty();
+                store_entry(path, &text, self.faults.as_deref());
+                if let Some(remote) = &self.remote {
+                    let token = entry_token(path);
+                    let blocked = self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|plan| plan.should(site::CACHE_REMOTE, &token));
+                    if !blocked && !remote.publish(&token, &text) {
+                        WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             });
         }
     }
@@ -527,14 +657,28 @@ pub fn benchmark_data_from_json(json: &Json) -> Result<BenchmarkData, OptError> 
 }
 
 fn load_entry(path: &Path, key: &Json) -> Option<BenchmarkData> {
-    let src = std::fs::read_to_string(path).ok()?;
-    let entry = Json::parse(&src).ok()?;
-    // Full-key comparison: version drift, hash collisions and truncated
-    // rewrites all land here and read as a miss.
+    parse_entry(&std::fs::read_to_string(path).ok()?, key)
+}
+
+/// Parses and verifies one entry text (local file or remote payload).
+/// Full-key comparison: version drift, hash collisions, truncated
+/// rewrites and lying remote tiers all land here and read as a miss.
+fn parse_entry(src: &str, key: &Json) -> Option<BenchmarkData> {
+    let entry = Json::parse(src).ok()?;
     if entry.get("key")?.render() != key.render() {
         return None;
     }
     benchmark_data_from_json(entry.get("data")?).ok()
+}
+
+/// Replicates a verified remote entry into the local directory (atomic
+/// tmp → rename, like any store; failures only cost a future re-fetch).
+fn write_local_copy(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().ok_or(std::io::ErrorKind::InvalidInput)?;
+    std::fs::create_dir_all(dir)?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Stable identity token for one cache slot — the entry file name —
@@ -545,7 +689,7 @@ fn entry_token(path: &Path) -> String {
         .unwrap_or_default()
 }
 
-fn store_entry(path: &Path, key: &Json, data: &BenchmarkData, faults: Option<&FaultPlan>) {
+fn store_entry(path: &Path, text: &str, faults: Option<&FaultPlan>) {
     // Best-effort: a read-only or full disk must never fail the run —
     // but every store that fails to land is counted (write_errors).
     let token = entry_token(path);
@@ -563,11 +707,8 @@ fn store_entry(path: &Path, key: &Json, data: &BenchmarkData, faults: Option<&Fa
         WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    let entry = Json::obj()
-        .field("key", key.clone())
-        .field("data", benchmark_data_to_json(data));
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, entry.render_pretty()).is_err() {
+    if std::fs::write(&tmp, text).is_err() {
         WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
         return;
     }
@@ -587,9 +728,77 @@ fn store_entry(path: &Path, key: &Json, data: &BenchmarkData, faults: Option<&Fa
     }
 }
 
+/// The process-wide per-key in-flight table behind cache coalescing:
+/// concurrent misses on the same entry block on one characterization
+/// instead of N identical gate simulations. Keys are entry file names —
+/// the same content-addressed identity the disk and remote tiers use.
+struct Coalescer {
+    inflight: std::sync::Mutex<std::collections::BTreeSet<String>>,
+    cv: std::sync::Condvar,
+}
+
+static COALESCER: std::sync::OnceLock<Coalescer> = std::sync::OnceLock::new();
+
+fn coalescer() -> &'static Coalescer {
+    COALESCER.get_or_init(|| Coalescer {
+        inflight: std::sync::Mutex::new(std::collections::BTreeSet::new()),
+        cv: std::sync::Condvar::new(),
+    })
+}
+
+/// Outcome of asking the coalescer for a key.
+enum Admission {
+    /// This thread owns the key until the guard drops: probe, compute
+    /// on a miss, store.
+    Leader(CoalesceGuard),
+    /// Another thread was characterizing this key; it has now finished
+    /// (successfully or not) — re-probe the cache.
+    Waited,
+}
+
+/// Ownership of one in-flight key; dropping it (normally or by unwind)
+/// releases the key and wakes every waiter.
+struct CoalesceGuard {
+    token: String,
+}
+
+impl Drop for CoalesceGuard {
+    fn drop(&mut self) {
+        let c = coalescer();
+        let mut inflight = c
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inflight.remove(&self.token);
+        c.cv.notify_all();
+    }
+}
+
+fn admit(token: &str) -> Admission {
+    let c = coalescer();
+    let mut inflight = c
+        .inflight
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if inflight.insert(token.to_string()) {
+        return Admission::Leader(CoalesceGuard {
+            token: token.to_string(),
+        });
+    }
+    COALESCED.fetch_add(1, Ordering::Relaxed);
+    while inflight.contains(token) {
+        inflight =
+            c.cv.wait(inflight)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    Admission::Waited
+}
+
 /// Characterizes a workload trace on one stage through the cache: a warm
 /// entry skips gate simulation entirely; a miss recomputes on `pool`
-/// and persists the result.
+/// and persists the result. Concurrent misses on the same key coalesce:
+/// one thread characterizes while the rest block and then read the
+/// stored entry ([`CacheStats::coalesced`] counts the waits).
 ///
 /// # Errors
 ///
@@ -614,17 +823,32 @@ pub fn characterize_workload_cached(
     })
     .map_err(TimingError::from)?;
     let entry = cache.entry(trace, stage, cfg, circuit.netlist());
-    if let Some(data) = entry.load() {
-        return Ok(data);
+    let token = entry.token().unwrap_or_default();
+    let mut compute_inputs = Some((circuit, pool));
+    loop {
+        match admit(&token) {
+            Admission::Leader(_guard) => {
+                if let Some(data) = entry.load() {
+                    return Ok(data);
+                }
+                let (circuit, pool) = compute_inputs
+                    .take()
+                    .expect("the leader computes at most once");
+                let charac = time_phase(Phase::StageBuild, || {
+                    StageCharacterizer::from_stage(circuit)
+                })?;
+                let data = time_phase(Phase::GateSim, || {
+                    characterize_workload_on(&charac, trace, cfg, pool)
+                })?;
+                entry.store(&data);
+                return Ok(data);
+            }
+            // The leader finished while we waited. Loop: the next probe
+            // (as leader) hits the entry it stored — unless the store
+            // failed, in which case this thread recomputes.
+            Admission::Waited => {}
+        }
     }
-    let charac = time_phase(Phase::StageBuild, || {
-        StageCharacterizer::from_stage(circuit)
-    })?;
-    let data = time_phase(Phase::GateSim, || {
-        characterize_workload_on(&charac, trace, cfg, pool)
-    })?;
-    entry.store(&data);
-    Ok(data)
 }
 
 /// Runs and characterizes a benchmark through the cache — the cached,

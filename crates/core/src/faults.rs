@@ -65,10 +65,19 @@ pub mod site {
     pub const NET_TORN: &str = "net.torn";
     /// Server: the response body is cut mid-stream and the socket dropped.
     pub const NET_DISCONNECT: &str = "net.disconnect";
+    /// Executor: a due heartbeat is silently dropped instead of sent, so
+    /// the coordinator-side lease runs down and the shard is reassigned.
+    pub const FLEET_HEARTBEAT: &str = "fleet.heartbeat";
+    /// Coordinator: a granted dispatch is lost in flight — the lease is
+    /// charged an attempt and the shard goes back on the queue.
+    pub const FLEET_DISPATCH: &str = "fleet.dispatch";
+    /// Cache: the remote characterization tier is unreachable; the lookup
+    /// degrades to a local miss (and the publish is dropped).
+    pub const CACHE_REMOTE: &str = "cache.remote";
 }
 
 /// Every site name, in the order the fault report renders them.
-pub const ALL_SITES: [&str; 9] = [
+pub const ALL_SITES: [&str; 12] = [
     site::CACHE_READ,
     site::CACHE_WRITE,
     site::CACHE_RENAME,
@@ -78,6 +87,9 @@ pub const ALL_SITES: [&str; 9] = [
     site::NET_REFUSE,
     site::NET_TORN,
     site::NET_DISCONNECT,
+    site::FLEET_HEARTBEAT,
+    site::FLEET_DISPATCH,
+    site::CACHE_REMOTE,
 ];
 
 /// How a single rule decides whether to fire for an identity token.

@@ -55,12 +55,17 @@ pub fn policy_for(rel: &str) -> Option<Vec<Rule>> {
         // behaviour by design. Determinism of data structures still holds.
         "crates/core/src/phase.rs" => with(&[Rule::HashCollections]),
         // The service request path must answer 4xx/5xx, never die.
-        "crates/serve/src/http.rs" | "crates/serve/src/queue.rs" => with(&[
-            Rule::HashCollections,
-            Rule::WallClock,
-            Rule::EnvRead,
-            Rule::PanicPath,
-        ]),
+        // fleet.rs is in it too: polls, heartbeats and completions are
+        // handler code (its executor loop additionally sleeps its poll
+        // cadence, which WallClock does not cover by design).
+        "crates/serve/src/http.rs" | "crates/serve/src/queue.rs" | "crates/serve/src/fleet.rs" => {
+            with(&[
+                Rule::HashCollections,
+                Rule::WallClock,
+                Rule::EnvRead,
+                Rule::PanicPath,
+            ])
+        }
         // The client polls with deadlines and sleeps its retry backoff
         // (sanctioned wall-clock sites; the backoff *schedule* is a pure
         // function of the policy, so determinism is unaffected).
@@ -116,7 +121,11 @@ mod tests {
 
     #[test]
     fn request_path_files_get_panic_path() {
-        for f in ["crates/serve/src/http.rs", "crates/serve/src/queue.rs"] {
+        for f in [
+            "crates/serve/src/http.rs",
+            "crates/serve/src/queue.rs",
+            "crates/serve/src/fleet.rs",
+        ] {
             assert!(policy_for(f).unwrap().contains(&Rule::PanicPath), "{f}");
         }
         assert!(!policy_for("crates/serve/src/client.rs")

@@ -4,23 +4,38 @@
 //! synts-serve [--addr 127.0.0.1:7070] [--workers N] [--max-shards N]
 //!             [--max-attempts N] [--cache-dir DIR | --no-cache]
 //!             [--journal-dir DIR] [--faults PLAN]
+//!             [--local-shards on|off] [--lease-ticks N] [--tick-ms MS]
+//! synts-serve --executor --coordinator HOST:PORT [--name NAME]
+//!             [--poll-ms MS] [--cache-dir DIR | --no-cache] [--faults PLAN]
 //! ```
 //!
-//! Binds the HTTP front end, prints the resolved address, and serves
-//! until `POST /v1/shutdown` (or Ctrl-C, which skips the drain).
+//! Coordinator mode binds the HTTP front end, prints the resolved
+//! address, and serves until `POST /v1/shutdown` (or Ctrl-C, which
+//! skips the drain). Executor mode registers with a coordinator and
+//! pulls shard work over HTTP until the coordinator shuts down.
 //!
 //! With `--journal-dir` the service journals every job durably and, on
 //! startup, replays the directory: finished jobs serve their journaled
 //! reports, interrupted jobs resume from their completed shards.
 //! `--faults` (or the `SYNTS_FAULTS` environment variable) arms the
 //! deterministic fault-injection harness — see `synts_core::faults`.
+//!
+//! Fleet leases live in logical ticks: `--lease-ticks` sets how many a
+//! lease survives without renewal, and the reaper thread advances one
+//! tick every `--tick-ms` milliseconds (0 disables it — tests tick via
+//! `POST /v1/fleet/tick` instead). `--local-shards off` reserves shard
+//! tasks for fleet executors (falling back to local execution, with a
+//! warning, while none are live).
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use synts_core::{CharCache, FaultPlan, SolverRegistry};
-use synts_serve::{Journal, Server, Service, ServiceConfig, Shutdown};
+use synts_serve::{
+    run_executor, ExecutorConfig, Journal, Server, Service, ServiceConfig, Shutdown,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -31,10 +46,20 @@ struct Args {
     cache: CharCache,
     journal_dir: Option<String>,
     faults: Option<String>,
+    executor: bool,
+    coordinator: Option<String>,
+    name: Option<String>,
+    poll_ms: u64,
+    local_shards: bool,
+    lease_ticks: u64,
+    tick_ms: u64,
 }
 
 const USAGE: &str = "usage: synts-serve [--addr HOST:PORT] [--workers N] [--max-shards N] \
-[--max-attempts N] [--cache-dir DIR | --no-cache] [--journal-dir DIR] [--faults PLAN]
+[--max-attempts N] [--cache-dir DIR | --no-cache] [--journal-dir DIR] [--faults PLAN] \
+[--local-shards on|off] [--lease-ticks N] [--tick-ms MS]
+       synts-serve --executor --coordinator HOST:PORT [--name NAME] [--poll-ms MS] \
+[--cache-dir DIR | --no-cache] [--faults PLAN]
 
 Serves the SynTS scenario API (POST /v1/jobs[?key=..], GET /v1/jobs/<id>[/report],
 GET /v1/healthz, GET /v1/stats, POST /v1/shutdown). Defaults: --addr
@@ -42,7 +67,14 @@ GET /v1/healthz, GET /v1/stats, POST /v1/shutdown). Defaults: --addr
 SYNTS_CACHE_DIR (target/synts-cache). --journal-dir enables the durable
 job journal (replayed on startup); --faults arms deterministic fault
 injection (grammar: 'seed=N;site=NUM/DEN;site=~substr', overriding the
-SYNTS_FAULTS environment variable).";
+SYNTS_FAULTS environment variable).
+
+Fleet: --executor turns this process into a remote executor for the
+coordinator at --coordinator (required), polling every --poll-ms (200).
+On the coordinator, --local-shards off reserves shards for executors
+(local fallback while none are live), --lease-ticks (5) bounds how many
+logical ticks a lease survives without renewal, and --tick-ms (500)
+paces the reaper thread that advances the lease clock (0 disables it).";
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
@@ -53,6 +85,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         cache: CharCache::from_env(),
         journal_dir: None,
         faults: None,
+        executor: false,
+        coordinator: None,
+        name: None,
+        poll_ms: 200,
+        local_shards: true,
+        lease_ticks: 5,
+        tick_ms: 500,
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
@@ -81,9 +120,46 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--no-cache" => args.cache = CharCache::disabled(),
             "--journal-dir" => args.journal_dir = Some(value("a directory")?),
             "--faults" => args.faults = Some(value("a fault plan")?),
+            "--executor" => args.executor = true,
+            "--coordinator" => args.coordinator = Some(value("HOST:PORT")?),
+            "--name" => args.name = Some(value("an executor name")?),
+            "--poll-ms" => {
+                args.poll_ms = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| "--poll-ms expects an integer >= 1".to_string())?;
+                if args.poll_ms == 0 {
+                    return Err("--poll-ms expects an integer >= 1".to_string());
+                }
+            }
+            "--local-shards" => {
+                args.local_shards = match value("on|off")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err("--local-shards expects 'on' or 'off'".to_string()),
+                };
+            }
+            "--lease-ticks" => {
+                args.lease_ticks = value("a tick count")?
+                    .parse()
+                    .map_err(|_| "--lease-ticks expects an integer >= 1".to_string())?;
+                if args.lease_ticks == 0 {
+                    return Err("--lease-ticks expects an integer >= 1".to_string());
+                }
+            }
+            "--tick-ms" => {
+                args.tick_ms = value("milliseconds (0 disables the reaper)")?
+                    .parse()
+                    .map_err(|_| "--tick-ms expects an integer >= 0".to_string())?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'; see --help")),
         }
+    }
+    if args.executor && args.coordinator.is_none() {
+        return Err("--executor requires --coordinator HOST:PORT; see --help".to_string());
+    }
+    if !args.executor && args.coordinator.is_some() {
+        return Err("--coordinator only makes sense with --executor; see --help".to_string());
     }
     Ok(args)
 }
@@ -114,6 +190,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.executor {
+        let coordinator = args
+            .coordinator
+            .clone()
+            .expect("parse_args enforces --coordinator with --executor");
+        let name = args
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("executor-{}", std::process::id()));
+        if let Some(plan) = &faults {
+            println!("synts-serve: fault injection armed: {}", plan.source());
+        }
+        println!("synts-serve: executor {name} joining fleet at {coordinator}");
+        return match run_executor(&ExecutorConfig {
+            coordinator,
+            name,
+            cache: args.cache,
+            faults,
+            poll: Duration::from_millis(args.poll_ms),
+            max_offline_polls: 50,
+        }) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("synts-serve: executor: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let journal = match args.journal_dir.as_deref().map(Journal::open).transpose() {
         Ok(journal) => journal,
         Err(e) => {
@@ -135,7 +239,20 @@ fn main() -> ExitCode {
         registry: SolverRegistry::with_defaults(),
         journal,
         faults,
+        local_shards: args.local_shards,
+        lease_ticks: args.lease_ticks,
     }));
+    if args.tick_ms > 0 {
+        // The reaper: the only place wall-clock meets the lease clock.
+        // Every lease/expiry *decision* happens inside fleet_tick, in
+        // logical ticks, so tests that tick explicitly are exact.
+        let reaper = Arc::clone(&service);
+        let interval = Duration::from_millis(args.tick_ms);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            let _ = reaper.fleet_tick();
+        });
+    }
     let mut server = match Server::bind(&args.addr, service) {
         Ok(server) => server,
         Err(e) => {
@@ -144,10 +261,15 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "synts-serve: listening on {} ({} worker(s), up to {} shard(s)/job)",
+        "synts-serve: listening on {} ({} worker(s), up to {} shard(s)/job{})",
         server.addr(),
         args.workers,
-        args.max_shards
+        args.max_shards,
+        if args.local_shards {
+            ""
+        } else {
+            ", fleet shards"
+        }
     );
     let mode = server.wait_shutdown();
     println!(

@@ -17,9 +17,16 @@
 //! | `GET /v1/jobs/<id>`            | 200 + job status                             |
 //! | `GET /v1/jobs/<id>/report`     | 200 + merged report (`?format=csv` for CSV); 202 while pending; 410 if failed/cancelled |
 //! | `DELETE /v1/jobs/<id>`         | 200 + job status (cancels a live job)        |
-//! | `GET /v1/healthz`              | 200 `{"ok": true}`                           |
+//! | `GET /v1/healthz`              | readiness probe: 200 while serving, 503 once the journal stops accepting writes (body carries queue depth, live executors, lease count, degraded flag) |
 //! | `GET /v1/stats`                | 200 + service counters                       |
 //! | `POST /v1/shutdown`            | 200, then winds the server down (`{"mode": "drain"\|"now"}`) |
+//! | `POST /v1/fleet/register`      | 200 + assigned executor id and lease ticks (body: `{"name": ..}`) |
+//! | `POST /v1/fleet/poll`          | 200 + a leased shard dispatch, or idle/stop; 404 if the registration lapsed |
+//! | `POST /v1/fleet/heartbeat`     | 200 renews the registration (and the named lease); 404 if lapsed |
+//! | `POST /v1/fleet/complete`      | 200 lands a shard result; 409 if the lease expired (shard reassigned) |
+//! | `POST /v1/fleet/tick`          | 200, advances the logical lease clock one tick |
+//! | `GET /v1/cache/<key>[?claim=who]` | shared characterization tier: 200 + entry, 404 miss (`claim` granted on miss), 409 while another executor computes the key |
+//! | `PUT /v1/cache/<key>`          | 200, publishes an entry into the shared tier |
 //!
 //! Malformed requests (bad request line, oversized headers/bodies,
 //! invalid JSON, unknown routes) get 4xx JSON errors; a connection that
@@ -42,8 +49,9 @@ use crate::queue::{JobStatus, ReportOutcome, Service, Shutdown};
 
 /// Longest accepted request head (request line + headers), bytes.
 const MAX_HEAD: usize = 16 * 1024;
-/// Largest accepted request body (a spec is well under this), bytes.
-const MAX_BODY: usize = 1024 * 1024;
+/// Largest accepted request body, bytes. Sized for fleet completions —
+/// an executor POSTs a whole shard report, which dwarfs any spec.
+const MAX_BODY: usize = 8 * 1024 * 1024;
 /// Per-connection socket read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -377,7 +385,7 @@ fn read_request(
         }
     }
     if content_length > MAX_BODY {
-        return Err(ReadError::TooLarge("request body exceeds 1 MiB"));
+        return Err(ReadError::TooLarge("request body exceeds 8 MiB"));
     }
     let mut body = vec![0u8; content_length];
     budget.arm(reader)?;
@@ -416,9 +424,71 @@ fn route(req: &Request, inner: &Inner) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "healthz"]) => {
-            json_response(200, &Json::obj().field("ok", Json::Bool(true)))
+            // A real readiness probe: 503 once the journal stops
+            // accepting writes (a 200 with a sick body would keep
+            // load balancers routing jobs into a black hole).
+            let health = service.health();
+            json_response(if health.ok { 200 } else { 503 }, &health.to_json())
         }
         ("GET", ["v1", "stats"]) => json_response(200, &service.stats().to_json()),
+        ("POST", ["v1", "fleet", "register"]) => match Json::parse(&req.body) {
+            Ok(json) => {
+                let name = json
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("executor");
+                let r = service.fleet_register(name);
+                json_response(
+                    200,
+                    &Json::obj()
+                        .field("executor", Json::str(&r.executor))
+                        .field("lease_ticks", Json::num(r.lease_ticks as f64)),
+                )
+            }
+            Err(e) => error_response(400, &e.to_string()),
+        },
+        ("POST", ["v1", "fleet", "poll"]) => fleet_poll_route(req, service),
+        ("POST", ["v1", "fleet", "heartbeat"]) => match Json::parse(&req.body) {
+            Ok(json) => {
+                let Some(executor) = json.get("executor").and_then(Json::as_str) else {
+                    return error_response(400, "heartbeat names no executor");
+                };
+                let lease = json.get("lease").and_then(Json::as_str);
+                match service.fleet_heartbeat(executor, lease) {
+                    crate::fleet::HeartbeatOutcome::Renewed { lease_held } => {
+                        let mut body = Json::obj().field("ok", Json::Bool(true));
+                        if let Some(held) = lease_held {
+                            body = body.field("lease_held", Json::Bool(held));
+                        }
+                        json_response(200, &body)
+                    }
+                    crate::fleet::HeartbeatOutcome::UnknownExecutor => {
+                        error_response(404, &format!("unknown executor: {executor}"))
+                    }
+                }
+            }
+            Err(e) => error_response(400, &e.to_string()),
+        },
+        ("POST", ["v1", "fleet", "complete"]) => fleet_complete_route(req, service),
+        ("POST", ["v1", "fleet", "tick"]) => {
+            let t = service.fleet_tick();
+            json_response(
+                200,
+                &Json::obj()
+                    .field("now", Json::num(t.now as f64))
+                    .field("expired", Json::num(t.expired as f64)),
+            )
+        }
+        ("GET", ["v1", "cache", name]) => cache_fetch_route(req, service, name),
+        ("PUT", ["v1", "cache", name]) => {
+            if !crate::fleet::valid_entry_name(name) {
+                return error_response(400, "cache keys are <16 hex>.json");
+            }
+            match service.cache_publish(name, &req.body) {
+                Ok(()) => json_response(200, &Json::obj().field("ok", Json::Bool(true))),
+                Err(e) => error_response(500, &e),
+            }
+        }
         ("POST", ["v1", "jobs"]) => match ScenarioSpec::from_json_str(&req.body) {
             Ok(spec) => {
                 // `?key=<token>` makes the submit idempotent: a client
@@ -468,6 +538,107 @@ fn route(req: &Request, inner: &Inner) -> Response {
         }
         (_, ["v1", ..]) => error_response(404, &format!("no route: {} {}", req.method, req.path)),
         _ => error_response(404, "unknown path (the API lives under /v1/)"),
+    }
+}
+
+fn fleet_poll_route(req: &Request, service: &Arc<Service>) -> Response {
+    let json = match Json::parse(&req.body) {
+        Ok(json) => json,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+    let Some(executor) = json.get("executor").and_then(Json::as_str) else {
+        return error_response(400, "poll names no executor");
+    };
+    match service.fleet_poll(executor) {
+        crate::fleet::PollOutcome::Dispatch(d) => json_response(
+            200,
+            &Json::obj()
+                .field("work", Json::Bool(true))
+                .field("lease", Json::str(&d.lease))
+                .field("job", Json::str(&d.job))
+                .field("shard", Json::num(d.shard as f64))
+                .field("attempt", Json::num(f64::from(d.attempt)))
+                .field("spec", d.spec.to_json()),
+        ),
+        crate::fleet::PollOutcome::Idle => json_response(
+            200,
+            &Json::obj()
+                .field("work", Json::Bool(false))
+                .field("stop", Json::Bool(false)),
+        ),
+        crate::fleet::PollOutcome::Stop => json_response(
+            200,
+            &Json::obj()
+                .field("work", Json::Bool(false))
+                .field("stop", Json::Bool(true)),
+        ),
+        crate::fleet::PollOutcome::UnknownExecutor => {
+            error_response(404, &format!("unknown executor: {executor}"))
+        }
+    }
+}
+
+fn fleet_complete_route(req: &Request, service: &Arc<Service>) -> Response {
+    let json = match Json::parse(&req.body) {
+        Ok(json) => json,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+    let (Some(executor), Some(lease)) = (
+        json.get("executor").and_then(Json::as_str),
+        json.get("lease").and_then(Json::as_str),
+    ) else {
+        return error_response(400, "complete names no executor/lease");
+    };
+    let result = if let Some(msg) = json.get("error").and_then(Json::as_str) {
+        Err(msg.to_string())
+    } else if let Some(report_json) = json.get("report") {
+        match synts_core::scenario::Report::from_json(report_json) {
+            Ok(report) => Ok(report),
+            Err(e) => return error_response(400, &format!("unparseable report: {e}")),
+        }
+    } else {
+        return error_response(400, "complete carries neither report nor error");
+    };
+    match service.fleet_complete(executor, lease, result) {
+        crate::fleet::CompleteOutcome::Accepted => {
+            json_response(200, &Json::obj().field("accepted", Json::Bool(true)))
+        }
+        crate::fleet::CompleteOutcome::Rejected(why) => error_response(409, &why),
+    }
+}
+
+fn cache_fetch_route(req: &Request, service: &Arc<Service>, name: &str) -> Response {
+    if !crate::fleet::valid_entry_name(name) {
+        return error_response(400, "cache keys are <16 hex>.json");
+    }
+    let claimant = query_value(req.query.as_deref(), "claim");
+    match service.cache_fetch(name, claimant) {
+        crate::fleet::CacheFetchOutcome::Hit(text) => Response {
+            status: 200,
+            content_type: "application/json",
+            body: text,
+        },
+        crate::fleet::CacheFetchOutcome::MissClaimGranted => json_response(
+            404,
+            &Json::obj()
+                .field("cache", Json::str("miss"))
+                .field("claim", Json::str("granted")),
+        ),
+        crate::fleet::CacheFetchOutcome::MissClaimHeld => json_response(
+            409,
+            &Json::obj()
+                .field("cache", Json::str("miss"))
+                .field("claim", Json::str("held")),
+        ),
+        crate::fleet::CacheFetchOutcome::Miss => json_response(
+            404,
+            &Json::obj()
+                .field("cache", Json::str("miss"))
+                .field("claim", Json::str("none")),
+        ),
+        crate::fleet::CacheFetchOutcome::Disabled => {
+            error_response(404, "this coordinator serves no cache tier")
+        }
     }
 }
 
@@ -528,8 +699,10 @@ fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         408 => "Request Timeout",
+        409 => "Conflict",
         410 => "Gone",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let head = format!(

@@ -77,8 +77,44 @@ pub struct Replay {
     /// Jobs by sequence number, in submission order.
     pub jobs: BTreeMap<u64, RecoveredJob>,
     /// Records (or payloads) that were present but unusable — torn
-    /// writes, missing payload files, unknown kinds. Never fatal.
+    /// writes mid-stream, missing payload files, unknown kinds. Never
+    /// fatal.
     pub skipped: usize,
+    /// Torn records at the *tail* of the stream (a crash mid-append can
+    /// leave at most a trailing prefix of a record): these are deleted —
+    /// truncate-and-warn — so the journal is clean for the next writer.
+    pub truncated: usize,
+}
+
+/// What a single journal record did during replay.
+enum RecordOutcome {
+    /// Parsed and folded into a job.
+    Applied,
+    /// Structurally valid JSON, but unusable (unknown kind, missing
+    /// payload, reference to an unknown job): skipped and counted.
+    Skipped,
+    /// Unreadable or not valid JSON — the shape a crash mid-append
+    /// leaves behind.
+    Torn,
+}
+
+/// The result of [`Journal::compact`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Compaction {
+    /// `shard_done` records dropped because their job reached a terminal
+    /// record (the terminal payload supersedes the partials).
+    pub records_removed: usize,
+    /// Content-addressed payload files no longer referenced by any
+    /// surviving record.
+    pub payloads_removed: usize,
+}
+
+impl Compaction {
+    /// True when compaction removed nothing.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.records_removed == 0 && self.payloads_removed == 0
+    }
 }
 
 /// An open journal directory (see the module docs for the layout).
@@ -212,7 +248,9 @@ impl Journal {
 
     /// Replays the record stream into per-job recovery state. Later
     /// records win (a `done` after `shard_done`s supersedes them);
-    /// unusable records are skipped and counted.
+    /// unusable records are skipped and counted. Torn records at the
+    /// tail of the stream — the footprint of a crash mid-append — are
+    /// deleted (truncate-and-warn) instead of failing startup.
     #[must_use]
     pub fn replay(&self) -> Replay {
         let mut names: Vec<(u64, PathBuf)> = Vec::new();
@@ -226,17 +264,56 @@ impl Journal {
         }
         names.sort();
         let mut jobs: BTreeMap<u64, RecoveredJob> = BTreeMap::new();
-        let mut skipped = 0usize;
+        let mut outcomes: Vec<(PathBuf, RecordOutcome)> = Vec::with_capacity(names.len());
         for (_, path) in names {
-            if self.apply_record(&path, &mut jobs).is_none() {
-                skipped += 1;
+            let outcome = self.apply_record(&path, &mut jobs);
+            outcomes.push((path, outcome));
+        }
+        let mut skipped = 0usize;
+        let mut truncated = 0usize;
+        // Only a contiguous *suffix* of torn records can be a crash
+        // mid-append; anything torn before a good record is damage the
+        // write path cannot produce, so it is skipped, not deleted.
+        let mut trailing = true;
+        for (path, outcome) in outcomes.iter().rev() {
+            match outcome {
+                RecordOutcome::Applied => trailing = false,
+                RecordOutcome::Skipped => {
+                    trailing = false;
+                    skipped += 1;
+                }
+                RecordOutcome::Torn if trailing => {
+                    eprintln!(
+                        "journal: truncating torn trailing record {} (crash mid-append)",
+                        path.display()
+                    );
+                    let _ = fs::remove_file(path);
+                    truncated += 1;
+                }
+                RecordOutcome::Torn => skipped += 1,
             }
         }
-        Replay { jobs, skipped }
+        Replay {
+            jobs,
+            skipped,
+            truncated,
+        }
     }
 
-    fn apply_record(&self, path: &Path, jobs: &mut BTreeMap<u64, RecoveredJob>) -> Option<()> {
-        let record = Json::parse(&fs::read_to_string(path).ok()?).ok()?;
+    fn apply_record(&self, path: &Path, jobs: &mut BTreeMap<u64, RecoveredJob>) -> RecordOutcome {
+        let Ok(src) = fs::read_to_string(path) else {
+            return RecordOutcome::Torn;
+        };
+        let Ok(record) = Json::parse(&src) else {
+            return RecordOutcome::Torn;
+        };
+        match self.apply_parsed(&record, jobs) {
+            Some(()) => RecordOutcome::Applied,
+            None => RecordOutcome::Skipped,
+        }
+    }
+
+    fn apply_parsed(&self, record: &Json, jobs: &mut BTreeMap<u64, RecoveredJob>) -> Option<()> {
         let kind = record.get("record")?.as_str()?;
         let job = record.get("job")?.as_usize()? as u64;
         match kind {
@@ -273,6 +350,104 @@ impl Journal {
             _ => return None,
         }
         Some(())
+    }
+
+    /// Bounds journal growth: drops `shard_done` records of jobs that
+    /// have reached a terminal record (their partial reports are
+    /// superseded by the journaled terminal payload), then garbage-
+    /// collects payload files no longer referenced by any surviving
+    /// record. Replay before and after compaction recovers byte-identical
+    /// job state. Records are removed before payloads, so a crash between
+    /// the two passes only leaves orphans for the next compaction.
+    ///
+    /// Single-writer rule applies: call while no other thread appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures; individual file removals
+    /// are best-effort (a leftover file is re-candidate next time).
+    pub fn compact(&self) -> io::Result<Compaction> {
+        let mut compaction = Compaction::default();
+        // Pass 1: find terminal jobs and each record's (kind, job).
+        let mut parsed: Vec<(PathBuf, String, u64)> = Vec::new();
+        let mut terminal: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for entry in fs::read_dir(&self.records)? {
+            let entry = entry?;
+            let path = entry.path();
+            if record_seq(&entry.file_name().to_string_lossy()).is_none() {
+                continue;
+            }
+            let Some(record) = fs::read_to_string(&path)
+                .ok()
+                .and_then(|src| Json::parse(&src).ok())
+            else {
+                continue;
+            };
+            let (Some(kind), Some(job)) = (
+                record
+                    .get("record")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                record.get("job").and_then(Json::as_usize),
+            ) else {
+                continue;
+            };
+            if matches!(kind.as_str(), "done" | "failed" | "cancelled") {
+                terminal.insert(job as u64);
+            }
+            parsed.push((path, kind, job as u64));
+        }
+        // Pass 2: drop superseded shard_done records.
+        for (path, kind, job) in &parsed {
+            if kind == "shard_done" && terminal.contains(job) && fs::remove_file(path).is_ok() {
+                compaction.records_removed += 1;
+            }
+        }
+        // Pass 3: GC payloads unreferenced by the surviving records.
+        // Re-scan rather than trust `parsed` — removals may have failed,
+        // and payloads can be shared across records.
+        let mut referenced: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for entry in fs::read_dir(&self.records)? {
+            let entry = entry?;
+            if record_seq(&entry.file_name().to_string_lossy()).is_none() {
+                continue;
+            }
+            if let Some(record) = fs::read_to_string(entry.path())
+                .ok()
+                .and_then(|src| Json::parse(&src).ok())
+            {
+                if let Some(hash) = record.get("payload").and_then(Json::as_str) {
+                    referenced.insert(hash.to_string());
+                }
+            }
+        }
+        for entry in fs::read_dir(&self.payloads)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(hash) = name.strip_suffix(".json") else {
+                continue;
+            };
+            if !referenced.contains(hash) && fs::remove_file(entry.path()).is_ok() {
+                compaction.payloads_removed += 1;
+            }
+        }
+        Ok(compaction)
+    }
+
+    /// Readiness probe: can this journal still land records? Writes and
+    /// removes a probe file in the records directory (`.probe-*` names
+    /// never parse as record sequence numbers, so replay ignores a
+    /// leftover probe from a crash mid-check).
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        static PROBE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let unique = PROBE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .records
+            .join(format!(".probe-{}-{unique}", std::process::id()));
+        let ok = fs::write(&path, b"probe").is_ok();
+        let _ = fs::remove_file(&path);
+        ok
     }
 
     /// Stores a report payload content-addressed; returns its hash name.

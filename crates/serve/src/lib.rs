@@ -30,11 +30,17 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod journal;
 pub mod queue;
 
 pub use client::{Client, HttpReply, RetryPolicy};
+pub use fleet::{
+    run_executor, CompleteOutcome, Dispatch, ExecutorConfig, FleetSnapshot, Health,
+    HeartbeatOutcome, HttpCacheTier, JournalHealth, PollOutcome, RegisterOutcome, SimExecutor,
+    SimStep, TickOutcome,
+};
 pub use http::{Server, ServerConfig};
 pub use journal::{Journal, RecoveredJob, Replay, Terminal};
 pub use queue::{

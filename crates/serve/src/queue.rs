@@ -30,6 +30,7 @@ use synts_core::scenario::{Experiment, Json, Report, ScenarioSpec, Shard, ShardP
 use synts_core::{CacheStats, CharCache, OptError, SolverRegistry};
 use timing::ErrorCurve;
 
+use crate::fleet::FleetStore;
 use crate::journal::{Journal, Terminal};
 
 /// Configuration of one [`Service`] instance.
@@ -50,6 +51,14 @@ pub struct ServiceConfig {
     pub journal: Option<Journal>,
     /// Service-wide fault plan; per-spec `faults` fields override it.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Whether the in-process pool runs shard tasks. `false` reserves
+    /// shards for registered fleet executors — except when none are
+    /// live, when local workers take them anyway (graceful degradation,
+    /// flagged in stats/healthz). Plan tasks always run locally.
+    pub local_shards: bool,
+    /// Logical ticks a fleet lease (and executor registration) stays
+    /// valid without renewal; see [`Service::fleet_tick`].
+    pub lease_ticks: u64,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +71,8 @@ impl Default for ServiceConfig {
             registry: SolverRegistry::with_defaults(),
             journal: None,
             faults: None,
+            local_shards: true,
+            lease_ticks: 5,
         }
     }
 }
@@ -197,6 +208,9 @@ pub struct ServiceStats {
     pub shard_retries: u64,
     /// Process-wide characterization cache counters.
     pub cache: CacheStats,
+    /// Fleet coordinator counters (all zero when no executor ever
+    /// registered).
+    pub fleet: crate::fleet::FleetSnapshot,
 }
 
 impl ServiceStats {
@@ -221,8 +235,11 @@ impl ServiceStats {
                 Json::obj()
                     .field("hits", Json::num(self.cache.hits as f64))
                     .field("misses", Json::num(self.cache.misses as f64))
+                    .field("remote_hits", Json::num(self.cache.remote_hits as f64))
+                    .field("coalesced", Json::num(self.cache.coalesced as f64))
                     .field("write_errors", Json::num(self.cache.write_errors as f64)),
             )
+            .field("fleet", self.fleet.to_json())
     }
 }
 
@@ -255,38 +272,38 @@ fn job_seq(id: &str) -> Option<u64> {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Task {
+pub(crate) enum Task {
     Plan { job: u64 },
     Shard { job: u64, idx: usize },
 }
 
-enum ShardState {
+pub(crate) enum ShardState {
     Queued,
     Running,
     Done(Box<Report>),
     Failed,
 }
 
-struct ShardSlot {
-    shard: Shard,
-    state: ShardState,
-    attempts: u32,
+pub(crate) struct ShardSlot {
+    pub(crate) shard: Shard,
+    pub(crate) state: ShardState,
+    pub(crate) attempts: u32,
 }
 
-struct Job {
+pub(crate) struct Job {
     id: String,
     spec: ScenarioSpec,
-    state: JobState,
+    pub(crate) state: JobState,
     plan: Option<ShardPlan>,
-    slots: Vec<ShardSlot>,
-    retries: u32,
-    error: Option<String>,
+    pub(crate) slots: Vec<ShardSlot>,
+    pub(crate) retries: u32,
+    pub(crate) error: Option<String>,
     merged: Option<Arc<Report>>,
     /// Client-supplied idempotency key, when submitted with one.
     key: Option<String>,
     /// The fault plan this job's tasks run under (per-spec plan, else
     /// the service-wide one, else none).
-    faults: Option<Arc<FaultPlan>>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
     /// Journal-recovered shard reports, spliced into the slots once the
     /// (deterministic) plan is rebuilt.
     recovered: BTreeMap<usize, Report>,
@@ -318,26 +335,30 @@ impl Job {
     }
 }
 
-struct Store {
+pub(crate) struct Store {
     // Keyed by numeric sequence (not the `job-<n>` string, which would
     // sort job-10 before job-2): iteration is submission order, so
     // listings and merged snapshots are deterministic.
-    jobs: BTreeMap<u64, Job>,
-    queue: VecDeque<Task>,
+    pub(crate) jobs: BTreeMap<u64, Job>,
+    pub(crate) queue: VecDeque<Task>,
     /// Idempotency key -> job sequence; a keyed resubmission returns the
     /// existing job instead of enqueueing a duplicate.
     keys: BTreeMap<String, u64>,
     next_seq: u64,
-    shutdown: Option<Shutdown>,
-    in_flight: usize,
+    pub(crate) shutdown: Option<Shutdown>,
+    pub(crate) in_flight: usize,
     submitted: u64,
     done: u64,
-    failed: u64,
+    pub(crate) failed: u64,
     cancelled: u64,
-    shard_retries: u64,
+    pub(crate) shard_retries: u64,
+    /// Fleet coordinator state (executors, leases, cache claims) — one
+    /// mutex guards the queue and the fleet so lease transitions and
+    /// task transitions can never interleave inconsistently.
+    pub(crate) fleet: FleetStore,
 }
 
-enum Claimed {
+pub(crate) enum Claimed {
     Plan {
         job: u64,
         spec: ScenarioSpec,
@@ -359,28 +380,31 @@ enum Claimed {
 /// gap is crash-safe: a lost terminal record only means replay resumes
 /// the job from its (already journaled) shard records and re-derives
 /// the same terminal state deterministically.
-enum TerminalRecord {
+pub(crate) enum TerminalRecord {
     Done { job: u64, report: Arc<Report> },
     Failed { job: u64, msg: String },
 }
 
-struct SvcState {
+pub(crate) struct SvcState {
     max_shards: usize,
-    max_attempts: u32,
-    cache: CharCache,
+    pub(crate) max_attempts: u32,
+    pub(crate) cache: CharCache,
     registry: SolverRegistry<ErrorCurve>,
     worker_total: usize,
-    journal: Option<Journal>,
+    pub(crate) journal: Option<Journal>,
     faults: Option<Arc<FaultPlan>>,
+    /// Whether local workers may claim shard tasks while fleet
+    /// executors are live (see [`ServiceConfig::local_shards`]).
+    pub(crate) local_shards: bool,
     store: Mutex<Store>,
-    cv: Condvar,
+    pub(crate) cv: Condvar,
 }
 
 /// The scenario service: a [`ServiceConfig`]-sized executor pool over an
 /// in-process job store. Protocol front ends ([`crate::http`]) and
 /// in-process callers (tests, `synts-cli bench`) share this one API.
 pub struct Service {
-    state: Arc<SvcState>,
+    pub(crate) state: Arc<SvcState>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -407,9 +431,21 @@ impl Service {
             failed: 0,
             cancelled: 0,
             shard_retries: 0,
+            fleet: FleetStore::new(cfg.lease_ticks.max(1)),
         };
         if let Some(journal) = &cfg.journal {
             recover(&mut store, journal, cfg.faults.as_ref());
+            // Recovery replayed everything the journal holds; compact it
+            // before workers (the single-writer window) so terminal-job
+            // shard records and orphaned payloads stop accumulating.
+            match journal.compact() {
+                Ok(c) if !c.is_noop() => eprintln!(
+                    "synts-serve: journal: compacted {} record(s), {} payload(s)",
+                    c.records_removed, c.payloads_removed
+                ),
+                Ok(_) => {}
+                Err(e) => eprintln!("synts-serve: journal: compaction failed: {e}"),
+            }
         }
         let state = Arc::new(SvcState {
             max_shards: cfg.max_shards.max(1),
@@ -419,6 +455,7 @@ impl Service {
             worker_total: cfg.workers.max(1),
             journal: cfg.journal,
             faults: cfg.faults,
+            local_shards: cfg.local_shards,
             store: Mutex::new(store),
             cv: Condvar::new(),
         });
@@ -632,6 +669,7 @@ impl Service {
             in_flight: store.in_flight,
             shard_retries: store.shard_retries,
             cache: CacheStats::snapshot(),
+            fleet: store.fleet.snapshot(self.state.local_shards),
         }
     }
 
@@ -679,23 +717,51 @@ impl SvcState {
     // compute — characterization, shard runs, merges — happens outside
     // the lock behind catch_unwind), so a poisoned guard still holds a
     // consistent Store and the request path must keep answering.
-    fn locked(&self) -> MutexGuard<'_, Store> {
+    pub(crate) fn locked(&self) -> MutexGuard<'_, Store> {
         self.store.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Blocks for the next runnable task; `None` means "exit the worker".
+    ///
+    /// In fleet mode (`local_shards == false`) local workers claim only
+    /// plan tasks and leave shards to registered executors — unless no
+    /// executor is live, in which case they take shards anyway so a
+    /// fully-dead fleet degrades to single-node execution instead of
+    /// stalling.
     fn next_task(&self) -> Option<Claimed> {
         let mut store = self.locked();
         loop {
             if store.shutdown == Some(Shutdown::Now) {
                 return None;
             }
-            while let Some(task) = store.queue.pop_front() {
+            let take_shards = self.local_shards || store.fleet.live_executors() == 0;
+            let mut idx = 0;
+            while idx < store.queue.len() {
+                let leave_for_fleet = !take_shards
+                    && store
+                        .queue
+                        .get(idx)
+                        .is_some_and(|t| matches!(t, Task::Shard { .. }));
+                if leave_for_fleet {
+                    idx += 1;
+                    continue;
+                }
+                let Some(task) = store.queue.remove(idx) else {
+                    break;
+                };
                 if let Some(claimed) = claim(&mut store, &task) {
+                    if !self.local_shards && matches!(task, Task::Shard { .. }) {
+                        eprintln!(
+                            "synts-serve: fleet degraded: no live executors, \
+                             running shard locally"
+                        );
+                    }
                     return Some(claimed);
                 }
+                // Dissolved task: the element at `idx` is already the
+                // next candidate, so don't advance.
             }
-            if store.shutdown == Some(Shutdown::Drain) {
+            if store.shutdown == Some(Shutdown::Drain) && store.queue.is_empty() {
                 return None;
             }
             store = self.cv.wait(store).unwrap_or_else(PoisonError::into_inner);
@@ -860,7 +926,11 @@ impl SvcState {
     /// the caller hands it to [`SvcState::write_terminal`] once the lock
     /// is dropped, so the fsync never stalls status/submit requests.
     /// No-op (`None`) while shards are outstanding.
-    fn finish_if_complete(&self, store: &mut Store, job_id: u64) -> Option<TerminalRecord> {
+    pub(crate) fn finish_if_complete(
+        &self,
+        store: &mut Store,
+        job_id: u64,
+    ) -> Option<TerminalRecord> {
         let job = store.jobs.get_mut(&job_id)?;
         if job.state != JobState::Running || job.slots.is_empty() {
             return None;
@@ -910,7 +980,7 @@ impl SvcState {
     /// Writes a staged terminal record (outside the store lock). A
     /// failed write only costs a recompute after a crash, so it is
     /// logged, never propagated.
-    fn write_terminal(&self, staged: Option<TerminalRecord>) {
+    pub(crate) fn write_terminal(&self, staged: Option<TerminalRecord>) {
         let Some(journal) = &self.journal else { return };
         match staged {
             Some(TerminalRecord::Done { job, report }) => {
@@ -937,6 +1007,12 @@ fn recover(store: &mut Store, journal: &Journal, service_faults: Option<&Arc<Fau
         eprintln!(
             "synts-serve: journal: skipped {} unusable record(s) during recovery",
             replay.skipped
+        );
+    }
+    if replay.truncated > 0 {
+        eprintln!(
+            "synts-serve: journal: truncated {} torn trailing record(s) (crash mid-append)",
+            replay.truncated
         );
     }
     for (seq, rec) in replay.jobs {
@@ -994,7 +1070,7 @@ fn recover(store: &mut Store, journal: &Journal, service_faults: Option<&Arc<Fau
 /// Marks a popped task as claimed (state transitions + `in_flight`),
 /// returning what the worker needs to run it lock-free. Tasks of
 /// cancelled/failed jobs dissolve here.
-fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
+pub(crate) fn claim(store: &mut Store, task: &Task) -> Option<Claimed> {
     match task {
         Task::Plan { job } => {
             let j = store.jobs.get_mut(job)?;
@@ -1049,7 +1125,7 @@ fn worker_loop(state: &SvcState) {
     }
 }
 
-fn panic_error(stage: &str, panic: &(dyn std::any::Any + Send)) -> OptError {
+pub(crate) fn panic_error(stage: &str, panic: &(dyn std::any::Any + Send)) -> OptError {
     let msg = panic
         .downcast_ref::<String>()
         .cloned()
@@ -1092,9 +1168,7 @@ mod tests {
             max_shards: 3,
             max_attempts: 2,
             cache: CharCache::at_dir(dir),
-            registry: SolverRegistry::with_defaults(),
-            journal: None,
-            faults: None,
+            ..ServiceConfig::default()
         })
     }
 
@@ -1210,9 +1284,8 @@ mod tests {
             max_shards: 3,
             max_attempts: 2,
             cache: CharCache::at_dir(dir),
-            registry: SolverRegistry::with_defaults(),
-            journal: None,
             faults: Some(Arc::clone(&plan)),
+            ..ServiceConfig::default()
         });
         let status = service.submit(quick_spec("chaotic")).expect("submits");
         let settled = wait_done(&service, &status.id);

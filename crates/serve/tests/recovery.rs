@@ -53,6 +53,7 @@ fn journaled_service(journal_dir: &PathBuf, cache_dir: &PathBuf, workers: usize)
         registry: SolverRegistry::with_defaults(),
         journal: Some(Journal::open(journal_dir).expect("journal opens")),
         faults: None,
+        ..ServiceConfig::default()
     }))
 }
 
@@ -218,4 +219,159 @@ fn killed_process_recovers_to_the_golden_fixture() {
 
     let _ = client.shutdown(true);
     let _ = clean.child.wait();
+}
+
+/// Counts payload files in the journal.
+fn count_payloads(journal_dir: &Path) -> usize {
+    std::fs::read_dir(journal_dir.join("payloads"))
+        .map(|dir| dir.flatten().count())
+        .unwrap_or(0)
+}
+
+/// Journal compaction: once a job is terminal its `shard_done` records
+/// are superseded by the `done` record, so compaction drops them and
+/// GCs the now-orphaned shard payloads — and replay of the compacted
+/// journal still serves the byte-identical report.
+#[test]
+fn compaction_prunes_terminal_jobs_and_replays_byte_identically() {
+    let journal_dir = temp_dir("compact-journal");
+    let cache_dir = temp_dir("compact-cache");
+    let spec = quick_spec("compact-me");
+
+    // Run a job to completion through a journaled service.
+    let service = journaled_service(&journal_dir, &cache_dir, 2);
+    let id = service.submit(spec).expect("submits").id;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let report = loop {
+        match service.report(&id) {
+            ReportOutcome::Ready(report) => break report.to_json_string(),
+            ReportOutcome::Pending(_) => {
+                assert!(Instant::now() < deadline, "job never finished");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("job went sideways: {other:?}"),
+        }
+    };
+    service.shutdown(Shutdown::Now);
+    drop(service);
+
+    let shards_before = count_records(&journal_dir, "shard_done");
+    let payloads_before = count_payloads(&journal_dir);
+    assert!(shards_before >= 1, "the job must have journaled shards");
+    // Plant an orphaned payload (a crash between payload write and
+    // record write leaves exactly this) — compaction must collect it.
+    std::fs::write(
+        journal_dir.join("payloads").join("deadbeefdeadbeef.json"),
+        "{}",
+    )
+    .expect("orphan payload");
+
+    let journal = Journal::open(&journal_dir).expect("journal reopens");
+    let compaction = journal.compact().expect("compaction runs");
+    assert_eq!(
+        compaction.records_removed, shards_before,
+        "every shard_done of the terminal job is superseded"
+    );
+    assert!(
+        compaction.payloads_removed >= 1,
+        "the planted orphan (at least) must be collected"
+    );
+    assert_eq!(count_records(&journal_dir, "shard_done"), 0);
+    assert_eq!(count_records(&journal_dir, "done"), 1);
+    assert!(
+        count_payloads(&journal_dir) < payloads_before + 1,
+        "payload set must have shrunk"
+    );
+    // Idempotent: a second pass finds nothing.
+    let again = journal.compact().expect("second compaction");
+    assert!(again.is_noop(), "compaction must converge: {again:?}");
+    drop(journal);
+
+    // Replay of the compacted journal serves the exact bytes.
+    let service = journaled_service(&journal_dir, &cache_dir, 2);
+    match service.report(&id) {
+        ReportOutcome::Ready(recovered) => assert_eq!(
+            recovered.to_json_string(),
+            report,
+            "compacted replay drifted"
+        ),
+        other => panic!("compacted journal must still serve the report: {other:?}"),
+    }
+    service.shutdown(Shutdown::Now);
+}
+
+/// A crash mid-append leaves a torn trailing record. Replay must not
+/// refuse the journal (that would strand every earlier job): it
+/// truncates the torn suffix with a warning and recovers everything
+/// before it — while torn records *before* good ones (real corruption)
+/// are skipped, never silently deleted.
+#[test]
+fn torn_trailing_record_is_truncated_and_earlier_jobs_survive() {
+    let journal_dir = temp_dir("torn-journal");
+    let cache_dir = temp_dir("torn-cache");
+
+    // A finished job, fully journaled.
+    let service = journaled_service(&journal_dir, &cache_dir, 2);
+    let id = service.submit(quick_spec("torn")).expect("submits").id;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let report = loop {
+        match service.report(&id) {
+            ReportOutcome::Ready(report) => break report.to_json_string(),
+            ReportOutcome::Pending(_) => {
+                assert!(Instant::now() < deadline, "job never finished");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("job went sideways: {other:?}"),
+        }
+    };
+    service.shutdown(Shutdown::Now);
+    drop(service);
+
+    // Simulate the crash: a half-written record lands after the last
+    // good one (highest sequence number wins the "trailing" position).
+    let records = journal_dir.join("records");
+    let max_seq = std::fs::read_dir(&records)
+        .expect("records dir")
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .expect("at least one record");
+    let torn = records.join(format!("{}.json", max_seq + 1));
+    std::fs::write(&torn, "{\"record\": \"submitted\", \"job\": 9").expect("torn record");
+
+    let journal = Journal::open(&journal_dir).expect("journal reopens");
+    let replay = journal.replay();
+    assert_eq!(replay.truncated, 1, "the torn suffix must be truncated");
+    assert_eq!(replay.skipped, 0, "nothing before it was damaged");
+    assert!(!torn.exists(), "the torn file must be gone");
+    assert_eq!(replay.jobs.len(), 1, "the finished job survives");
+    drop(journal);
+
+    // A torn record *before* good ones is not the append crash pattern:
+    // it is skipped (and kept on disk) so a human can look at it.
+    let early = records.join("0.json");
+    std::fs::write(&early, "not json at all").expect("early garbage");
+    let journal = Journal::open(&journal_dir).expect("journal reopens");
+    let replay = journal.replay();
+    assert_eq!(replay.truncated, 0);
+    assert_eq!(replay.skipped, 1, "mid-stream damage is skipped");
+    assert!(early.exists(), "mid-stream damage is preserved");
+    std::fs::remove_file(&early).expect("cleanup");
+    drop(journal);
+
+    // And the service still serves the exact bytes through it all.
+    let service = journaled_service(&journal_dir, &cache_dir, 2);
+    match service.report(&id) {
+        ReportOutcome::Ready(recovered) => {
+            assert_eq!(recovered.to_json_string(), report, "recovery drifted");
+        }
+        other => panic!("journal must still serve the report: {other:?}"),
+    }
+    service.shutdown(Shutdown::Now);
 }

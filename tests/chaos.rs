@@ -23,7 +23,7 @@ use proptest::prelude::*;
 use synts::prelude::*;
 use synts_serve::{
     Client, Journal, ReportOutcome, RetryPolicy, Server, ServerConfig, Service, ServiceConfig,
-    Shutdown,
+    Shutdown, SimExecutor,
 };
 
 /// A plan that exercises the cache and executor sites: half the cache
@@ -65,6 +65,7 @@ fn chaos_run(tag: &str, seed: u64, workers: usize) -> (String, String, PathBuf) 
         registry: SolverRegistry::with_defaults(),
         journal: Some(Journal::open(&journal_dir).expect("journal opens")),
         faults: Some(Arc::clone(&plan)),
+        ..ServiceConfig::default()
     }));
     let id = service.submit(quick_spec("chaos")).expect("submits").id;
     let report = loop {
@@ -144,6 +145,104 @@ fn fixed_seed_matrix_is_deterministic() {
     let (report_b, fired_b, _) = chaos_run(&format!("{tag}-b"), seed, 2);
     assert_eq!(report_a, report_b, "seed {seed}: report bytes drifted");
     assert_eq!(fired_a, fired_b, "seed {seed}: fault ledger drifted");
+    save_artifacts(&tag, &journal_a, &fired_a);
+}
+
+/// A fleet-mode chaos scenario for the matrix: every shard goes to sim
+/// executors, the plan kills `node1` on its first dispatched shard AND
+/// drops a quarter of all dispatches (`fleet.dispatch` — the attempt is
+/// charged and the shard requeued). Returns (report, ledger, journal).
+fn chaos_fleet_run(tag: &str, seed: u64) -> (String, String, PathBuf) {
+    let plan = Arc::new(
+        FaultPlan::parse(&format!("seed={seed};fleet.dispatch=1/4;exec.kill=~@node1"))
+            .expect("plan parses"),
+    );
+    let journal_dir = fresh_dir(&format!("{tag}-journal"));
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        max_shards: 3,
+        max_attempts: 6,
+        cache: CharCache::at_dir(fresh_dir(&format!("{tag}-cache"))),
+        registry: SolverRegistry::with_defaults(),
+        journal: Some(Journal::open(&journal_dir).expect("journal opens")),
+        faults: Some(Arc::clone(&plan)),
+        local_shards: false,
+        lease_ticks: 3,
+    }));
+    let shared_cache = CharCache::at_dir(fresh_dir(&format!("{tag}-sim-cache")));
+    let mut sims: Vec<SimExecutor> = (1..=2)
+        .map(|n| {
+            SimExecutor::register(
+                &service,
+                &format!("node{n}"),
+                shared_cache.clone(),
+                Some(Arc::clone(&plan)),
+            )
+        })
+        .collect();
+    let id = service
+        .submit(quick_spec("chaos-fleet"))
+        .expect("submits")
+        .id;
+    // Step only the victim until it claims (and dies on) its first
+    // shard: the node→shard assignment is then a pure function of the
+    // seed, so the fired-fault ledger can't drift between runs.
+    {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while !sims[0].is_dead() {
+            let _ = sims[0].step();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the victim never saw work"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let report = loop {
+        for sim in sims.iter_mut() {
+            let _ = sim.step();
+        }
+        let _ = service.fleet_tick();
+        match service.report(&id) {
+            ReportOutcome::Ready(report) => break report.to_json_string(),
+            ReportOutcome::Pending(_) => {}
+            other => panic!("fleet chaos job must survive its faults: {other:?}"),
+        }
+    };
+    assert!(
+        sims[0].is_dead(),
+        "seed {seed}: node1 must have been killed"
+    );
+    service.shutdown(Shutdown::Now);
+    (report, plan.report().render(), journal_dir)
+}
+
+/// The fleet leg of the CI chaos matrix: the same `SYNTS_CHAOS_SEED`
+/// also drives the fleet sites (`fleet.dispatch` drops + an `exec.kill`
+/// on one executor). Two independent runs must agree byte-for-byte with
+/// each other AND with the monolithic engine, with identical ledgers.
+#[test]
+fn fixed_seed_fleet_matrix_is_deterministic() {
+    let seed: u64 = std::env::var("SYNTS_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let monolithic = Experiment::new(quick_spec("chaos-fleet"))
+        .run()
+        .expect("monolithic run")
+        .to_json_string();
+    let tag = format!("fleet-matrix-{seed}");
+    let (report_a, fired_a, journal_a) = chaos_fleet_run(&format!("{tag}-a"), seed);
+    let (report_b, fired_b, _) = chaos_fleet_run(&format!("{tag}-b"), seed);
+    assert_eq!(
+        report_a, report_b,
+        "seed {seed}: fleet report bytes drifted"
+    );
+    assert_eq!(fired_a, fired_b, "seed {seed}: fleet fault ledger drifted");
+    assert_eq!(
+        report_a, monolithic,
+        "seed {seed}: fleet faults corrupted the report"
+    );
     save_artifacts(&tag, &journal_a, &fired_a);
 }
 

@@ -88,6 +88,7 @@ fn test_service(name: &str, workers: usize) -> Arc<Service> {
         registry: SolverRegistry::with_defaults(),
         journal: None,
         faults: None,
+        ..ServiceConfig::default()
     }))
 }
 
